@@ -1,0 +1,305 @@
+use crate::predictor::PredictorConfig;
+use miopt_engine::util::is_pow2;
+use miopt_engine::LineAddr;
+
+/// Identifies the DRAM row of a line for the dirty-block index, without
+/// depending on the DRAM crate.
+///
+/// Must be constructed consistently with the DRAM address map: with a
+/// line-interleaved layout `| channel | column | bank | row |`, the row key
+/// is the line address with the column bits removed.
+///
+/// # Examples
+///
+/// ```
+/// use miopt_cache::RowMap;
+/// use miopt_engine::LineAddr;
+///
+/// let map = RowMap::new(4, 5); // 16 channels, 32-line rows
+/// // Lines 0 and 16 share channel 0, bank 0, row 0:
+/// assert_eq!(map.key(LineAddr(0)), map.key(LineAddr(16)));
+/// // Line 1 is in a different channel:
+/// assert_ne!(map.key(LineAddr(0)), map.key(LineAddr(1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowMap {
+    channel_bits: u32,
+    column_bits: u32,
+}
+
+impl RowMap {
+    /// Builds a row map for the given channel and column (lines-per-row)
+    /// bit widths.
+    #[must_use]
+    pub fn new(channel_bits: u32, column_bits: u32) -> RowMap {
+        RowMap {
+            channel_bits,
+            column_bits,
+        }
+    }
+
+    /// The (channel, bank, row) key of a line.
+    #[must_use]
+    pub fn key(&self, line: LineAddr) -> u64 {
+        let ch = line.0 & ((1 << self.channel_bits) - 1);
+        let upper = line.0 >> (self.channel_bits + self.column_bits);
+        (upper << self.channel_bits) | ch
+    }
+}
+
+/// Geometry and resource configuration of one physical cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// MSHR entries (distinct outstanding miss lines).
+    pub mshr_entries: usize,
+    /// Maximum requests merged into one MSHR entry (including the primary).
+    pub mshr_merge_cap: usize,
+    /// Tag-array accesses accepted per cycle.
+    pub port_width: u32,
+    /// Maximum dirty rows tracked by the dirty-block index (rinsing only).
+    pub dbi_rows: usize,
+    /// Writebacks emitted per cycle during a bulk dirty flush.
+    pub flush_width: u32,
+    /// Low line-address bits kept verbatim by the set index;
+    /// `>= log2(sets)` means plain low-bit indexing (gem5-faithful, used
+    /// at the L1 -- the paper's allocation-blocking stalls depend on it).
+    pub index_low_bits: u32,
+    /// Line-address bits skipped above `index_low_bits` (the slice
+    /// selector for an L2 slice; 0 for an unsliced cache).
+    pub index_skip_bits: u32,
+}
+
+impl CacheConfig {
+    /// Table 1 GPU L1 data cache: 16 KB, 64 B lines, 16-way (16 sets).
+    #[must_use]
+    pub fn l1_paper() -> CacheConfig {
+        CacheConfig {
+            sets: 16,
+            ways: 16,
+            // Effectively uncapped: the GCN vector L1 is a streaming
+            // write-through cache whose outstanding misses are bounded by
+            // busy *lines*, not a miss-entry table — allocation blocking
+            // (all ways of a set busy) is the paper's stall source.
+            mshr_entries: 256,
+            mshr_merge_cap: 8,
+            port_width: 1,
+            dbi_rows: 0,
+            flush_width: 2,
+            index_low_bits: 31,
+            index_skip_bits: 0,
+        }
+    }
+
+    /// One slice of the Table 1 GPU L2: 4 MB / 16 slices = 256 KB,
+    /// 64 B lines, 16-way (256 sets).
+    #[must_use]
+    pub fn l2_slice_paper() -> CacheConfig {
+        CacheConfig {
+            sets: 256,
+            ways: 16,
+            mshr_entries: 64,
+            mshr_merge_cap: 16,
+            port_width: 2,
+            dbi_rows: 64,
+            flush_width: 8,
+            // Keep the 5 column bits, skip the 4 slice-selector bits.
+            index_low_bits: 5,
+            index_skip_bits: 4,
+        }
+    }
+
+    /// A small geometry for unit tests (4 sets, 2 ways).
+    #[must_use]
+    pub fn tiny_test() -> CacheConfig {
+        CacheConfig {
+            sets: 4,
+            ways: 2,
+            mshr_entries: 4,
+            mshr_merge_cap: 2,
+            port_width: 1,
+            dbi_rows: 4,
+            flush_width: 1,
+            index_low_bits: 31,
+            index_skip_bits: 0,
+        }
+    }
+
+    /// Total lines (sets × ways).
+    #[must_use]
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.lines() as u64 * miopt_engine::LINE_BYTES
+    }
+
+    /// Validates geometry constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !is_pow2(self.sets as u64) {
+            return Err(format!("sets must be a power of two, got {}", self.sets));
+        }
+        if self.ways == 0 {
+            return Err("ways must be nonzero".to_string());
+        }
+        if self.mshr_entries == 0 {
+            return Err("mshr_entries must be nonzero".to_string());
+        }
+        if self.mshr_merge_cap == 0 {
+            return Err("mshr_merge_cap must be nonzero".to_string());
+        }
+        if self.port_width == 0 {
+            return Err("port_width must be nonzero".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// How one cache level treats loads and stores, including the paper's
+/// Section VII optimizations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelPolicy {
+    /// Whether this level is active at all. A disabled cache forwards
+    /// everything as bypass without touching tags (the `Uncached` policy).
+    pub enabled: bool,
+    /// Cache load data at this level.
+    pub cache_loads: bool,
+    /// Absorb stores at this level (write-allocate, written back on flush
+    /// or eviction). When `false` stores pass through (write-through,
+    /// no-allocate), invalidating any stale copy.
+    pub cache_stores: bool,
+    /// Allocation bypass (AB): convert to bypass instead of stalling when
+    /// every way of the set is busy.
+    pub allocation_bypass: bool,
+    /// Row-locality-aware rinsing (CR): requires `row_map`.
+    pub rinse: bool,
+    /// PC-based bypass prediction (PCby) for loads and stores.
+    pub pc_bypass: Option<PredictorConfig>,
+    /// Row map for the dirty-block index; required when `rinse` is on.
+    pub row_map: Option<RowMap>,
+}
+
+impl LevelPolicy {
+    /// Fully disabled level (the `Uncached` static policy).
+    #[must_use]
+    pub fn disabled() -> LevelPolicy {
+        LevelPolicy {
+            enabled: false,
+            cache_loads: false,
+            cache_stores: false,
+            allocation_bypass: false,
+            rinse: false,
+            pc_bypass: None,
+            row_map: None,
+        }
+    }
+
+    /// Cache loads only; stores pass through (the `CacheR` policy, and the
+    /// L1 level of every caching policy — stores always bypass the L1).
+    #[must_use]
+    pub fn cache_loads_only() -> LevelPolicy {
+        LevelPolicy {
+            enabled: true,
+            cache_loads: true,
+            cache_stores: false,
+            allocation_bypass: false,
+            rinse: false,
+            pc_bypass: None,
+            row_map: None,
+        }
+    }
+
+    /// Cache loads and absorb stores (the `CacheRW` policy at the L2).
+    #[must_use]
+    pub fn cache_loads_and_stores() -> LevelPolicy {
+        LevelPolicy {
+            cache_stores: true,
+            ..LevelPolicy::cache_loads_only()
+        }
+    }
+
+    /// Validates optimization prerequisites.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `rinse` is enabled without a `row_map`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rinse && self.row_map.is_none() {
+            return Err("rinse requires a row_map".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l1_is_16kb() {
+        let cfg = CacheConfig::l1_paper();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.bytes(), 16 * 1024);
+        assert_eq!(cfg.ways, 16);
+    }
+
+    #[test]
+    fn paper_l2_slices_total_4mb() {
+        let cfg = CacheConfig::l2_slice_paper();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.bytes() * 16, 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        let mut cfg = CacheConfig::tiny_test();
+        cfg.sets = 3;
+        assert!(cfg.validate().is_err());
+        let mut cfg = CacheConfig::tiny_test();
+        cfg.ways = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = CacheConfig::tiny_test();
+        cfg.mshr_entries = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rinse_requires_row_map() {
+        let mut p = LevelPolicy::cache_loads_and_stores();
+        p.rinse = true;
+        assert!(p.validate().is_err());
+        p.row_map = Some(RowMap::new(4, 5));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn row_map_strips_columns() {
+        let m = RowMap::new(2, 3); // 4 channels, 8-line rows
+        // Same channel, all 8 columns of row 0, bank 0 share a key.
+        let base = m.key(LineAddr(0));
+        for col in 0..8u64 {
+            assert_eq!(m.key(LineAddr(col * 4)), base);
+        }
+        // Next bank (line 8*4=32) differs.
+        assert_ne!(m.key(LineAddr(32)), base);
+    }
+
+    #[test]
+    fn policy_presets_are_consistent() {
+        assert!(!LevelPolicy::disabled().enabled);
+        let r = LevelPolicy::cache_loads_only();
+        assert!(r.enabled && r.cache_loads && !r.cache_stores);
+        let rw = LevelPolicy::cache_loads_and_stores();
+        assert!(rw.cache_loads && rw.cache_stores);
+    }
+}

@@ -1,0 +1,188 @@
+use crate::RowMap;
+use miopt_engine::LineAddr;
+use std::collections::{HashMap, VecDeque};
+
+/// The dirty-block index of Seshadri et al. (ISCA 2014), applied to the GPU
+/// L2 as in paper Section VII.B: tracks which blocks of each DRAM row are
+/// dirty so that evicting one dirty block can *rinse* (write back) all of
+/// them together, preserving DRAM row locality.
+///
+/// The index has finite capacity; inserting a block of an untracked row
+/// when full evicts the least-recently-inserted row, and the caller must
+/// rinse that row's blocks (exactly the DBI eviction behaviour of the
+/// original proposal).
+///
+/// # Examples
+///
+/// ```
+/// use miopt_cache::{DirtyBlockIndex, RowMap};
+/// use miopt_engine::LineAddr;
+///
+/// let map = RowMap::new(4, 5);
+/// let mut dbi = DirtyBlockIndex::new(8, map);
+/// dbi.insert(LineAddr(0));
+/// dbi.insert(LineAddr(16)); // same row
+/// let rinse = dbi.take_row_of(LineAddr(0));
+/// assert_eq!(rinse.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct DirtyBlockIndex {
+    rows: HashMap<u64, Vec<LineAddr>>,
+    order: VecDeque<u64>,
+    capacity: usize,
+    map: RowMap,
+}
+
+impl DirtyBlockIndex {
+    /// Builds an index tracking at most `capacity` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, map: RowMap) -> DirtyBlockIndex {
+        assert!(capacity > 0, "DBI capacity must be nonzero");
+        DirtyBlockIndex {
+            rows: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            map,
+        }
+    }
+
+    /// Records that `line` became dirty. If the index is full and the
+    /// line's row is untracked, returns the blocks of an evicted row, which
+    /// the caller must write back (DBI-eviction rinse).
+    pub fn insert(&mut self, line: LineAddr) -> Option<Vec<LineAddr>> {
+        let key = self.map.key(line);
+        if let Some(blocks) = self.rows.get_mut(&key) {
+            if !blocks.contains(&line) {
+                blocks.push(line);
+            }
+            return None;
+        }
+        let evicted = if self.rows.len() >= self.capacity {
+            let old_key = self.order.pop_front().expect("order tracks rows");
+            self.rows.remove(&old_key)
+        } else {
+            None
+        };
+        self.rows.insert(key, vec![line]);
+        self.order.push_back(key);
+        evicted
+    }
+
+    /// Records that `line` is no longer dirty (written back or evicted
+    /// individually).
+    pub fn remove(&mut self, line: LineAddr) {
+        let key = self.map.key(line);
+        if let Some(blocks) = self.rows.get_mut(&key) {
+            blocks.retain(|l| *l != line);
+            if blocks.is_empty() {
+                self.rows.remove(&key);
+                self.order.retain(|k| *k != key);
+            }
+        }
+    }
+
+    /// Removes and returns every tracked dirty block in `line`'s row
+    /// (including `line` itself if tracked) — the rinse set.
+    pub fn take_row_of(&mut self, line: LineAddr) -> Vec<LineAddr> {
+        let key = self.map.key(line);
+        match self.rows.remove(&key) {
+            Some(blocks) => {
+                self.order.retain(|k| *k != key);
+                blocks
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of rows currently tracked.
+    #[must_use]
+    pub fn tracked_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total dirty blocks currently tracked.
+    #[must_use]
+    pub fn tracked_blocks(&self) -> usize {
+        self.rows.values().map(Vec::len).sum()
+    }
+
+    /// Forgets everything (used after a bulk flush).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> RowMap {
+        RowMap::new(1, 2) // 2 channels, 4-line rows
+    }
+
+    #[test]
+    fn groups_lines_by_row() {
+        let mut dbi = DirtyBlockIndex::new(4, map());
+        // Channel 0: lines 0, 2, 4, 6 are columns of row 0.
+        dbi.insert(LineAddr(0));
+        dbi.insert(LineAddr(2));
+        dbi.insert(LineAddr(4));
+        assert_eq!(dbi.tracked_rows(), 1);
+        let mut rinse = dbi.take_row_of(LineAddr(6));
+        rinse.sort();
+        assert_eq!(rinse, vec![LineAddr(0), LineAddr(2), LineAddr(4)]);
+        assert_eq!(dbi.tracked_rows(), 0);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut dbi = DirtyBlockIndex::new(4, map());
+        dbi.insert(LineAddr(0));
+        dbi.insert(LineAddr(0));
+        assert_eq!(dbi.tracked_blocks(), 1);
+    }
+
+    #[test]
+    fn remove_clears_empty_rows() {
+        let mut dbi = DirtyBlockIndex::new(4, map());
+        dbi.insert(LineAddr(0));
+        dbi.remove(LineAddr(0));
+        assert_eq!(dbi.tracked_rows(), 0);
+        assert!(dbi.take_row_of(LineAddr(0)).is_empty());
+    }
+
+    #[test]
+    fn capacity_eviction_returns_victim_row() {
+        let mut dbi = DirtyBlockIndex::new(2, map());
+        // Three distinct rows in channel 0: rows differ every 8 lines
+        // (2 channels x 4 columns).
+        assert!(dbi.insert(LineAddr(0)).is_none());
+        assert!(dbi.insert(LineAddr(8)).is_none());
+        let evicted = dbi.insert(LineAddr(16)).expect("row evicted");
+        assert_eq!(evicted, vec![LineAddr(0)]);
+        assert_eq!(dbi.tracked_rows(), 2);
+    }
+
+    #[test]
+    fn different_channels_are_different_rows() {
+        let mut dbi = DirtyBlockIndex::new(4, map());
+        dbi.insert(LineAddr(0)); // channel 0
+        dbi.insert(LineAddr(1)); // channel 1
+        assert_eq!(dbi.tracked_rows(), 2);
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut dbi = DirtyBlockIndex::new(4, map());
+        dbi.insert(LineAddr(0));
+        dbi.insert(LineAddr(1));
+        dbi.clear();
+        assert_eq!(dbi.tracked_rows(), 0);
+        assert_eq!(dbi.tracked_blocks(), 0);
+    }
+}

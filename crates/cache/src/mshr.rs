@@ -1,0 +1,182 @@
+use miopt_engine::{LineAddr, MemReq, ReqId};
+use std::collections::HashMap;
+
+/// Why a request could not be added to the MSHR table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MshrReject {
+    /// No free entries for a new line.
+    Full,
+    /// The line's entry exists but its merge list is at capacity.
+    MergeFull,
+}
+
+/// One outstanding miss: the primary request plus merged secondaries.
+#[derive(Debug, Clone)]
+pub(crate) struct MshrEntry {
+    /// Id of the request actually sent downstream; the fill must match it.
+    pub(crate) primary: ReqId,
+    /// All requests (primary first) waiting on the line.
+    pub(crate) waiters: Vec<MemReq>,
+    /// Whether the fill should install the line (`false` for bypass
+    /// coalescing, where the data is forwarded without insertion).
+    pub(crate) allocates: bool,
+    /// The (set, way) reserved when `allocates`, for the Busy→Valid
+    /// transition at fill time.
+    pub(crate) reserved: Option<(usize, usize)>,
+}
+
+/// Miss-status holding registers: tracks outstanding misses per line and
+/// merges (coalesces) requests to a line already being fetched.
+///
+/// Both cached misses and pending bypass loads live here — the paper notes
+/// that even with caching disabled, "read requests to the same cache line
+/// may be coalesced while the original bypass request is pending".
+#[derive(Debug)]
+pub(crate) struct MshrTable {
+    entries: HashMap<LineAddr, MshrEntry>,
+    capacity: usize,
+    merge_cap: usize,
+}
+
+impl MshrTable {
+    pub(crate) fn new(capacity: usize, merge_cap: usize) -> MshrTable {
+        MshrTable {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            merge_cap,
+        }
+    }
+
+    /// Whether a new entry can be allocated.
+    pub(crate) fn has_free_entry(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// The entry for `line`, if one is outstanding.
+    pub(crate) fn get(&self, line: LineAddr) -> Option<&MshrEntry> {
+        self.entries.get(&line)
+    }
+
+    /// Allocates a new entry with `req` as the primary.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if an entry for the line already exists or
+    /// the table is full (callers check first).
+    pub(crate) fn allocate(&mut self, req: MemReq, allocates: bool, reserved: Option<(usize, usize)>) {
+        debug_assert!(self.has_free_entry());
+        let prev = self.entries.insert(
+            req.line,
+            MshrEntry {
+                primary: req.id,
+                waiters: vec![req],
+                allocates,
+                reserved,
+            },
+        );
+        debug_assert!(prev.is_none(), "duplicate MSHR entry for {}", req.line);
+    }
+
+    /// Merges `req` into the existing entry for its line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if there is no entry or the merge list is
+    /// full.
+    pub(crate) fn merge(&mut self, req: MemReq) -> Result<(), (MemReq, MshrReject)> {
+        match self.entries.get_mut(&req.line) {
+            None => Err((req, MshrReject::Full)),
+            Some(e) if e.waiters.len() >= self.merge_cap => Err((req, MshrReject::MergeFull)),
+            Some(e) => {
+                e.waiters.push(req);
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes and returns the entry for `line` if its primary id is `id`.
+    pub(crate) fn complete(&mut self, line: LineAddr, id: ReqId) -> Option<MshrEntry> {
+        match self.entries.get(&line) {
+            Some(e) if e.primary == id => self.entries.remove(&line),
+            _ => None,
+        }
+    }
+
+    /// Number of outstanding entries.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no misses are outstanding.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miopt_engine::{AccessKind, Cycle, Origin, Pc};
+
+    fn req(id: u64, line: u64) -> MemReq {
+        MemReq {
+            id: ReqId(id),
+            line: LineAddr(line),
+            is_store: false,
+            kind: AccessKind::Cached,
+            pc: Pc(0),
+            origin: Origin::Wavefront { cu: 0, slot: 0 },
+            issue_cycle: Cycle(0),
+        }
+    }
+
+    #[test]
+    fn allocate_then_complete_returns_waiters() {
+        let mut m = MshrTable::new(2, 4);
+        m.allocate(req(1, 10), true, Some((0, 1)));
+        m.merge(req(2, 10)).unwrap();
+        m.merge(req(3, 10)).unwrap();
+        let e = m.complete(LineAddr(10), ReqId(1)).unwrap();
+        assert_eq!(e.waiters.len(), 3);
+        assert_eq!(e.reserved, Some((0, 1)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn complete_with_wrong_id_is_passthrough() {
+        let mut m = MshrTable::new(2, 4);
+        m.allocate(req(1, 10), false, None);
+        // A different (untracked) request's response for the same line must
+        // not consume the entry.
+        assert!(m.complete(LineAddr(10), ReqId(99)).is_none());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn merge_cap_is_enforced() {
+        let mut m = MshrTable::new(2, 2);
+        m.allocate(req(1, 10), false, None);
+        m.merge(req(2, 10)).unwrap();
+        let (back, why) = m.merge(req(3, 10)).unwrap_err();
+        assert_eq!(back.id, ReqId(3));
+        assert_eq!(why, MshrReject::MergeFull);
+    }
+
+    #[test]
+    fn capacity_is_tracked() {
+        let mut m = MshrTable::new(1, 2);
+        assert!(m.has_free_entry());
+        m.allocate(req(1, 10), false, None);
+        assert!(!m.has_free_entry());
+        m.complete(LineAddr(10), ReqId(1)).unwrap();
+        assert!(m.has_free_entry());
+    }
+
+    #[test]
+    fn merge_without_entry_is_rejected() {
+        let mut m = MshrTable::new(1, 2);
+        let (back, why) = m.merge(req(1, 5)).unwrap_err();
+        assert_eq!(back.line, LineAddr(5));
+        assert_eq!(why, MshrReject::Full);
+    }
+}

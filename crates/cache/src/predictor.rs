@@ -1,0 +1,240 @@
+use miopt_engine::stats::Counter;
+use miopt_engine::Pc;
+
+/// Configuration of the PC-based reuse predictor (paper Section VII.C,
+/// after Tian et al., "Adaptive GPU cache bypassing").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// Number of saturating counters (power of two recommended).
+    pub entries: usize,
+    /// Saturating-counter ceiling.
+    pub max_counter: u8,
+    /// A PC caches its lines while its counter is `>= threshold`.
+    pub threshold: u8,
+    /// Every `sample_period`-th request from a bypassing PC is cached
+    /// anyway, so the predictor can observe reuse and recover (set
+    /// sampling / dueling in the original proposal).
+    pub sample_period: u32,
+}
+
+impl PredictorConfig {
+    /// The configuration used in the paper reproduction: 256 3-bit
+    /// counters, threshold 2, 1-in-32 sampling.
+    #[must_use]
+    pub fn paper() -> PredictorConfig {
+        PredictorConfig {
+            entries: 256,
+            max_counter: 7,
+            threshold: 2,
+            sample_period: 32,
+        }
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> PredictorConfig {
+        PredictorConfig::paper()
+    }
+}
+
+/// Per-PC reuse statistics of the predictor.
+#[derive(Debug, Clone, Default)]
+pub struct PredictorStats {
+    /// Queries that predicted reuse (request cached).
+    pub predict_cache: Counter,
+    /// Queries that predicted no reuse (request bypassed).
+    pub predict_bypass: Counter,
+    /// Positive training events (a cached line was reused).
+    pub trained_reuse: Counter,
+    /// Negative training events (a line was evicted untouched).
+    pub trained_no_reuse: Counter,
+}
+
+/// A table of per-PC saturating counters predicting whether lines inserted
+/// by a static memory instruction will be reused before eviction.
+///
+/// Counters start saturated (cache everything, learn to bypass), are
+/// incremented when a line inserted by the PC is hit, and decremented when
+/// such a line is evicted or invalidated without any reuse.
+///
+/// # Examples
+///
+/// ```
+/// use miopt_cache::{PcPredictor, PredictorConfig};
+/// use miopt_engine::Pc;
+///
+/// let mut p = PcPredictor::new(PredictorConfig::paper());
+/// let pc = Pc(0x40);
+/// assert!(p.should_cache(pc)); // optimistic start
+/// for _ in 0..8 {
+///     p.train_no_reuse(pc);
+/// }
+/// assert!(!p.should_cache(pc)); // learned to bypass
+/// ```
+#[derive(Debug)]
+pub struct PcPredictor {
+    cfg: PredictorConfig,
+    counters: Vec<u8>,
+    queries: u32,
+    stats: PredictorStats,
+}
+
+impl PcPredictor {
+    /// Builds a predictor with every counter saturated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.entries` is zero or `threshold > max_counter`.
+    #[must_use]
+    pub fn new(cfg: PredictorConfig) -> PcPredictor {
+        assert!(cfg.entries > 0, "predictor needs at least one entry");
+        assert!(cfg.threshold <= cfg.max_counter, "threshold above ceiling");
+        PcPredictor {
+            counters: vec![cfg.max_counter; cfg.entries],
+            cfg,
+            queries: 0,
+            stats: PredictorStats::default(),
+        }
+    }
+
+    fn index(&self, pc: Pc) -> usize {
+        // Fibonacci hash of the PC.
+        let h = (u64::from(pc.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize % self.counters.len()
+    }
+
+    /// Whether a request from `pc` should be cached (predicted reuse), with
+    /// periodic sampling so bypassing PCs can relearn.
+    pub fn should_cache(&mut self, pc: Pc) -> bool {
+        self.queries = self.queries.wrapping_add(1);
+        let idx = self.index(pc);
+        let predicted = self.counters[idx] >= self.cfg.threshold;
+        let sampled = self.cfg.sample_period > 0 && self.queries.is_multiple_of(self.cfg.sample_period);
+        let cache = predicted || sampled;
+        if cache {
+            self.stats.predict_cache.inc();
+        } else {
+            self.stats.predict_bypass.inc();
+        }
+        cache
+    }
+
+    /// Records that a line inserted by `pc` was reused.
+    pub fn train_reuse(&mut self, pc: Pc) {
+        let idx = self.index(pc);
+        if self.counters[idx] < self.cfg.max_counter {
+            self.counters[idx] += 1;
+        }
+        self.stats.trained_reuse.inc();
+    }
+
+    /// Records that a line inserted by `pc` was evicted without reuse.
+    pub fn train_no_reuse(&mut self, pc: Pc) {
+        let idx = self.index(pc);
+        if self.counters[idx] > 0 {
+            self.counters[idx] -= 1;
+        }
+        self.stats.trained_no_reuse.inc();
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &PredictorStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_sampling() -> PredictorConfig {
+        PredictorConfig {
+            sample_period: 0,
+            ..PredictorConfig::paper()
+        }
+    }
+
+    #[test]
+    fn starts_optimistic() {
+        let mut p = PcPredictor::new(no_sampling());
+        assert!(p.should_cache(Pc(1)));
+        assert!(p.should_cache(Pc(2)));
+    }
+
+    #[test]
+    fn learns_to_bypass_then_recovers() {
+        let mut p = PcPredictor::new(no_sampling());
+        let pc = Pc(5);
+        for _ in 0..10 {
+            p.train_no_reuse(pc);
+        }
+        assert!(!p.should_cache(pc));
+        for _ in 0..10 {
+            p.train_reuse(pc);
+        }
+        assert!(p.should_cache(pc));
+    }
+
+    #[test]
+    fn sampling_periodically_caches_anyway() {
+        let mut p = PcPredictor::new(PredictorConfig {
+            sample_period: 4,
+            ..PredictorConfig::paper()
+        });
+        let pc = Pc(5);
+        for _ in 0..10 {
+            p.train_no_reuse(pc);
+        }
+        let cached = (0..16).filter(|_| p.should_cache(pc)).count();
+        assert_eq!(cached, 4, "one in four sampled");
+    }
+
+    #[test]
+    fn distinct_pcs_train_independently() {
+        let mut p = PcPredictor::new(no_sampling());
+        // Find two PCs that do not collide in the table.
+        let (a, b) = (Pc(1), Pc(2));
+        assert_ne!(p.index(a), p.index(b), "test PCs collide; pick others");
+        for _ in 0..10 {
+            p.train_no_reuse(a);
+        }
+        assert!(!p.should_cache(a));
+        assert!(p.should_cache(b));
+    }
+
+    #[test]
+    fn counters_saturate_both_ends() {
+        let mut p = PcPredictor::new(no_sampling());
+        let pc = Pc(9);
+        for _ in 0..100 {
+            p.train_no_reuse(pc);
+        }
+        assert_eq!(p.counters[p.index(pc)], 0);
+        for _ in 0..100 {
+            p.train_reuse(pc);
+        }
+        assert_eq!(p.counters[p.index(pc)], p.cfg.max_counter);
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let mut p = PcPredictor::new(no_sampling());
+        let pc = Pc(1);
+        let _ = p.should_cache(pc);
+        p.train_reuse(pc);
+        p.train_no_reuse(pc);
+        assert_eq!(p.stats().predict_cache.get(), 1);
+        assert_eq!(p.stats().trained_reuse.get(), 1);
+        assert_eq!(p.stats().trained_no_reuse.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        let _ = PcPredictor::new(PredictorConfig {
+            entries: 0,
+            ..PredictorConfig::paper()
+        });
+    }
+}

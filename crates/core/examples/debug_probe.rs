@@ -1,0 +1,34 @@
+//! Diagnostic probe: run one workload under all three static policies at
+//! the paper scale and dump every counter (used for calibration; see
+//! DESIGN.md "Calibration notes").
+//!
+//! ```text
+//! cargo run --release -p miopt --example debug_probe -- FwBN [quick]
+//! ```
+
+use miopt::{ApuSystem, CachePolicy, PolicyConfig, SystemConfig};
+use miopt_workloads::{by_name, SuiteConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "FwSoft".into());
+    let scale = match std::env::args().nth(2).as_deref() {
+        Some("quick") => SuiteConfig::quick(),
+        _ => SuiteConfig::paper(),
+    };
+    let w = by_name(&scale, &name).unwrap();
+    println!("workload {} launches={} footprint={}KB", w.name, w.total_kernels(), w.footprint/1024);
+    for p in CachePolicy::ALL {
+        let mut sys = ApuSystem::new(SystemConfig::paper_table1(), PolicyConfig::of(p), &w);
+        let m = sys.run_to_completion(20_000_000_000).unwrap();
+        println!("{:9} cyc={:9} dram={:8} (r={} w={}) rowhit={:.3} (cl={} cf={}) l1hit%={:.1} l2hit%={:.1} gpureq={}",
+            p.to_string(), m.cycles, m.dram_accesses(), m.dram.reads.get(), m.dram.writes.get(),
+            m.row_hit_ratio(), m.dram.row_closed.get(), m.dram.row_conflicts.get(), m.l1.load_hit_rate()*100.0, m.l2.load_hit_rate()*100.0, m.gpu.memory_requests());
+        println!("   l2 loads[hit={} merge={} miss={} byp={}] evC={} wb={} fl={} selfinv={} stHit={} stAlloc={} stByp={}",
+            m.l2.load_hits.get(), m.l2.load_merges.get(), m.l2.load_misses.get(), m.l2.load_bypasses.get(),
+            m.l2.evictions_clean.get(), m.l2.writebacks.get(), m.l2.flush_writebacks.get(), m.l2.self_invalidations.get(),
+            m.l2.store_hits.get(), m.l2.store_allocs.get(), m.l2.store_bypasses.get());
+        println!("   l1 stalls[mshr={} set={} merge={} out={} port={}] l2 stalls[mshr={} set={} merge={} out={} port={}]",
+            m.l1.stall_mshr.get(), m.l1.stall_set_busy.get(), m.l1.stall_merge.get(), m.l1.stall_out_queue.get(), m.l1.stall_port.get(),
+            m.l2.stall_mshr.get(), m.l2.stall_set_busy.get(), m.l2.stall_merge.get(), m.l2.stall_out_queue.get(), m.l2.stall_port.get());
+    }
+}

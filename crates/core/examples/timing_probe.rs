@@ -1,0 +1,38 @@
+//! Diagnostic probe: wall-clock simulation throughput for one workload
+//! (reports simulated cycles per second with 10-second progress lines).
+//!
+//! ```text
+//! cargo run --release -p miopt --example timing_probe -- FwAct CacheR
+//! ```
+
+use miopt::{ApuSystem, CachePolicy, PolicyConfig, SystemConfig};
+use miopt_workloads::{by_name, SuiteConfig};
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap();
+    let policy = std::env::args().nth(2).unwrap_or("CacheR".into());
+    let p = match policy.as_str() {
+        "Uncached" => CachePolicy::Uncached,
+        "CacheRW" => CachePolicy::CacheRW,
+        _ => CachePolicy::CacheR,
+    };
+    let w = by_name(&SuiteConfig::paper(), &name).unwrap();
+    eprintln!("{}: {} kernels, {:.1} MB", w.name, w.total_kernels(), w.footprint as f64/1048576.0);
+    let t = Instant::now();
+    let mut sys = ApuSystem::new(SystemConfig::paper_table1(), PolicyConfig::of(p), &w);
+    let mut last = Instant::now();
+    let mut steps = 0u64;
+    while !sys.is_done() {
+        sys.step();
+        steps += 1;
+        if last.elapsed().as_secs() >= 10 {
+            let m = sys.metrics();
+            eprintln!("  t={:5.0}s cycles={} dram={} gpureq={}", t.elapsed().as_secs_f64(), steps, m.dram_accesses(), m.gpu.memory_requests());
+            last = Instant::now();
+        }
+        if t.elapsed().as_secs() > 60 { eprintln!("  TIMEOUT at {steps} cycles"); break; }
+    }
+    let m = sys.metrics();
+    eprintln!("done: {:.1}s wall, {} cycles, {} dram, {:.1} Mcyc/s", t.elapsed().as_secs_f64(), m.cycles, m.dram_accesses(), m.cycles as f64/t.elapsed().as_secs_f64()/1e6);
+}

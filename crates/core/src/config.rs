@@ -1,0 +1,248 @@
+use miopt_cache::{CacheConfig, RowMap};
+use miopt_dram::DramConfig;
+use miopt_engine::util::log2;
+use miopt_gpu::CuConfig;
+
+/// Full-system configuration (the paper's Table 1).
+///
+/// # Examples
+///
+/// ```
+/// use miopt::SystemConfig;
+///
+/// let cfg = SystemConfig::paper_table1();
+/// assert_eq!(cfg.n_cus, 64);
+/// assert_eq!(cfg.l2_slices, 16);
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Compute units (Table 1: 64).
+    pub n_cus: usize,
+    /// Per-CU geometry.
+    pub cu: CuConfig,
+    /// Per-CU L1 data cache.
+    pub l1: CacheConfig,
+    /// L2 slices (address-interleaved; Table 1's 4 MB L2 is 16 x 256 KB).
+    pub l2_slices: usize,
+    /// Per-slice L2 geometry.
+    pub l2: CacheConfig,
+    /// The HBM2 memory system.
+    pub dram: DramConfig,
+    /// GPU clock in Hz (Table 1: 1.6 GHz); converts cycles to seconds for
+    /// the GVOPS / GMR/s figures.
+    pub gpu_clock_hz: f64,
+    /// CU → L1 request latency (cycles).
+    pub lat_cu_l1: u64,
+    /// L1 → CU response latency.
+    pub lat_l1_resp: u64,
+    /// L1 → crossbar → L2 request latency.
+    pub lat_l1_l2: u64,
+    /// L2 → crossbar → L1 response latency.
+    pub lat_l2_resp: u64,
+    /// L2 → DRAM request latency.
+    pub lat_l2_dram: u64,
+    /// DRAM → L2 response latency.
+    pub lat_dram_resp: u64,
+    /// Queue capacities between stages.
+    pub queue_capacity: usize,
+    /// Messages per output port per cycle through the crossbars.
+    pub xbar_per_output: u32,
+    /// Cycles of host work between kernel launches (driver + dispatch).
+    pub launch_overhead: u64,
+}
+
+impl SystemConfig {
+    /// The paper's Table 1 system: 64 CUs at 1.6 GHz, 16 KB 16-way L1 per
+    /// CU, 4 MB 16-way shared L2, HBM2 at 512 GB/s, with uncontested
+    /// L1/L2/memory latencies of roughly 50/125/225 cycles.
+    #[must_use]
+    pub fn paper_table1() -> SystemConfig {
+        SystemConfig {
+            n_cus: 64,
+            cu: CuConfig::paper(),
+            l1: CacheConfig::l1_paper(),
+            l2_slices: 16,
+            l2: CacheConfig::l2_slice_paper(),
+            dram: DramConfig::hbm2_paper(),
+            gpu_clock_hz: 1.6e9,
+            lat_cu_l1: 24,
+            lat_l1_resp: 24,
+            lat_l1_l2: 36,
+            lat_l2_resp: 36,
+            lat_l2_dram: 25,
+            lat_dram_resp: 25,
+            queue_capacity: 32,
+            xbar_per_output: 4,
+            launch_overhead: 3000,
+        }
+    }
+
+    /// A small system for fast unit and integration tests: 4 CUs, 2 L2
+    /// slices, tiny DRAM, short latencies.
+    #[must_use]
+    pub fn small_test() -> SystemConfig {
+        SystemConfig {
+            n_cus: 4,
+            cu: CuConfig {
+                simds: 2,
+                wf_slots_per_simd: 4,
+                mem_issue_per_cycle: 1,
+            },
+            l1: CacheConfig {
+                sets: 8,
+                ways: 4,
+                mshr_entries: 8,
+                mshr_merge_cap: 4,
+                port_width: 1,
+                dbi_rows: 0,
+                flush_width: 2,
+                index_low_bits: 31,
+                index_skip_bits: 0,
+            },
+            l2_slices: 2,
+            l2: CacheConfig {
+                sets: 256,
+                ways: 8,
+                mshr_entries: 16,
+                mshr_merge_cap: 8,
+                port_width: 1,
+                dbi_rows: 16,
+                flush_width: 2,
+                // tiny DRAM: 8-line rows (3 column bits), 2 slices (1 bit).
+                index_low_bits: 3,
+                index_skip_bits: 1,
+            },
+            dram: DramConfig::tiny_test(),
+            gpu_clock_hz: 1.6e9,
+            lat_cu_l1: 4,
+            lat_l1_resp: 4,
+            lat_l1_l2: 4,
+            lat_l2_resp: 4,
+            lat_l2_dram: 2,
+            lat_dram_resp: 2,
+            queue_capacity: 16,
+            xbar_per_output: 2,
+            launch_overhead: 100,
+        }
+    }
+
+    /// The [`RowMap`] matching this configuration's DRAM address mapping
+    /// (used by the L2 dirty-block index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DRAM geometry is not power-of-two sized.
+    #[must_use]
+    pub fn row_map(&self) -> RowMap {
+        // The DRAM layout is | column | channel | bank | row |, so
+        // stripping the column bits identifies the row uniquely.
+        RowMap::new(0, log2(self.dram.lines_per_row))
+    }
+
+    /// Which L2 slice a line belongs to: row-aligned so that a DRAM row's
+    /// lines live in one slice (the dirty-block index tracks whole rows)
+    /// and each slice fronts one DRAM channel.
+    #[must_use]
+    pub fn l2_slice_of(&self, line: miopt_engine::LineAddr) -> usize {
+        ((line.0 >> log2(self.dram.lines_per_row)) as usize) % self.l2_slices
+    }
+
+    /// Validates all component configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_cus == 0 {
+            return Err("n_cus must be nonzero".to_string());
+        }
+        if self.l2_slices == 0 {
+            return Err("l2_slices must be nonzero".to_string());
+        }
+        self.l1.validate()?;
+        self.l2.validate()?;
+        self.dram.validate()?;
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be nonzero".to_string());
+        }
+        if self.gpu_clock_hz <= 0.0 {
+            return Err("gpu_clock_hz must be positive".to_string());
+        }
+        Ok(())
+    }
+
+    /// Seconds represented by `cycles` at this configuration's clock.
+    #[must_use]
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.gpu_clock_hz
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> SystemConfig {
+        SystemConfig::paper_table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miopt_engine::LineAddr;
+
+    #[test]
+    fn paper_config_matches_table_1() {
+        let c = SystemConfig::paper_table1();
+        c.validate().unwrap();
+        assert_eq!(c.n_cus, 64);
+        assert_eq!(c.cu.simds, 4);
+        assert_eq!(c.cu.wf_slots_per_simd, 10);
+        assert_eq!(c.l1.bytes(), 16 * 1024);
+        assert_eq!(c.l2.bytes() * c.l2_slices as u64, 4 * 1024 * 1024);
+        assert_eq!(c.dram.channels, 16);
+        assert!((c.gpu_clock_hz - 1.6e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        SystemConfig::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn slice_routing_covers_all_slices() {
+        let c = SystemConfig::paper_table1();
+        let mut seen = vec![false; c.l2_slices];
+        for l in 0..(c.dram.lines_per_row * 16) {
+            seen[c.l2_slice_of(LineAddr(l))] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn seconds_uses_the_clock() {
+        let c = SystemConfig::paper_table1();
+        assert!((c.seconds(1_600_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_map_is_consistent_with_dram() {
+        let c = SystemConfig::paper_table1();
+        let map = c.row_map();
+        let dmap = miopt_dram::AddressMap::new(&c.dram);
+        // Two lines in the same DRAM row must share a row key, and
+        // different rows must differ.
+        for (a, b, same) in [
+            (0u64, 1, true),   // next column, same row
+            (0, 31, true),     // last column of the same row
+            (0, 32, false),    // next channel
+            (0, 512, false),   // next bank
+        ] {
+            let la = dmap.locate(LineAddr(a));
+            let lb = dmap.locate(LineAddr(b));
+            let keys_same = map.key(LineAddr(a)) == map.key(LineAddr(b));
+            let locs_same = (la.channel, la.bank, la.row) == (lb.channel, lb.bank, lb.row);
+            assert_eq!(keys_same, same, "{a} vs {b}");
+            assert_eq!(locs_same, same, "{a} vs {b} (dram)");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+use crate::SystemConfig;
+use miopt_cache::CacheStats;
+use miopt_dram::DramStats;
+use miopt_gpu::GpuStats;
+
+/// Everything a single simulation run reports — the raw material for every
+/// figure in the paper.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Execution time in GPU cycles (Figures 6 and 10 use this,
+    /// normalized).
+    pub cycles: u64,
+    /// GPU-side counters (VALU ops, coalesced requests).
+    pub gpu: GpuStats,
+    /// DRAM counters (Figures 7, 9, 11, 13).
+    pub dram: DramStats,
+    /// Summed L1 statistics across CUs.
+    pub l1: CacheStats,
+    /// Summed L2 statistics across slices.
+    pub l2: CacheStats,
+    /// GPU clock, for rate metrics.
+    gpu_clock_hz: f64,
+}
+
+impl Metrics {
+    pub(crate) fn new(
+        cfg: &SystemConfig,
+        cycles: u64,
+        gpu: GpuStats,
+        dram: DramStats,
+        l1: CacheStats,
+        l2: CacheStats,
+    ) -> Metrics {
+        Metrics {
+            cycles,
+            gpu,
+            dram,
+            l1,
+            l2,
+            gpu_clock_hz: cfg.gpu_clock_hz,
+        }
+    }
+
+    /// Wall-clock seconds of the simulated execution.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / self.gpu_clock_hz
+    }
+
+    /// Giga vector operations per second (Figure 4).
+    #[must_use]
+    pub fn gvops(&self) -> f64 {
+        self.gpu.valu_lane_ops as f64 / self.seconds() / 1e9
+    }
+
+    /// Giga GPU memory requests per second issued to the memory system
+    /// (Figure 5).
+    #[must_use]
+    pub fn gmrs(&self) -> f64 {
+        self.gpu.memory_requests() as f64 / self.seconds() / 1e9
+    }
+
+    /// Memory accesses that reached the DRAM controller (Figures 7
+    /// and 11 normalize this to the Uncached run).
+    #[must_use]
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram.accesses()
+    }
+
+    /// DRAM row-buffer hit ratio over loads and stores (Figures 9
+    /// and 13).
+    #[must_use]
+    pub fn row_hit_ratio(&self) -> f64 {
+        self.dram.row_hits.value()
+    }
+
+    /// Total cache stall cycles (L1 + L2).
+    #[must_use]
+    pub fn cache_stalls(&self) -> u64 {
+        self.l1.stall_cycles() + self.l2.stall_cycles()
+    }
+
+    /// Cache stalls per GPU memory request (Figures 8 and 12,
+    /// log scale).
+    #[must_use]
+    pub fn stalls_per_request(&self) -> f64 {
+        let reqs = self.gpu.memory_requests();
+        if reqs == 0 {
+            0.0
+        } else {
+            self.cache_stalls() as f64 / reqs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(cycles: u64) -> Metrics {
+        let gpu = GpuStats {
+            valu_lane_ops: 1_600_000,
+            line_loads: 1_000,
+            line_stores: 600,
+            ..GpuStats::default()
+        };
+        let mut l1 = CacheStats::default();
+        l1.stall_mshr.add(100);
+        let mut l2 = CacheStats::default();
+        l2.stall_set_busy.add(60);
+        Metrics::new(
+            &SystemConfig::paper_table1(),
+            cycles,
+            gpu,
+            DramStats::default(),
+            l1,
+            l2,
+        )
+    }
+
+    #[test]
+    fn rates_are_per_second() {
+        let m = metrics(1_600_000); // 1 ms at 1.6 GHz
+        assert!((m.seconds() - 1e-3).abs() < 1e-12);
+        assert!((m.gvops() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stalls_per_request_sums_levels() {
+        let m = metrics(100);
+        assert_eq!(m.cache_stalls(), 160);
+        assert!((m.stalls_per_request() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_requests_gives_zero_stall_rate() {
+        let m = Metrics::new(
+            &SystemConfig::paper_table1(),
+            10,
+            GpuStats::default(),
+            DramStats::default(),
+            CacheStats::default(),
+            CacheStats::default(),
+        );
+        assert_eq!(m.stalls_per_request(), 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Figure-level experiment sweeps.
+//!
+//! Each function here regenerates the data behind one or more of the
+//! paper's figures; the `miopt-bench` crate formats them into the printed
+//! tables and Criterion benches.
+
+use crate::{optimization_ladder, ApuSystem, CachePolicy, Metrics, PolicyConfig, SystemConfig};
+use miopt_workloads::Workload;
+
+/// Cycle budget for a single run before declaring a hang.
+const MAX_CYCLES: u64 = 20_000_000_000;
+
+/// The result of one (workload, policy) simulation.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// The policy configuration label (e.g. `CacheRW-PCby`).
+    pub policy: PolicyConfig,
+    /// All collected statistics.
+    pub metrics: Metrics,
+}
+
+/// Runs one workload under one policy configuration.
+///
+/// # Panics
+///
+/// Panics if the simulation exceeds its internal cycle budget, which
+/// indicates a configuration error rather than a slow run.
+#[must_use]
+pub fn run_one(cfg: &SystemConfig, workload: &Workload, policy: PolicyConfig) -> RunResult {
+    let mut sys = ApuSystem::new(cfg.clone(), policy, workload);
+    let metrics = sys
+        .run_to_completion(MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{}/{policy}: {e}", workload.name));
+    RunResult {
+        workload: workload.name.clone(),
+        policy,
+        metrics,
+    }
+}
+
+/// The Figure 6–9 sweep: every workload under each static policy
+/// (`Uncached`, `CacheR`, `CacheRW`), in that order per workload.
+#[must_use]
+pub fn run_static_sweep(cfg: &SystemConfig, workloads: &[Workload]) -> Vec<Vec<RunResult>> {
+    workloads
+        .iter()
+        .map(|w| {
+            CachePolicy::ALL
+                .iter()
+                .map(|&p| run_one(cfg, w, PolicyConfig::of(p)))
+                .collect()
+        })
+        .collect()
+}
+
+/// One workload's Figure 10–13 data: the three static policy runs (from
+/// which the paper derives the static best and worst by execution time)
+/// plus the three ladder configurations.
+#[derive(Debug, Clone)]
+pub struct LadderResult {
+    /// Workload name.
+    pub workload: String,
+    /// The three static runs (Uncached, CacheR, CacheRW), in that order.
+    pub statics: Vec<RunResult>,
+    /// `CacheRW-AB`, `CacheRW-CR`, `CacheRW-PCby`, in order.
+    pub ladder: Vec<RunResult>,
+}
+
+impl LadderResult {
+    /// The fastest static configuration (Figure 10's `StaticBest`).
+    #[must_use]
+    pub fn static_best(&self) -> &RunResult {
+        self.statics
+            .iter()
+            .min_by_key(|r| r.metrics.cycles)
+            .expect("statics nonempty")
+    }
+
+    /// The slowest static configuration (Figure 10's `StaticWorst`).
+    #[must_use]
+    pub fn static_worst(&self) -> &RunResult {
+        self.statics
+            .iter()
+            .max_by_key(|r| r.metrics.cycles)
+            .expect("statics nonempty")
+    }
+
+    /// The `Uncached` static run (the Figures 7/11 normalization base).
+    #[must_use]
+    pub fn uncached(&self) -> &RunResult {
+        self.statics
+            .iter()
+            .find(|r| r.policy.policy == CachePolicy::Uncached)
+            .expect("statics include Uncached")
+    }
+}
+
+/// Runs the three ladder configurations for one workload, reusing already
+/// computed static results.
+#[must_use]
+pub fn run_ladder_with_statics(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    statics: Vec<RunResult>,
+) -> LadderResult {
+    assert_eq!(statics.len(), 3, "expect the three static policy runs");
+    let ladder = optimization_ladder()
+        .into_iter()
+        .map(|p| run_one(cfg, workload, p))
+        .collect();
+    LadderResult {
+        workload: workload.name.clone(),
+        statics,
+        ladder,
+    }
+}
+
+/// Runs the optimization ladder for each workload, deriving the static
+/// best/worst from a fresh static sweep.
+#[must_use]
+pub fn run_optimization_ladder(cfg: &SystemConfig, workloads: &[Workload]) -> Vec<LadderResult> {
+    workloads
+        .iter()
+        .map(|w| {
+            let statics: Vec<RunResult> = CachePolicy::ALL
+                .iter()
+                .map(|&p| run_one(cfg, w, PolicyConfig::of(p)))
+                .collect();
+            run_ladder_with_statics(cfg, w, statics)
+        })
+        .collect()
+}
+
+/// Classifies a workload from its measured static-sweep results using the
+/// paper's Figure 6 rule: <5% spread = insensitive; caching faster =
+/// reuse sensitive; caching slower = throughput sensitive.
+#[must_use]
+pub fn classify(static_runs: &[RunResult]) -> miopt_workloads::Category {
+    let unc = static_runs
+        .iter()
+        .find(|r| r.policy.policy == CachePolicy::Uncached)
+        .expect("sweep includes Uncached");
+    let best_cached = static_runs
+        .iter()
+        .filter(|r| r.policy.policy != CachePolicy::Uncached)
+        .min_by_key(|r| r.metrics.cycles)
+        .expect("sweep includes cached policies");
+    let worst_cached = static_runs
+        .iter()
+        .filter(|r| r.policy.policy != CachePolicy::Uncached)
+        .max_by_key(|r| r.metrics.cycles)
+        .expect("sweep includes cached policies");
+    let base = unc.metrics.cycles as f64;
+    let best = best_cached.metrics.cycles as f64 / base;
+    let worst = worst_cached.metrics.cycles as f64 / base;
+    if best < 0.95 {
+        miopt_workloads::Category::ReuseSensitive
+    } else if worst > 1.05 {
+        miopt_workloads::Category::ThroughputSensitive
+    } else {
+        miopt_workloads::Category::Insensitive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miopt_workloads::{by_name, SuiteConfig};
+
+    #[test]
+    fn static_sweep_produces_three_runs_per_workload() {
+        let cfg = SystemConfig::small_test();
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let sweep = run_static_sweep(&cfg, &[w]);
+        assert_eq!(sweep.len(), 1);
+        assert_eq!(sweep[0].len(), 3);
+        let labels: Vec<String> = sweep[0].iter().map(|r| r.policy.label()).collect();
+        assert_eq!(labels, vec!["Uncached", "CacheR", "CacheRW"]);
+    }
+
+    #[test]
+    fn ladder_orders_best_before_worst() {
+        let cfg = SystemConfig::small_test();
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let ladder = run_optimization_ladder(&cfg, &[w]);
+        assert_eq!(ladder.len(), 1);
+        let l = &ladder[0];
+        assert!(l.static_best().metrics.cycles <= l.static_worst().metrics.cycles);
+        assert_eq!(l.uncached().policy.policy, CachePolicy::Uncached);
+        assert_eq!(l.ladder.len(), 3);
+        assert_eq!(l.ladder[2].policy.label(), "CacheRW-PCby");
+    }
+
+    #[test]
+    fn classify_follows_the_5_percent_rule() {
+        let cfg = SystemConfig::small_test();
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let sweep = run_static_sweep(&cfg, &[w]);
+        // FwSoft re-reads a tiny array: must not classify as throughput
+        // sensitive.
+        let c = classify(&sweep[0]);
+        assert_ne!(c, miopt_workloads::Category::ThroughputSensitive);
+    }
+}

@@ -1,0 +1,482 @@
+use crate::{Metrics, PolicyConfig, SystemConfig};
+use miopt_cache::{CacheStats, CacheUnit};
+use miopt_dram::Dram;
+use miopt_engine::{Cycle, MemReq, MemResp, TimedQueue};
+use miopt_gpu::{Gpu, KernelDesc};
+use miopt_noc::Crossbar;
+use miopt_workloads::Workload;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Returned by [`ApuSystem::run_to_completion`] when the cycle budget is
+/// exhausted — almost always a configuration error (e.g. a queue sized
+/// below the MSHR merge cap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimTimeoutError {
+    /// The budget that was exceeded.
+    pub max_cycles: u64,
+}
+
+impl fmt::Display for SimTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation exceeded {} cycles", self.max_cycles)
+    }
+}
+
+impl Error for SimTimeoutError {}
+
+/// Where the system is in the kernel-boundary protocol (paper Section
+/// III): launch → run → drain → release flush → drain → self-invalidate →
+/// next launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Host-side launch overhead until the given cycle.
+    Launching { until: Cycle },
+    /// Wavefronts executing.
+    Running,
+    /// Wavefronts done; draining in-flight memory operations.
+    DrainKernel,
+    /// Writing back all L2 dirty data (release at a system-scope
+    /// synchronization point).
+    Flushing,
+    /// Draining the flush writebacks to DRAM.
+    DrainFlush,
+    /// All launches complete.
+    Finished,
+}
+
+/// The simulated APU: the GPU of [`miopt_gpu`], per-CU L1s, the sliced
+/// shared L2, request/response crossbars, and HBM2 DRAM, driven one cycle
+/// at a time.
+///
+/// # Examples
+///
+/// ```
+/// use miopt::{ApuSystem, CachePolicy, PolicyConfig, SystemConfig};
+/// use miopt_workloads::{by_name, SuiteConfig};
+///
+/// let workload = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+/// let mut sys = ApuSystem::new(
+///     SystemConfig::small_test(),
+///     PolicyConfig::of(CachePolicy::CacheR),
+///     &workload,
+/// );
+/// let metrics = sys.run_to_completion(50_000_000).unwrap();
+/// assert!(metrics.cycles > 0);
+/// ```
+#[derive(Debug)]
+pub struct ApuSystem {
+    cfg: SystemConfig,
+    gpu: Gpu,
+    l1_in: Vec<TimedQueue<MemReq>>,
+    l1s: Vec<CacheUnit>,
+    l1_down: Vec<TimedQueue<MemReq>>,
+    req_xbar: Crossbar,
+    l2_in: Vec<TimedQueue<MemReq>>,
+    l2s: Vec<CacheUnit>,
+    l2_down: Vec<TimedQueue<MemReq>>,
+    dram: Dram,
+    dram_resp: Vec<TimedQueue<MemResp>>,
+    resp_holdover: VecDeque<MemResp>,
+    l2_up: Vec<TimedQueue<MemResp>>,
+    resp_xbar: Crossbar,
+    l1_fill_in: Vec<TimedQueue<MemResp>>,
+    l1_up: Vec<TimedQueue<MemResp>>,
+    now: Cycle,
+    phase: Phase,
+    launches: VecDeque<(Arc<KernelDesc>, u32)>,
+}
+
+impl ApuSystem {
+    /// Builds a system ready to execute `workload` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or queue capacities are
+    /// smaller than the MSHR merge caps (which could deadlock fills).
+    #[must_use]
+    pub fn new(cfg: SystemConfig, policy: PolicyConfig, workload: &Workload) -> ApuSystem {
+        cfg.validate().expect("invalid system config");
+        assert!(
+            cfg.queue_capacity > cfg.l1.mshr_merge_cap && cfg.queue_capacity > cfg.l2.mshr_merge_cap,
+            "queue capacity must exceed MSHR merge caps"
+        );
+        let n = cfg.n_cus;
+        let s = cfg.l2_slices;
+        let row_map = cfg.row_map();
+        let l1_policy = policy.l1_policy();
+        let l2_policy = policy.l2_policy(row_map);
+        let mk_req = |cap: usize, lat: u64| TimedQueue::<MemReq>::new(cap, lat);
+        let mk_resp = |cap: usize, lat: u64| TimedQueue::<MemResp>::new(cap, lat);
+        let cap = cfg.queue_capacity;
+
+        let launches = workload
+            .launches
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (Arc::clone(k), i as u32))
+            .collect();
+
+        ApuSystem {
+            gpu: Gpu::new(n, cfg.cu.clone()),
+            l1_in: (0..n).map(|_| mk_req(cap, cfg.lat_cu_l1)).collect(),
+            l1s: (0..n)
+                .map(|i| CacheUnit::new(cfg.l1.clone(), l1_policy.clone(), i as u32))
+                .collect(),
+            l1_down: (0..n).map(|_| mk_req(cap, cfg.lat_l1_l2 / 2)).collect(),
+            req_xbar: Crossbar::new(n, s, cfg.xbar_per_output),
+            l2_in: (0..s).map(|_| mk_req(cap, cfg.lat_l1_l2 - cfg.lat_l1_l2 / 2)).collect(),
+            l2s: (0..s)
+                .map(|i| CacheUnit::new(cfg.l2.clone(), l2_policy.clone(), 1000 + i as u32))
+                .collect(),
+            l2_down: (0..s).map(|_| mk_req(cap, cfg.lat_l2_dram)).collect(),
+            dram: Dram::new(cfg.dram.clone()),
+            dram_resp: (0..s).map(|_| mk_resp(cap, cfg.lat_dram_resp)).collect(),
+            resp_holdover: VecDeque::new(),
+            l2_up: (0..s).map(|_| mk_resp(cap, cfg.lat_l2_resp / 2)).collect(),
+            resp_xbar: Crossbar::new(s, n, cfg.xbar_per_output),
+            l1_fill_in: (0..n)
+                .map(|_| mk_resp(cap, cfg.lat_l2_resp - cfg.lat_l2_resp / 2))
+                .collect(),
+            l1_up: (0..n).map(|_| mk_resp(cap, cfg.lat_l1_resp)).collect(),
+            now: Cycle::ZERO,
+            phase: Phase::Launching {
+                until: Cycle(cfg.launch_overhead),
+            },
+            launches,
+            cfg,
+        }
+    }
+
+    /// The current simulated cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Whether every launch has completed (including its release flush).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Finished
+    }
+
+    /// Runs until done.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimTimeoutError`] if the system has not finished within
+    /// `max_cycles`.
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> Result<Metrics, SimTimeoutError> {
+        while !self.is_done() {
+            if self.now.0 >= max_cycles {
+                return Err(SimTimeoutError { max_cycles });
+            }
+            self.step();
+        }
+        Ok(self.metrics())
+    }
+
+    /// A snapshot of all statistics at the current cycle.
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        let mut l1 = CacheStats::default();
+        for c in &self.l1s {
+            l1.merge(c.stats());
+        }
+        let mut l2 = CacheStats::default();
+        for c in &self.l2s {
+            l2.merge(c.stats());
+        }
+        Metrics::new(
+            &self.cfg,
+            self.now.0,
+            self.gpu.stats(),
+            self.dram.stats().clone(),
+            l1,
+            l2,
+        )
+    }
+
+    /// Advances the system one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        self.tick_memory(now);
+        self.advance_phase(now);
+        self.now += 1;
+    }
+
+    /// Whether any request or response is anywhere in the hierarchy.
+    fn hierarchy_busy(&self) -> bool {
+        self.l1_in.iter().any(|q| !q.is_empty())
+            || self.l1_down.iter().any(|q| !q.is_empty())
+            || self.l2_in.iter().any(|q| !q.is_empty())
+            || self.l2_down.iter().any(|q| !q.is_empty())
+            || self.dram_resp.iter().any(|q| !q.is_empty())
+            || !self.resp_holdover.is_empty()
+            || self.l2_up.iter().any(|q| !q.is_empty())
+            || self.l1_fill_in.iter().any(|q| !q.is_empty())
+            || self.l1_up.iter().any(|q| !q.is_empty())
+            || self.l1s.iter().any(CacheUnit::busy)
+            || self.l2s.iter().any(CacheUnit::busy)
+            || self.dram.busy()
+    }
+
+    fn advance_phase(&mut self, now: Cycle) {
+        match self.phase {
+            Phase::Launching { until } => {
+                if now >= until {
+                    match self.launches.pop_front() {
+                        Some((desc, seq)) => {
+                            self.gpu.start_kernel(desc, seq);
+                            self.phase = Phase::Running;
+                        }
+                        None => self.phase = Phase::Finished,
+                    }
+                }
+            }
+            Phase::Running => {
+                self.gpu.tick(now, &mut self.l1_in);
+                if self.gpu.kernel_done() {
+                    self.phase = Phase::DrainKernel;
+                }
+            }
+            Phase::DrainKernel => {
+                if !self.hierarchy_busy() {
+                    let dirty = self.l2s.iter().any(|c| !c.policy().cache_stores);
+                    let _ = dirty;
+                    for c in &mut self.l2s {
+                        c.start_flush();
+                    }
+                    self.phase = Phase::Flushing;
+                }
+            }
+            Phase::Flushing => {
+                let mut done = true;
+                for (c, down) in self.l2s.iter_mut().zip(self.l2_down.iter_mut()) {
+                    c.flush_tick(now, down);
+                    done &= c.flush_done();
+                }
+                if done {
+                    self.phase = Phase::DrainFlush;
+                }
+            }
+            Phase::DrainFlush => {
+                if !self.hierarchy_busy() {
+                    // Acquire for the next kernel: flash self-invalidation
+                    // of all valid GPU cache data.
+                    for c in &mut self.l1s {
+                        c.self_invalidate();
+                    }
+                    for c in &mut self.l2s {
+                        c.self_invalidate();
+                    }
+                    self.phase = if self.launches.is_empty() {
+                        Phase::Finished
+                    } else {
+                        Phase::Launching {
+                            until: now + self.cfg.launch_overhead,
+                        }
+                    };
+                }
+            }
+            Phase::Finished => {}
+        }
+    }
+
+    /// One cycle of the memory hierarchy, ticked from DRAM upward.
+    fn tick_memory(&mut self, now: Cycle) {
+        // 1. DRAM scheduling.
+        self.dram.tick(now);
+
+        // 2. DRAM responses toward their L2 slice (holdover first).
+        while let Some(resp) = self.resp_holdover.pop_front() {
+            let slice = self.cfg.l2_slice_of(resp.line);
+            if self.dram_resp[slice].can_push() {
+                self.dram_resp[slice]
+                    .push(now, resp)
+                    .unwrap_or_else(|_| unreachable!("checked can_push"));
+            } else {
+                self.resp_holdover.push_front(resp);
+                break;
+            }
+        }
+        while self.resp_holdover.len() < 4 {
+            match self.dram.pop_response(now) {
+                Some(resp) => {
+                    let slice = self.cfg.l2_slice_of(resp.line);
+                    if self.dram_resp[slice].can_push() {
+                        self.dram_resp[slice]
+                            .push(now, resp)
+                            .unwrap_or_else(|_| unreachable!("checked can_push"));
+                    } else {
+                        self.resp_holdover.push_back(resp);
+                    }
+                }
+                None => break,
+            }
+        }
+
+        // 3. L2 fills from DRAM responses.
+        for s in 0..self.l2s.len() {
+            for _ in 0..2 {
+                let Some(&resp) = self.dram_resp[s].ready_front(now) else {
+                    break;
+                };
+                match self.l2s[s].fill(now, resp, &mut self.l2_up[s]) {
+                    Ok(()) => {
+                        self.dram_resp[s].pop_ready(now);
+                    }
+                    Err(_) => break, // response queue full; retry next cycle
+                }
+            }
+        }
+
+        // 4. L2 accesses (with miss-replay, up to the slice's port width).
+        for s in 0..self.l2s.len() {
+            let (slice, l2_in, l2_down, l2_up) = (
+                &mut self.l2s[s],
+                &mut self.l2_in[s],
+                &mut self.l2_down[s],
+                &mut self.l2_up[s],
+            );
+            slice.service(now, l2_in, l2_down, l2_up);
+        }
+
+        // 5. L2 -> DRAM.
+        for q in &mut self.l2_down {
+            while let Some(req) = q.ready_front(now) {
+                if self.dram.can_accept(req) {
+                    let req = q.pop_ready(now).expect("head ready");
+                    self.dram.push(now, req).unwrap_or_else(|_| unreachable!("checked can_accept"));
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // 6. Response crossbar (L2 -> L1s).
+        self.resp_xbar.tick(now, &mut self.l2_up, &mut self.l1_fill_in, |r| {
+            match r.origin {
+                miopt_engine::Origin::Wavefront { cu, .. } => cu as usize,
+                miopt_engine::Origin::Internal => 0,
+            }
+        });
+
+        // 7. L1 fills.
+        for i in 0..self.l1s.len() {
+            for _ in 0..2 {
+                let Some(&resp) = self.l1_fill_in[i].ready_front(now) else {
+                    break;
+                };
+                match self.l1s[i].fill(now, resp, &mut self.l1_up[i]) {
+                    Ok(()) => {
+                        self.l1_fill_in[i].pop_ready(now);
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // 8. L1 accesses (with miss-replay).
+        for i in 0..self.l1s.len() {
+            self.l1s[i].service(
+                now,
+                &mut self.l1_in[i],
+                &mut self.l1_down[i],
+                &mut self.l1_up[i],
+            );
+        }
+
+        // 9. Request crossbar (L1s -> L2 slices).
+        let cfg = &self.cfg;
+        self.req_xbar.tick(now, &mut self.l1_down, &mut self.l2_in, |r| {
+            cfg.l2_slice_of(r.line)
+        });
+
+        // 10. Responses to the GPU.
+        for i in 0..self.l1_up.len() {
+            while let Some(resp) = self.l1_up[i].pop_ready(now) {
+                self.gpu.on_response(resp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CachePolicy;
+    use miopt_workloads::{by_name, SuiteConfig};
+
+    fn run(policy: CachePolicy, name: &str) -> Metrics {
+        let w = by_name(&SuiteConfig::quick(), name).unwrap();
+        let mut sys = ApuSystem::new(SystemConfig::small_test(), PolicyConfig::of(policy), &w);
+        sys.run_to_completion(200_000_000).expect("run finished")
+    }
+
+    #[test]
+    fn softmax_runs_under_every_policy() {
+        for p in CachePolicy::ALL {
+            let m = run(p, "FwSoft");
+            assert!(m.cycles > 0, "{p}");
+            assert!(m.gpu.retired_wavefronts > 0, "{p}");
+            assert!(m.dram_accesses() > 0, "{p}");
+        }
+    }
+
+    #[test]
+    fn caching_reduces_dram_traffic_for_rereads() {
+        // FwSoft re-reads its tiny input: cached runs must hit DRAM less.
+        let unc = run(CachePolicy::Uncached, "FwSoft");
+        let r = run(CachePolicy::CacheR, "FwSoft");
+        assert!(
+            r.dram_accesses() < unc.dram_accesses(),
+            "cached {} vs uncached {}",
+            r.dram_accesses(),
+            unc.dram_accesses()
+        );
+    }
+
+    #[test]
+    fn uncached_counts_no_cache_stalls() {
+        let m = run(CachePolicy::Uncached, "FwSoft");
+        assert_eq!(m.cache_stalls(), 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(CachePolicy::CacheRW, "FwSoft");
+        let b = run(CachePolicy::CacheRW, "FwSoft");
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.dram_accesses(), b.dram_accesses());
+        assert_eq!(a.cache_stalls(), b.cache_stalls());
+    }
+
+    #[test]
+    fn multi_kernel_workload_flushes_between_kernels() {
+        let w = by_name(&SuiteConfig::quick(), "FwLSTM").unwrap();
+        let mut sys = ApuSystem::new(
+            SystemConfig::small_test(),
+            PolicyConfig::of(CachePolicy::CacheRW),
+            &w,
+        );
+        let m = sys.run_to_completion(2_000_000_000).expect("finished");
+        // 150 launches, each at least the launch overhead apart.
+        assert!(m.cycles > 150 * SystemConfig::small_test().launch_overhead);
+        assert!(m.l2.self_invalidations.get() > 0 || m.l2.flush_writebacks.get() > 0);
+    }
+
+    #[test]
+    fn cache_rw_coalesces_store_revisits() {
+        let unc = run(CachePolicy::Uncached, "BwBN");
+        let rw = run(CachePolicy::CacheRW, "BwBN");
+        assert!(
+            rw.dram.writes.get() < unc.dram.writes.get(),
+            "rw {} vs unc {}",
+            rw.dram.writes.get(),
+            unc.dram.writes.get()
+        );
+    }
+}

@@ -1,0 +1,348 @@
+use crate::bank::{Bank, RowOutcome};
+use crate::map::DramLoc;
+use crate::{DramConfig, DramStats};
+use miopt_engine::{Cycle, MemReq, MemResp};
+use std::collections::VecDeque;
+
+/// A queued request with its decoded coordinates and arrival time.
+#[derive(Debug, Clone)]
+struct Entry {
+    req: MemReq,
+    loc: DramLoc,
+    arrived: Cycle,
+    /// Whether the row-buffer outcome was already recorded (at prep time
+    /// for misses/conflicts).
+    counted: bool,
+}
+
+/// One HBM2 channel: a request queue, an FR-FCFS scheduler, a shared data
+/// bus, and a set of banks.
+#[derive(Debug)]
+pub(crate) struct Channel {
+    cfg: DramConfig,
+    queue: VecDeque<Entry>,
+    banks: Vec<Bank>,
+    bus_free_at: Cycle,
+    last_was_write: bool,
+    responses: VecDeque<(Cycle, MemResp)>,
+    in_service: usize,
+}
+
+impl Channel {
+    pub(crate) fn new(cfg: DramConfig) -> Channel {
+        let banks = (0..cfg.banks).map(|_| Bank::new()).collect();
+        Channel {
+            cfg,
+            queue: VecDeque::new(),
+            banks,
+            bus_free_at: Cycle::ZERO,
+            last_was_write: false,
+            responses: VecDeque::new(),
+            in_service: 0,
+        }
+    }
+
+    pub(crate) fn can_accept(&self) -> bool {
+        self.queue.len() < self.cfg.queue_capacity
+    }
+
+    pub(crate) fn push(&mut self, now: Cycle, req: MemReq, loc: DramLoc) -> Result<(), MemReq> {
+        if !self.can_accept() {
+            return Err(req);
+        }
+        self.queue.push_back(Entry {
+            req,
+            loc,
+            arrived: now,
+            counted: false,
+        });
+        Ok(())
+    }
+
+    pub(crate) fn busy(&self) -> bool {
+        !self.queue.is_empty() || !self.responses.is_empty() || self.in_service > 0
+    }
+
+    /// The FR-FCFS scheduling window, shrunk to the head alone once the
+    /// head exceeds the starvation cap.
+    fn window(&self, now: Cycle) -> usize {
+        match self.queue.front() {
+            Some(head) if now.since(head.arrived) > self.cfg.starvation_cap => 1,
+            _ => self.cfg.frfcfs_window.min(self.queue.len()),
+        }
+    }
+
+    /// One cycle: *serve* at most one ready row hit over the data bus, and
+    /// *prep* (precharge/activate) at most one bank for a queued miss.
+    /// Splitting serve from prep lets transfers from open rows proceed
+    /// while other banks activate — the overlap a real controller relies
+    /// on for bandwidth under row conflicts.
+    pub(crate) fn tick(&mut self, now: Cycle, stats: &mut DramStats) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let window = self.window(now);
+
+        // Serve phase: oldest windowed request whose row is open and
+        // ready, if the bus is free.
+        if self.bus_free_at <= now {
+            let serve = (0..window).find(|&i| {
+                let e = &self.queue[i];
+                self.banks[e.loc.bank as usize].is_ready_hit(e.loc.row, now)
+            });
+            if let Some(idx) = serve {
+                let entry = self.queue.remove(idx).expect("index in window");
+                if !entry.counted {
+                    stats.row_hits.record(true);
+                }
+                let is_write = entry.req.is_store;
+                let switch = if is_write != self.last_was_write {
+                    self.cfg.t_switch
+                } else {
+                    0
+                };
+                let data_start = now + switch;
+                let data_end = data_start + self.cfg.t_burst;
+                self.bus_free_at = data_end;
+                self.last_was_write = is_write;
+                self.banks[entry.loc.bank as usize].note_data_end(data_end);
+                if is_write {
+                    stats.writes.inc();
+                } else {
+                    stats.reads.inc();
+                    if entry.req.wants_response() {
+                        let ready = data_start + self.cfg.t_cas + self.cfg.t_burst;
+                        self.in_service += 1;
+                        self.responses.push_back((ready, MemResp::for_req(&entry.req)));
+                        // Keep responses ordered by readiness for pop.
+                        let n = self.responses.len();
+                        if n >= 2 && self.responses[n - 2].0 > self.responses[n - 1].0 {
+                            let last = self.responses.pop_back().expect("nonempty");
+                            let pos = self
+                                .responses
+                                .iter()
+                                .position(|(c, _)| *c > last.0)
+                                .unwrap_or(self.responses.len());
+                            self.responses.insert(pos, last);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Prep phase: for the oldest windowed request whose row is not
+        // open, start the precharge/activate — unless an older or equal
+        // windowed request still wants the currently open row of that bank
+        // (never close a row with pending window hits, except under
+        // starvation).
+        let window = self.window(now);
+        for i in 0..window {
+            let (bank_idx, row) = {
+                let e = &self.queue[i];
+                (e.loc.bank as usize, e.loc.row)
+            };
+            let bank = &self.banks[bank_idx];
+            if bank.row_ready_at() > now {
+                continue; // mid-prep
+            }
+            match bank.open_row() {
+                Some(open) if open == row => continue, // will be served
+                open => {
+                    let keeps_open_row_busy = open.is_some()
+                        && window > 1
+                        && self.queue.iter().take(window).any(|o| {
+                            o.loc.bank as usize == bank_idx && Some(o.loc.row) == open
+                        });
+                    if keeps_open_row_busy {
+                        continue;
+                    }
+                    let (outcome, _) = self.banks[bank_idx].access(
+                        row,
+                        now,
+                        self.cfg.t_activate,
+                        self.cfg.t_precharge,
+                    );
+                    match outcome {
+                        RowOutcome::Hit => unreachable!("row was not open"),
+                        RowOutcome::Closed => {
+                            stats.row_hits.record(false);
+                            stats.row_closed.inc();
+                        }
+                        RowOutcome::Conflict => {
+                            stats.row_hits.record(false);
+                            stats.row_conflicts.inc();
+                        }
+                    }
+                    self.queue[i].counted = true;
+                    break; // one prep per cycle
+                }
+            }
+        }
+    }
+
+    pub(crate) fn pop_response(&mut self, now: Cycle) -> Option<MemResp> {
+        match self.responses.front() {
+            Some((ready, _)) if *ready <= now => {
+                self.in_service -= 1;
+                self.responses.pop_front().map(|(_, r)| r)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AddressMap;
+    use miopt_engine::{AccessKind, LineAddr, Origin, Pc, ReqId};
+
+    fn mk_read(id: u64, line: u64) -> MemReq {
+        MemReq {
+            id: ReqId(id),
+            line: LineAddr(line),
+            is_store: false,
+            kind: AccessKind::Bypass,
+            pc: Pc(0),
+            origin: Origin::Wavefront { cu: 0, slot: 0 },
+            issue_cycle: Cycle(0),
+        }
+    }
+
+    fn setup() -> (Channel, AddressMap, DramConfig) {
+        let cfg = DramConfig::tiny_test();
+        (Channel::new(cfg.clone()), AddressMap::new(&cfg), cfg)
+    }
+
+    #[test]
+    fn frfcfs_prefers_ready_row_hit() {
+        let (mut ch, map, cfg) = setup();
+        let mut stats = DramStats::default();
+        // Open row 0 of bank 0 (channel 0): line 0.
+        let l0 = 0u64;
+        ch.push(Cycle(0), mk_read(0, l0), map.locate(LineAddr(l0))).unwrap();
+        let mut now = Cycle(0);
+        let mut order = Vec::new();
+        while order.is_empty() {
+            ch.tick(now, &mut stats);
+            while let Some(r) = ch.pop_response(now) {
+                order.push(r.id.0);
+            }
+            now += 1;
+        }
+        // Row 0 is now open and ready. Enqueue: first a conflicting row,
+        // then a row hit. FR-FCFS should service the hit first.
+        let bank_stride = u64::from(cfg.channels) * cfg.lines_per_row * u64::from(cfg.banks);
+        let conflict_line = bank_stride; // channel 0, bank 0, row 1
+        let hit_line = 1; // channel 0, bank 0, row 0, column 1
+        ch.push(now, mk_read(1, conflict_line), map.locate(LineAddr(conflict_line)))
+            .unwrap();
+        ch.push(now, mk_read(2, hit_line), map.locate(LineAddr(hit_line)))
+            .unwrap();
+        let mut guard = 0;
+        while order.len() < 3 {
+            ch.tick(now, &mut stats);
+            while let Some(r) = ch.pop_response(now) {
+                order.push(r.id.0);
+            }
+            now += 1;
+            guard += 1;
+            assert!(guard < 10_000);
+        }
+        assert_eq!(order, vec![0, 2, 1], "row hit should be serviced before conflict");
+        assert!(stats.row_hits.hits() >= 1);
+    }
+
+    #[test]
+    fn starvation_cap_forces_oldest() {
+        let cfg = DramConfig {
+            starvation_cap: 0,
+            ..DramConfig::tiny_test()
+        };
+        let map = AddressMap::new(&cfg);
+        let mut ch = Channel::new(cfg.clone());
+        let mut stats = DramStats::default();
+        // Open a row, then enqueue conflict-then-hit; with cap 0 the oldest
+        // (conflict) must go first.
+        ch.push(Cycle(0), mk_read(0, 0), map.locate(LineAddr(0))).unwrap();
+        let mut now = Cycle(0);
+        while stats.reads.get() < 1 {
+            ch.tick(now, &mut stats);
+            now += 1;
+        }
+        let bank_stride = u64::from(cfg.channels) * cfg.lines_per_row * u64::from(cfg.banks);
+        ch.push(now, mk_read(1, bank_stride), map.locate(LineAddr(bank_stride)))
+            .unwrap();
+        now += 1; // make the first entry older than cap 0
+        ch.push(now, mk_read(2, 1), map.locate(LineAddr(1))).unwrap();
+        let mut order = Vec::new();
+        let mut guard = 0;
+        while order.len() < 3 {
+            ch.tick(now, &mut stats);
+            while let Some(r) = ch.pop_response(now) {
+                order.push(r.id.0);
+            }
+            now += 1;
+            guard += 1;
+            assert!(guard < 10_000);
+        }
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn read_write_switch_costs_time() {
+        let (mut ch, map, _cfg) = setup();
+        // Interleaved read/write to the same open row.
+        let mut stats = DramStats::default();
+        let mut now = Cycle(0);
+        for i in 0..8u64 {
+            let line = i; // one open row
+            let mut req = mk_read(i, line);
+            if i % 2 == 1 {
+                req.is_store = true;
+                req.origin = Origin::Internal;
+            }
+            ch.push(now, req, map.locate(LineAddr(line))).unwrap();
+        }
+        let interleaved_end = {
+            let mut guard = 0;
+            while ch.busy() {
+                ch.tick(now, &mut stats);
+                while ch.pop_response(now).is_some() {}
+                now += 1;
+                guard += 1;
+                assert!(guard < 100_000);
+            }
+            now
+        };
+
+        // Same traffic, reads then writes grouped.
+        let (mut ch2, map2, _cfg2) = setup();
+        let mut stats2 = DramStats::default();
+        let mut now2 = Cycle(0);
+        for i in 0..8u64 {
+            let line = i;
+            let mut req = mk_read(i, line);
+            if i >= 4 {
+                req.is_store = true;
+                req.origin = Origin::Internal;
+            }
+            ch2.push(now2, req, map2.locate(LineAddr(line))).unwrap();
+        }
+        let grouped_end = {
+            let mut guard = 0;
+            while ch2.busy() {
+                ch2.tick(now2, &mut stats2);
+                while ch2.pop_response(now2).is_some() {}
+                now2 += 1;
+                guard += 1;
+                assert!(guard < 100_000);
+            }
+            now2
+        };
+        assert!(
+            grouped_end < interleaved_end,
+            "grouped {grouped_end:?} vs interleaved {interleaved_end:?}"
+        );
+    }
+}

@@ -1,0 +1,113 @@
+use std::fmt;
+
+/// Size of a cache line / DRAM burst in bytes (Table 1: 64 B lines).
+pub const LINE_BYTES: u64 = 64;
+
+/// A byte address in the unified CPU-GPU address space.
+///
+/// # Examples
+///
+/// ```
+/// use miopt_engine::{Addr, LINE_BYTES};
+///
+/// let a = Addr(130);
+/// assert_eq!(a.line().byte_addr(), Addr(128));
+/// assert_eq!(a.line_offset(), 2);
+/// assert_eq!(LINE_BYTES, 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this address.
+    #[must_use]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// Byte offset of this address within its cache line.
+    #[must_use]
+    pub fn line_offset(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Addr {
+        Addr(v)
+    }
+}
+
+/// A cache-line-granular address: the byte address divided by [`LINE_BYTES`].
+///
+/// All traffic below the coalescer (caches, crossbar, DRAM) is line-granular,
+/// so this is the address type carried by [`crate::MemReq`].
+///
+/// # Examples
+///
+/// ```
+/// use miopt_engine::{Addr, LineAddr};
+///
+/// let l = LineAddr(2);
+/// assert_eq!(l.byte_addr(), Addr(128));
+/// assert_eq!(Addr(129).line(), l);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The first byte address of this line.
+    #[must_use]
+    pub fn byte_addr(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+
+    /// The line `n` lines after this one.
+    #[must_use]
+    pub fn offset(self, n: u64) -> LineAddr {
+        LineAddr(self.0 + n)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_rounds_down() {
+        assert_eq!(Addr(0).line(), LineAddr(0));
+        assert_eq!(Addr(63).line(), LineAddr(0));
+        assert_eq!(Addr(64).line(), LineAddr(1));
+        assert_eq!(Addr(6400).line(), LineAddr(100));
+    }
+
+    #[test]
+    fn byte_addr_round_trips() {
+        for l in [0u64, 1, 7, 1 << 30] {
+            assert_eq!(LineAddr(l).byte_addr().line(), LineAddr(l));
+        }
+    }
+
+    #[test]
+    fn offset_within_line() {
+        assert_eq!(Addr(64 + 17).line_offset(), 17);
+        assert_eq!(Addr(64).line_offset(), 0);
+    }
+
+    #[test]
+    fn line_offset_advances() {
+        assert_eq!(LineAddr(10).offset(5), LineAddr(15));
+    }
+}

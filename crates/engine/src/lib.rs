@@ -1,0 +1,41 @@
+//! Simulation kernel for the `miopt` GPU memory-system simulator.
+//!
+//! This crate provides the building blocks shared by every other `miopt`
+//! crate:
+//!
+//! * [`Cycle`] — the simulated GPU clock (all timing in the workspace is
+//!   expressed in GPU cycles at 1.6 GHz).
+//! * Address newtypes ([`Addr`], [`LineAddr`]) and the cache-line geometry.
+//! * The memory request/response types ([`MemReq`], [`MemResp`]) that flow
+//!   between compute units, caches, the crossbar and DRAM.
+//! * [`TimedQueue`] — a latency- and capacity-bounded FIFO used to model
+//!   every pipeline stage and wire in the system.
+//! * Deterministic pseudo-random number generation ([`rng::SplitMix64`]).
+//! * Small statistics helpers ([`stats`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use miopt_engine::{Cycle, TimedQueue};
+//!
+//! let mut q: TimedQueue<u32> = TimedQueue::new(4, 10);
+//! q.push(Cycle(0), 7).unwrap();
+//! assert!(q.pop_ready(Cycle(5)).is_none()); // still in flight
+//! assert_eq!(q.pop_ready(Cycle(10)), Some(7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod cycle;
+mod queue;
+mod req;
+pub mod rng;
+pub mod stats;
+pub mod util;
+
+pub use addr::{Addr, LineAddr, LINE_BYTES};
+pub use cycle::Cycle;
+pub use queue::TimedQueue;
+pub use req::{AccessKind, MemReq, MemResp, Origin, Pc, ReqId};

@@ -1,0 +1,217 @@
+use crate::Cycle;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`TimedQueue::push`] when the queue is at capacity.
+///
+/// Carries the rejected item back to the caller so it can be retried (the
+/// usual simulator pattern: leave the item at the producer and count a stall
+/// cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushFullError<T>(pub T);
+
+impl<T> fmt::Display for PushFullError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("queue is full")
+    }
+}
+
+impl<T: fmt::Debug> Error for PushFullError<T> {}
+
+/// A capacity-bounded FIFO whose items become visible only after a fixed
+/// latency, modeling a pipelined wire or buffer stage.
+///
+/// Ordering is strictly FIFO: an item can never become ready before one
+/// pushed earlier (ready times are made monotonic on push), which mirrors an
+/// in-order pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use miopt_engine::{Cycle, TimedQueue};
+///
+/// // 2-entry queue with a 3-cycle traversal latency.
+/// let mut q = TimedQueue::new(2, 3);
+/// q.push(Cycle(0), "a").unwrap();
+/// q.push(Cycle(1), "b").unwrap();
+/// assert!(q.push(Cycle(1), "c").is_err()); // full
+/// assert_eq!(q.pop_ready(Cycle(3)), Some("a"));
+/// assert_eq!(q.pop_ready(Cycle(3)), None); // "b" ready at 4
+/// assert_eq!(q.pop_ready(Cycle(4)), Some("b"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimedQueue<T> {
+    items: VecDeque<(Cycle, T)>,
+    capacity: usize,
+    latency: u64,
+    last_ready: Cycle,
+}
+
+impl<T> TimedQueue<T> {
+    /// Creates a queue holding at most `capacity` items, each visible
+    /// `latency` cycles after it is pushed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, latency: u64) -> TimedQueue<T> {
+        assert!(capacity > 0, "queue capacity must be nonzero");
+        TimedQueue {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            latency,
+            last_ready: Cycle::ZERO,
+        }
+    }
+
+    /// Enqueues `item` at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushFullError`] carrying `item` back if the queue is full.
+    pub fn push(&mut self, now: Cycle, item: T) -> Result<(), PushFullError<T>> {
+        if self.items.len() >= self.capacity {
+            return Err(PushFullError(item));
+        }
+        let ready = (now + self.latency).max(self.last_ready);
+        self.last_ready = ready;
+        self.items.push_back((ready, item));
+        Ok(())
+    }
+
+    /// Whether a push at time `now` would succeed.
+    #[must_use]
+    pub fn can_push(&self) -> bool {
+        self.items.len() < self.capacity
+    }
+
+    /// How many more items can be pushed before the queue is full.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// The front item, if it has traversed the queue by `now`.
+    #[must_use]
+    pub fn ready_front(&self, now: Cycle) -> Option<&T> {
+        match self.items.front() {
+            Some((ready, item)) if *ready <= now => Some(item),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the front item if it is ready at `now`.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if self.ready_front(now).is_some() {
+            self.items.pop_front().map(|(_, item)| item)
+        } else {
+            None
+        }
+    }
+
+    /// Number of items in flight or waiting.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue holds no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured traversal latency in cycles.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Iterates over queued items front to back, ignoring readiness.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter().map(|(_, item)| item)
+    }
+
+    /// Drains every item regardless of readiness (used at end-of-run).
+    pub fn drain_all(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.items.drain(..).map(|(_, item)| item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_latency() {
+        let mut q = TimedQueue::new(8, 5);
+        q.push(Cycle(10), 1u32).unwrap();
+        assert!(q.pop_ready(Cycle(14)).is_none());
+        assert_eq!(q.pop_ready(Cycle(15)), Some(1));
+    }
+
+    #[test]
+    fn zero_latency_is_same_cycle() {
+        let mut q = TimedQueue::new(8, 0);
+        q.push(Cycle(10), 1u32).unwrap();
+        assert_eq!(q.pop_ready(Cycle(10)), Some(1));
+    }
+
+    #[test]
+    fn rejects_when_full_and_returns_item() {
+        let mut q = TimedQueue::new(1, 0);
+        q.push(Cycle(0), 1u32).unwrap();
+        let err = q.push(Cycle(0), 2u32).unwrap_err();
+        assert_eq!(err.0, 2);
+        assert!(!q.can_push());
+        q.pop_ready(Cycle(0));
+        assert!(q.can_push());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = TimedQueue::new(8, 2);
+        for i in 0..5u32 {
+            q.push(Cycle(i as u64), i).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(v) = q.pop_ready(Cycle(100)) {
+            got.push(v);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ready_times_are_monotonic() {
+        let mut q = TimedQueue::new(8, 10);
+        q.push(Cycle(100), 'a').unwrap(); // ready at 110
+        q.push(Cycle(0), 'b').unwrap(); // naively ready at 10, clamped to 110
+        assert!(q.pop_ready(Cycle(109)).is_none());
+        assert_eq!(q.pop_ready(Cycle(110)), Some('a'));
+        assert_eq!(q.pop_ready(Cycle(110)), Some('b'));
+    }
+
+    #[test]
+    fn drain_ignores_readiness() {
+        let mut q = TimedQueue::new(8, 1000);
+        q.push(Cycle(0), 1u32).unwrap();
+        q.push(Cycle(0), 2u32).unwrap();
+        let all: Vec<_> = q.drain_all().collect();
+        assert_eq!(all, vec![1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = TimedQueue::<u32>::new(0, 1);
+    }
+}

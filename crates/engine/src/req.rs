@@ -1,0 +1,201 @@
+use crate::{Cycle, LineAddr};
+use std::fmt;
+
+/// Unique identifier of an in-flight memory request.
+///
+/// Issued monotonically by the compute-unit coalescer (and by caches for
+/// writebacks); never reused within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReqId(pub u64);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// The program counter of the memory instruction that produced a request.
+///
+/// The paper's PC-based L2 bypass predictor (Section VII.C, after Tian et
+/// al.) indexes its reuse table with this value. Workload generators assign a
+/// distinct `Pc` to each static memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(pub u32);
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc {:#x}", self.0)
+    }
+}
+
+/// How a request interacts with the GPU caches (paper Section III).
+///
+/// * `Cached` requests query, allocate in, and fill the cache level they
+///   reach (subject to the active policy).
+/// * `Bypass` requests skip allocation: on a miss the data is forwarded
+///   without being inserted. Pending bypass loads to the same line still
+///   coalesce ("read requests to the same cache line may be coalesced while
+///   the original bypass request is pending").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessKind {
+    /// Allocate/fill on miss.
+    #[default]
+    Cached,
+    /// Forward without inserting.
+    Bypass,
+}
+
+/// Where a request came from, for routing the response back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Origin {
+    /// Issued by a wavefront on a compute unit: `(cu index, wavefront slot)`.
+    Wavefront {
+        /// Index of the compute unit.
+        cu: u16,
+        /// Wavefront slot within the CU (SIMD-major).
+        slot: u16,
+    },
+    /// Generated inside the hierarchy (L2 writeback, rinse); no response
+    /// is routed anywhere.
+    #[default]
+    Internal,
+}
+
+/// A line-granular memory request flowing down the hierarchy
+/// (CU → L1 → crossbar → L2 → DRAM).
+///
+/// # Examples
+///
+/// ```
+/// use miopt_engine::{AccessKind, Cycle, LineAddr, MemReq, Origin, Pc, ReqId};
+///
+/// let req = MemReq {
+///     id: ReqId(1),
+///     line: LineAddr(0x40),
+///     is_store: false,
+///     kind: AccessKind::Cached,
+///     pc: Pc(12),
+///     origin: Origin::Wavefront { cu: 3, slot: 7 },
+///     issue_cycle: Cycle(100),
+/// };
+/// assert!(req.wants_response());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemReq {
+    /// Unique id.
+    pub id: ReqId,
+    /// Target cache line.
+    pub line: LineAddr,
+    /// `true` for stores and writebacks, `false` for loads.
+    pub is_store: bool,
+    /// Cached or bypass handling at the cache level being queried.
+    pub kind: AccessKind,
+    /// Static memory instruction that produced the request.
+    pub pc: Pc,
+    /// Response routing information.
+    pub origin: Origin,
+    /// Cycle at which the wavefront issued the instruction.
+    pub issue_cycle: Cycle,
+}
+
+impl MemReq {
+    /// Whether a [`MemResp`] must be routed back to the issuer.
+    ///
+    /// Loads from wavefronts need their data; stores and internal writebacks
+    /// are fire-and-forget (the GPU's relaxed model only waits for stores at
+    /// kernel-end drain, which the dispatcher tracks by count).
+    #[must_use]
+    pub fn wants_response(&self) -> bool {
+        !self.is_store && matches!(self.origin, Origin::Wavefront { .. })
+    }
+
+    /// A writeback request generated inside the hierarchy.
+    #[must_use]
+    pub fn writeback(id: ReqId, line: LineAddr, now: Cycle) -> MemReq {
+        MemReq {
+            id,
+            line,
+            is_store: true,
+            kind: AccessKind::Bypass,
+            pc: Pc(0),
+            origin: Origin::Internal,
+            issue_cycle: now,
+        }
+    }
+}
+
+/// A response carrying load data (abstractly) back up the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResp {
+    /// Id of the request being answered.
+    pub id: ReqId,
+    /// Line that was read.
+    pub line: LineAddr,
+    /// Issuer to route back to.
+    pub origin: Origin,
+}
+
+impl MemResp {
+    /// Builds the response for `req`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `req` does not want a response.
+    #[must_use]
+    pub fn for_req(req: &MemReq) -> MemResp {
+        debug_assert!(req.wants_response());
+        MemResp {
+            id: req.id,
+            line: req.line,
+            origin: req.origin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(origin: Origin) -> MemReq {
+        MemReq {
+            id: ReqId(9),
+            line: LineAddr(4),
+            is_store: false,
+            kind: AccessKind::Cached,
+            pc: Pc(1),
+            origin,
+            issue_cycle: Cycle(0),
+        }
+    }
+
+    #[test]
+    fn wavefront_loads_want_responses() {
+        assert!(load(Origin::Wavefront { cu: 0, slot: 0 }).wants_response());
+    }
+
+    #[test]
+    fn stores_and_internal_do_not_want_responses() {
+        let mut st = load(Origin::Wavefront { cu: 0, slot: 0 });
+        st.is_store = true;
+        assert!(!st.wants_response());
+        assert!(!load(Origin::Internal).wants_response());
+        assert!(!MemReq::writeback(ReqId(1), LineAddr(2), Cycle(3)).wants_response());
+    }
+
+    #[test]
+    fn response_routes_to_origin() {
+        let req = load(Origin::Wavefront { cu: 5, slot: 11 });
+        let resp = MemResp::for_req(&req);
+        assert_eq!(resp.id, req.id);
+        assert_eq!(resp.line, req.line);
+        assert_eq!(resp.origin, req.origin);
+    }
+
+    #[test]
+    fn writeback_is_internal_bypass_store() {
+        let wb = MemReq::writeback(ReqId(7), LineAddr(3), Cycle(10));
+        assert!(wb.is_store);
+        assert_eq!(wb.kind, AccessKind::Bypass);
+        assert_eq!(wb.origin, Origin::Internal);
+    }
+}

@@ -1,0 +1,201 @@
+//! Small statistics helpers used by every component's stat block.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use miopt_engine::stats::Counter;
+///
+/// let mut hits = Counter::default();
+/// hits.inc();
+/// hits.add(2);
+/// assert_eq!(hits.get(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A numerator/denominator pair reported as a ratio (e.g. row hit rate).
+///
+/// # Examples
+///
+/// ```
+/// use miopt_engine::stats::Ratio;
+///
+/// let mut r = Ratio::default();
+/// r.record(true);
+/// r.record(false);
+/// r.record(true);
+/// assert!((r.value() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Records one event; `hit` selects whether it counts in the numerator.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Numerator.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Denominator.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The ratio, or 0.0 if no events were recorded.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.1}%)", self.hits, self.total, self.value() * 100.0)
+    }
+}
+
+/// Online mean/max tracker for distributions (e.g. queue occupancy).
+///
+/// # Examples
+///
+/// ```
+/// use miopt_engine::stats::RunningStat;
+///
+/// let mut s = RunningStat::default();
+/// s.record(2.0);
+/// s.record(4.0);
+/// assert_eq!(s.mean(), 3.0);
+/// assert_eq!(s.max(), 4.0);
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStat {
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl RunningStat {
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples, or 0.0 if none recorded.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest sample seen (0.0 if none recorded).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn ratio_empty_is_zero() {
+        assert_eq!(Ratio::default().value(), 0.0);
+    }
+
+    #[test]
+    fn ratio_counts_hits_and_total() {
+        let mut r = Ratio::default();
+        for i in 0..10 {
+            r.record(i % 2 == 0);
+        }
+        assert_eq!(r.hits(), 5);
+        assert_eq!(r.total(), 10);
+        assert_eq!(r.value(), 0.5);
+    }
+
+    #[test]
+    fn running_stat_tracks_mean_and_max() {
+        let mut s = RunningStat::default();
+        for x in [1.0, 5.0, 3.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn running_stat_empty_defaults() {
+        let s = RunningStat::default();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+use miopt_engine::{Addr, LineAddr};
+
+/// Coalesces up to 64 lane addresses into unique cache-line requests,
+/// preserving first-touch order (the order the L1 sees them).
+///
+/// This is the GCN coalescer: one vector memory instruction produces one
+/// request per distinct 64 B line its active lanes touch — 4 requests for a
+/// dense float32 stream, up to 64 for a fully divergent gather.
+///
+/// # Examples
+///
+/// ```
+/// use miopt_engine::{Addr, LineAddr};
+/// use miopt_gpu::coalesce;
+///
+/// // A dense float32 stream: 64 lanes x 4 bytes = 4 lines.
+/// let lanes = (0..64).map(|l| Some(Addr(l * 4)));
+/// assert_eq!(coalesce(lanes), vec![LineAddr(0), LineAddr(1), LineAddr(2), LineAddr(3)]);
+/// ```
+#[must_use]
+pub fn coalesce(lanes: impl IntoIterator<Item = Option<Addr>>) -> Vec<LineAddr> {
+    let mut lines: Vec<LineAddr> = Vec::with_capacity(4);
+    for addr in lanes.into_iter().flatten() {
+        let line = addr.line();
+        if !lines.contains(&line) {
+            lines.push(line);
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_coalesces_to_one_line() {
+        let lanes = (0..64).map(|_| Some(Addr(100)));
+        assert_eq!(coalesce(lanes), vec![LineAddr(1)]);
+    }
+
+    #[test]
+    fn divergent_gather_produces_64_lines() {
+        let lanes = (0..64u64).map(|l| Some(Addr(l * 4096)));
+        assert_eq!(coalesce(lanes).len(), 64);
+    }
+
+    #[test]
+    fn inactive_lanes_are_skipped() {
+        let lanes = (0..64u64).map(|l| if l % 2 == 0 { Some(Addr(l * 4)) } else { None });
+        // Even lanes cover bytes 0..252 stride 8: still lines 0..3.
+        assert_eq!(coalesce(lanes).len(), 4);
+    }
+
+    #[test]
+    fn all_inactive_produces_no_requests() {
+        let lanes = (0..64).map(|_| None);
+        assert!(coalesce(lanes).is_empty());
+    }
+
+    #[test]
+    fn order_is_first_touch() {
+        let lanes = vec![Some(Addr(128)), Some(Addr(0)), Some(Addr(129))];
+        assert_eq!(coalesce(lanes), vec![LineAddr(2), LineAddr(0)]);
+    }
+
+    #[test]
+    fn double_precision_stream_is_8_lines() {
+        let lanes = (0..64u64).map(|l| Some(Addr(l * 8)));
+        assert_eq!(coalesce(lanes).len(), 8);
+    }
+}

@@ -1,0 +1,427 @@
+use crate::program::KernelDesc;
+use crate::wavefront::{Wavefront, WfState};
+use miopt_engine::{AccessKind, Cycle, MemReq, Origin, ReqId, TimedQueue};
+use std::sync::Arc;
+
+/// Compute-unit geometry (Table 1: 4 SIMDs, 10 wavefronts per SIMD).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CuConfig {
+    /// SIMD units per CU.
+    pub simds: usize,
+    /// Wavefront slots per SIMD unit.
+    pub wf_slots_per_simd: usize,
+    /// Coalesced line requests issued to the L1 per cycle.
+    pub mem_issue_per_cycle: u32,
+}
+
+impl CuConfig {
+    /// The paper's Table 1 CU.
+    #[must_use]
+    pub fn paper() -> CuConfig {
+        CuConfig {
+            simds: 4,
+            wf_slots_per_simd: 10,
+            mem_issue_per_cycle: 1,
+        }
+    }
+
+    /// A small CU for unit tests (1 SIMD, 2 slots).
+    #[must_use]
+    pub fn tiny_test() -> CuConfig {
+        CuConfig {
+            simds: 1,
+            wf_slots_per_simd: 2,
+            mem_issue_per_cycle: 1,
+        }
+    }
+
+    /// Total wavefront slots.
+    #[must_use]
+    pub fn total_slots(&self) -> usize {
+        self.simds * self.wf_slots_per_simd
+    }
+}
+
+/// One compute unit: wavefront slots grouped by SIMD, a memory issue pipe,
+/// and execution statistics.
+///
+/// Occupancy and pending-memory state are tracked in bitmasks so that a
+/// cycle's work is proportional to the *active* wavefronts, not the slot
+/// count — the simulator's inner loop.
+#[derive(Debug)]
+pub struct Cu {
+    cfg: CuConfig,
+    id: u16,
+    slots: Vec<Option<Wavefront>>,
+    /// Bit per slot: a wavefront is resident.
+    occ_mask: u64,
+    /// Bit per slot: the wavefront has coalesced requests awaiting issue.
+    pending_mask: u64,
+    simd_busy_until: Vec<Cycle>,
+    simd_rr: Vec<usize>,
+    mem_rr: u32,
+    req_counter: u64,
+    valu_lane_ops: u64,
+    line_loads: u64,
+    line_stores: u64,
+    retired_wavefronts: u64,
+}
+
+impl Cu {
+    /// Builds compute unit `id` (ids namespace request ids and must be
+    /// unique).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry exceeds 64 wavefront slots (the bitmask
+    /// width).
+    #[must_use]
+    pub fn new(cfg: CuConfig, id: u16) -> Cu {
+        assert!(cfg.total_slots() <= 64, "at most 64 wavefront slots per CU");
+        Cu {
+            slots: (0..cfg.total_slots()).map(|_| None).collect(),
+            occ_mask: 0,
+            pending_mask: 0,
+            simd_busy_until: vec![Cycle::ZERO; cfg.simds],
+            simd_rr: vec![0; cfg.simds],
+            mem_rr: 0,
+            req_counter: 0,
+            valu_lane_ops: 0,
+            line_loads: 0,
+            line_stores: 0,
+            retired_wavefronts: 0,
+            cfg,
+            id,
+        }
+    }
+
+    /// This CU's id.
+    #[must_use]
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Number of empty wavefront slots.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.slots.len() - self.occ_mask.count_ones() as usize
+    }
+
+    /// Number of resident wavefronts.
+    #[must_use]
+    pub fn active_wavefronts(&self) -> usize {
+        self.occ_mask.count_ones() as usize
+    }
+
+    /// VALU lane-operations executed (64 per VALU instruction).
+    #[must_use]
+    pub fn valu_lane_ops(&self) -> u64 {
+        self.valu_lane_ops
+    }
+
+    /// Coalesced load requests issued to the L1.
+    #[must_use]
+    pub fn line_loads(&self) -> u64 {
+        self.line_loads
+    }
+
+    /// Coalesced store requests issued to the L1.
+    #[must_use]
+    pub fn line_stores(&self) -> u64 {
+        self.line_stores
+    }
+
+    /// Wavefronts that ran to completion.
+    #[must_use]
+    pub fn retired_wavefronts(&self) -> u64 {
+        self.retired_wavefronts
+    }
+
+    /// Places the wavefronts of one work-group onto this CU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer free slots than `wfs_per_wg` (the
+    /// dispatcher checks [`Cu::free_slots`] first).
+    pub(crate) fn assign_wg(&mut self, kernel: &Arc<KernelDesc>, kernel_seq: u32, wg: u32) {
+        let all_slots = if self.slots.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.slots.len()) - 1
+        };
+        for wf in 0..kernel.wfs_per_wg {
+            let free = !self.occ_mask & all_slots;
+            assert!(free != 0, "not enough free slots for work-group");
+            let idx = free.trailing_zeros() as usize;
+            self.slots[idx] = Some(Wavefront::new(Arc::clone(kernel), kernel_seq, wg, wf));
+            self.occ_mask |= 1 << idx;
+        }
+    }
+
+    /// Routes a load response to its wavefront.
+    pub fn on_response(&mut self, slot: u16) {
+        let idx = slot as usize;
+        match self.slots.get_mut(idx) {
+            Some(Some(wf)) => {
+                wf.on_load_response();
+                self.try_retire(idx);
+            }
+            _ => debug_assert!(false, "response for empty slot {slot}"),
+        }
+    }
+
+    fn try_retire(&mut self, idx: usize) {
+        let finished = matches!(
+            &self.slots[idx],
+            Some(wf) if wf.is_done() && wf.pending.is_empty() && wf.outstanding_loads() == 0
+        );
+        if finished {
+            self.slots[idx] = None;
+            self.occ_mask &= !(1 << idx);
+            self.pending_mask &= !(1 << idx);
+            self.retired_wavefronts += 1;
+        }
+    }
+
+    /// Advances the CU one cycle: issues memory requests from wavefronts'
+    /// coalescing buffers, then lets each idle SIMD issue one instruction.
+    pub fn tick(&mut self, now: Cycle, l1_in: &mut TimedQueue<MemReq>) {
+        if self.occ_mask == 0 {
+            return;
+        }
+        self.issue_memory(now, l1_in);
+        self.issue_simds(now);
+    }
+
+    fn issue_memory(&mut self, now: Cycle, l1_in: &mut TimedQueue<MemReq>) {
+        let mut issued = 0;
+        // One wavefront's coalesced group drains back-to-back before the
+        // pipe rotates to the next wavefront: a vector memory instruction
+        // owns the coalescer until its line requests are out, which is
+        // what preserves the group's DRAM row locality downstream.
+        while issued < self.cfg.mem_issue_per_cycle && self.pending_mask != 0 && l1_in.can_push() {
+            let rot = self.pending_mask.rotate_right(self.mem_rr % 64);
+            let idx = ((rot.trailing_zeros() + self.mem_rr) % 64) as usize;
+            debug_assert!(self.pending_mask & (1 << idx) != 0);
+            let wf = self.slots[idx].as_mut().expect("pending bit implies wavefront");
+            let acc = *wf.pending.front().expect("pending bit implies requests");
+            let pc = wf.kernel().pc_of(acc.op_index);
+            self.req_counter += 1;
+            let req = MemReq {
+                id: ReqId((u64::from(self.id) << 48) | self.req_counter),
+                line: acc.line,
+                is_store: acc.is_store,
+                kind: AccessKind::Cached,
+                pc,
+                origin: Origin::Wavefront {
+                    cu: self.id,
+                    slot: idx as u16,
+                },
+                issue_cycle: now,
+            };
+            if l1_in.push(now, req).is_err() {
+                break;
+            }
+            wf.pending.pop_front();
+            if wf.pending.is_empty() {
+                self.pending_mask &= !(1 << idx);
+                self.try_retire(idx);
+                // Group drained: rotate to the next wavefront.
+                self.mem_rr = (idx as u32 + 1) % 64;
+            } else {
+                // Keep draining this wavefront's group.
+                self.mem_rr = idx as u32;
+            }
+            if acc.is_store {
+                self.line_stores += 1;
+            } else {
+                self.line_loads += 1;
+            }
+            issued += 1;
+        }
+    }
+
+    fn issue_simds(&mut self, now: Cycle) {
+        let per = self.cfg.wf_slots_per_simd;
+        for s in 0..self.cfg.simds {
+            if self.simd_busy_until[s] > now {
+                continue;
+            }
+            let base = s * per;
+            let simd_mask = (self.occ_mask >> base) & ((1u64 << per) - 1);
+            if simd_mask == 0 {
+                continue;
+            }
+            let start = self.simd_rr[s];
+            for k in 0..per {
+                let off = (start + k) % per;
+                if simd_mask & (1 << off) == 0 {
+                    continue;
+                }
+                let idx = base + off;
+                let wf = self.slots[idx].as_mut().expect("occupied");
+                if wf.state(now) == WfState::Ready {
+                    let (occupancy, lane_ops) = wf.issue(now);
+                    if !wf.pending.is_empty() {
+                        self.pending_mask |= 1 << idx;
+                    }
+                    self.simd_busy_until[s] = now + occupancy;
+                    self.valu_lane_ops += lane_ops;
+                    self.simd_rr[s] = (off + 1) % per;
+                    if wf.is_done() {
+                        self.try_retire(idx);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{AccessCtx, AddrGen, KernelProgram, Op};
+    use miopt_engine::Addr;
+
+    fn kernel(body: Vec<Op>, iters: u32, wfs_per_wg: u32) -> Arc<KernelDesc> {
+        let gen: Arc<dyn AddrGen> = Arc::new(|ctx: &AccessCtx| {
+            Some(Addr(
+                u64::from(ctx.wg) * 65536
+                    + u64::from(ctx.wf) * 4096
+                    + u64::from(ctx.iter) * 256
+                    + u64::from(ctx.lane) * 4,
+            ))
+        });
+        Arc::new(KernelDesc {
+            name: "test".to_string(),
+            template_id: 1,
+            wgs: 1,
+            wfs_per_wg,
+            program: KernelProgram::new(body, iters),
+            gen,
+        })
+    }
+
+    fn retired_after(cu: &mut Cu, q: &mut TimedQueue<MemReq>, cycles: std::ops::Range<u64>) -> u64 {
+        let before = cu.retired_wavefronts();
+        for c in cycles {
+            cu.tick(Cycle(c), q);
+        }
+        cu.retired_wavefronts() - before
+    }
+
+    #[test]
+    fn compute_only_kernel_retires_without_memory() {
+        let mut cu = Cu::new(CuConfig::tiny_test(), 0);
+        let k = kernel(vec![Op::Valu { count: 2 }], 3, 1);
+        cu.assign_wg(&k, 0, 0);
+        let mut q = TimedQueue::new(8, 0);
+        let retired = retired_after(&mut cu, &mut q, 0..100);
+        assert_eq!(retired, 1);
+        assert_eq!(cu.valu_lane_ops(), 2 * 64 * 3);
+        assert!(q.is_empty());
+        assert_eq!(cu.active_wavefronts(), 0);
+    }
+
+    #[test]
+    fn memory_kernel_issues_and_waits_for_responses() {
+        let mut cu = Cu::new(CuConfig::tiny_test(), 3);
+        let k = kernel(vec![Op::Load { pattern: 0 }, Op::WaitCnt { max: 0 }], 1, 1);
+        cu.assign_wg(&k, 0, 0);
+        let mut q = TimedQueue::new(64, 0);
+        for c in 0..10 {
+            cu.tick(Cycle(c), &mut q);
+        }
+        assert_eq!(cu.line_loads(), 4);
+        assert_eq!(cu.active_wavefronts(), 1, "blocked on waitcnt");
+        let mut slots = Vec::new();
+        while let Some(r) = q.pop_ready(Cycle(10)) {
+            match r.origin {
+                Origin::Wavefront { cu: c, slot } => {
+                    assert_eq!(c, 3);
+                    slots.push(slot);
+                }
+                Origin::Internal => panic!("wavefront requests carry origins"),
+            }
+        }
+        for s in slots {
+            cu.on_response(s);
+        }
+        let retired = retired_after(&mut cu, &mut q, 10..20);
+        assert_eq!(retired, 1);
+    }
+
+    #[test]
+    fn two_wavefronts_hide_each_others_latency() {
+        let mut cu = Cu::new(CuConfig::tiny_test(), 0);
+        let k = kernel(
+            vec![Op::Load { pattern: 0 }, Op::WaitCnt { max: 0 }, Op::Valu { count: 1 }],
+            1,
+            2,
+        );
+        cu.assign_wg(&k, 0, 0);
+        let mut q = TimedQueue::new(64, 0);
+        for c in 0..10 {
+            cu.tick(Cycle(c), &mut q);
+        }
+        assert_eq!(cu.line_loads(), 8);
+        assert_eq!(cu.active_wavefronts(), 2);
+    }
+
+    #[test]
+    fn mem_issue_rate_is_limited() {
+        let mut cu = Cu::new(CuConfig::tiny_test(), 0);
+        let k = kernel(vec![Op::Load { pattern: 0 }, Op::WaitCnt { max: 0 }], 1, 1);
+        cu.assign_wg(&k, 0, 0);
+        let mut q = TimedQueue::new(64, 0);
+        cu.tick(Cycle(0), &mut q);
+        let after_first = q.len();
+        cu.tick(Cycle(1), &mut q);
+        let after_second = q.len();
+        assert!(after_second - after_first <= 1, "1 line request per cycle");
+    }
+
+    #[test]
+    fn requests_have_stable_pcs() {
+        let mut cu = Cu::new(CuConfig::tiny_test(), 0);
+        let k = kernel(vec![Op::Load { pattern: 0 }], 2, 1);
+        cu.assign_wg(&k, 0, 0);
+        let mut q = TimedQueue::new(64, 0);
+        for c in 0..20 {
+            cu.tick(Cycle(c), &mut q);
+        }
+        let pcs: Vec<_> = q.drain_all().map(|r| r.pc).collect();
+        assert!(!pcs.is_empty());
+        assert!(pcs.windows(2).all(|w| w[0] == w[1]), "same static instruction");
+    }
+
+    #[test]
+    fn backpressure_pauses_issue_without_losing_requests() {
+        let mut cu = Cu::new(CuConfig::tiny_test(), 0);
+        let k = kernel(vec![Op::Load { pattern: 0 }, Op::WaitCnt { max: 0 }], 1, 1);
+        cu.assign_wg(&k, 0, 0);
+        let mut q = TimedQueue::new(1, 0);
+        let mut total = 0;
+        for c in 0..50 {
+            cu.tick(Cycle(c), &mut q);
+            total += q.drain_all().count();
+        }
+        assert_eq!(total, 4, "all coalesced requests eventually issue");
+    }
+
+    #[test]
+    fn masks_track_occupancy() {
+        let mut cu = Cu::new(CuConfig::tiny_test(), 0);
+        assert_eq!(cu.free_slots(), 2);
+        let k = kernel(vec![Op::Valu { count: 1 }], 1, 2);
+        cu.assign_wg(&k, 0, 0);
+        assert_eq!(cu.free_slots(), 0);
+        assert_eq!(cu.active_wavefronts(), 2);
+        let mut q = TimedQueue::new(8, 0);
+        for c in 0..10 {
+            cu.tick(Cycle(c), &mut q);
+        }
+        assert_eq!(cu.free_slots(), 2);
+    }
+}

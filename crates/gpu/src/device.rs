@@ -1,0 +1,312 @@
+use crate::cu::{Cu, CuConfig};
+use crate::program::KernelDesc;
+use miopt_engine::{Cycle, MemReq, MemResp, Origin, TimedQueue};
+use std::sync::Arc;
+
+/// Aggregated GPU execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpuStats {
+    /// VALU lane-operations executed (the Figure 4 numerator).
+    pub valu_lane_ops: u64,
+    /// Coalesced load requests issued to the memory system.
+    pub line_loads: u64,
+    /// Coalesced store requests issued to the memory system.
+    pub line_stores: u64,
+    /// Wavefronts retired.
+    pub retired_wavefronts: u64,
+}
+
+impl GpuStats {
+    /// Total memory requests (the Figure 5 numerator and the Figure 8
+    /// normalization denominator).
+    #[must_use]
+    pub fn memory_requests(&self) -> u64 {
+        self.line_loads + self.line_stores
+    }
+}
+
+/// State of the kernel currently being dispatched/executed.
+#[derive(Debug)]
+struct ActiveKernel {
+    desc: Arc<KernelDesc>,
+    seq: u32,
+    next_wg: u32,
+    /// Sum of per-CU retired counters when the kernel launched.
+    retired_at_start: u64,
+}
+
+/// The GPU device: a set of compute units plus a work-group dispatcher.
+///
+/// The device executes one kernel at a time (the paper's workloads launch
+/// kernels back-to-back with synchronization between them). The system
+/// driving the device is responsible for kernel-boundary cache actions.
+///
+/// # Examples
+///
+/// ```
+/// use miopt_engine::{Addr, Cycle, MemResp, TimedQueue};
+/// use miopt_gpu::{AccessCtx, Gpu, CuConfig, KernelDesc, KernelProgram, Op};
+/// use std::sync::Arc;
+///
+/// let mut gpu = Gpu::new(2, CuConfig::tiny_test());
+/// let kernel = Arc::new(KernelDesc {
+///     name: "stream".to_string(),
+///     template_id: 0,
+///     wgs: 4,
+///     wfs_per_wg: 1,
+///     program: KernelProgram::new(vec![Op::Load { pattern: 0 }, Op::WaitCnt { max: 0 }], 1),
+///     gen: Arc::new(|ctx: &AccessCtx| Some(Addr(u64::from(ctx.wg) * 16384 + u64::from(ctx.lane) * 4))),
+/// });
+/// gpu.start_kernel(kernel, 0);
+/// let mut l1_ins: Vec<_> = (0..2).map(|_| TimedQueue::new(64, 0)).collect();
+/// let mut now = Cycle(0);
+/// while !gpu.kernel_done() {
+///     gpu.tick(now, &mut l1_ins);
+///     // A perfect memory: answer every request immediately.
+///     for q in &mut l1_ins {
+///         while let Some(req) = q.pop_ready(now) {
+///             if !req.is_store {
+///                 gpu.on_response(MemResp::for_req(&req));
+///             }
+///         }
+///     }
+///     now += 1;
+/// }
+/// assert_eq!(gpu.stats().retired_wavefronts, 4);
+/// ```
+#[derive(Debug)]
+pub struct Gpu {
+    cus: Vec<Cu>,
+    active: Option<ActiveKernel>,
+    kernels_run: u64,
+}
+
+impl Gpu {
+    /// Builds a GPU with `n_cus` compute units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cus` is zero.
+    #[must_use]
+    pub fn new(n_cus: usize, cu_cfg: CuConfig) -> Gpu {
+        assert!(n_cus > 0, "GPU needs at least one CU");
+        Gpu {
+            cus: (0..n_cus).map(|i| Cu::new(cu_cfg.clone(), i as u16)).collect(),
+            active: None,
+            kernels_run: 0,
+        }
+    }
+
+    /// Number of compute units.
+    #[must_use]
+    pub fn cu_count(&self) -> usize {
+        self.cus.len()
+    }
+
+    /// Begins dispatching `desc`. `seq` is the launch sequence number
+    /// passed to the address generator (distinguishes e.g. RNN timesteps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kernel is still executing.
+    pub fn start_kernel(&mut self, desc: Arc<KernelDesc>, seq: u32) {
+        assert!(self.kernel_done(), "previous kernel still executing");
+        let retired_at_start = self.total_retired();
+        self.active = Some(ActiveKernel {
+            desc,
+            seq,
+            next_wg: 0,
+            retired_at_start,
+        });
+        self.kernels_run += 1;
+    }
+
+    /// Whether the active kernel (if any) has retired every wavefront.
+    ///
+    /// Note this does not include memory-system drain: stores may still be
+    /// in flight below the CUs. The system-level barrier handles that.
+    #[must_use]
+    pub fn kernel_done(&self) -> bool {
+        match &self.active {
+            None => true,
+            Some(k) => {
+                k.next_wg == k.desc.wgs
+                    && self.total_retired() - k.retired_at_start == k.desc.total_wavefronts()
+            }
+        }
+    }
+
+    fn total_retired(&self) -> u64 {
+        self.cus.iter().map(Cu::retired_wavefronts).sum()
+    }
+
+    /// Advances the device one cycle. `l1_ins[i]` is CU `i`'s request
+    /// queue toward its L1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l1_ins.len()` differs from the CU count.
+    pub fn tick(&mut self, now: Cycle, l1_ins: &mut [TimedQueue<MemReq>]) {
+        assert_eq!(l1_ins.len(), self.cus.len(), "one L1 queue per CU");
+        self.dispatch();
+        for (cu, q) in self.cus.iter_mut().zip(l1_ins.iter_mut()) {
+            cu.tick(now, q);
+        }
+    }
+
+    /// Assigns pending work-groups to CUs with free slots.
+    fn dispatch(&mut self) {
+        let Some(k) = self.active.as_mut() else { return };
+        if k.next_wg == k.desc.wgs {
+            return;
+        }
+        let per_wg = k.desc.wfs_per_wg as usize;
+        for cu in &mut self.cus {
+            while k.next_wg < k.desc.wgs && cu.free_slots() >= per_wg {
+                cu.assign_wg(&k.desc, k.seq, k.next_wg);
+                k.next_wg += 1;
+            }
+            if k.next_wg == k.desc.wgs {
+                break;
+            }
+        }
+    }
+
+    /// Routes a load response to its wavefront.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the response does not carry a wavefront
+    /// origin.
+    pub fn on_response(&mut self, resp: MemResp) {
+        match resp.origin {
+            Origin::Wavefront { cu, slot } => self.cus[cu as usize].on_response(slot),
+            Origin::Internal => debug_assert!(false, "internal response routed to GPU"),
+        }
+    }
+
+    /// Aggregated statistics across all CUs.
+    #[must_use]
+    pub fn stats(&self) -> GpuStats {
+        let mut s = GpuStats::default();
+        for cu in &self.cus {
+            s.valu_lane_ops += cu.valu_lane_ops();
+            s.line_loads += cu.line_loads();
+            s.line_stores += cu.line_stores();
+            s.retired_wavefronts += cu.retired_wavefronts();
+        }
+        s
+    }
+
+    /// Kernels launched so far.
+    #[must_use]
+    pub fn kernels_run(&self) -> u64 {
+        self.kernels_run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{AccessCtx, AddrGen, KernelProgram, Op};
+    use miopt_engine::Addr;
+
+    fn stream_kernel(wgs: u32, wfs_per_wg: u32, iters: u32) -> Arc<KernelDesc> {
+        let gen: Arc<dyn AddrGen> = Arc::new(|ctx: &AccessCtx| {
+            Some(Addr(
+                u64::from(ctx.wg) * 1_048_576
+                    + u64::from(ctx.wf) * 65536
+                    + u64::from(ctx.iter) * 256
+                    + u64::from(ctx.lane) * 4,
+            ))
+        });
+        Arc::new(KernelDesc {
+            name: "stream".to_string(),
+            template_id: 2,
+            wgs,
+            wfs_per_wg,
+            program: KernelProgram::new(
+                vec![Op::Load { pattern: 0 }, Op::WaitCnt { max: 0 }, Op::Store { pattern: 1 }],
+                iters,
+            ),
+            gen,
+        })
+    }
+
+    fn run_to_completion(gpu: &mut Gpu, limit: u64) -> u64 {
+        let mut l1_ins: Vec<TimedQueue<MemReq>> =
+            (0..gpu.cu_count()).map(|_| TimedQueue::new(64, 0)).collect();
+        let mut now = Cycle(0);
+        while !gpu.kernel_done() {
+            gpu.tick(now, &mut l1_ins);
+            for q in &mut l1_ins {
+                while let Some(req) = q.pop_ready(now) {
+                    if req.wants_response() {
+                        gpu.on_response(MemResp::for_req(&req));
+                    }
+                }
+            }
+            now += 1;
+            assert!(now.0 < limit, "kernel did not finish");
+        }
+        now.0
+    }
+
+    #[test]
+    fn kernel_runs_to_completion_with_perfect_memory() {
+        let mut gpu = Gpu::new(2, CuConfig::tiny_test());
+        gpu.start_kernel(stream_kernel(6, 1, 2), 0);
+        run_to_completion(&mut gpu, 10_000);
+        let s = gpu.stats();
+        assert_eq!(s.retired_wavefronts, 6);
+        // 6 wfs x 2 iters x (4 load lines + 4 store lines).
+        assert_eq!(s.line_loads, 48);
+        assert_eq!(s.line_stores, 48);
+    }
+
+    #[test]
+    fn work_spreads_across_cus() {
+        let mut gpu = Gpu::new(4, CuConfig::tiny_test());
+        gpu.start_kernel(stream_kernel(8, 1, 1), 0);
+        gpu.dispatch();
+        let busy = gpu.cus.iter().filter(|c| c.active_wavefronts() > 0).count();
+        assert_eq!(busy, 4, "all CUs should receive work-groups");
+    }
+
+    #[test]
+    fn back_to_back_kernels() {
+        let mut gpu = Gpu::new(2, CuConfig::tiny_test());
+        for seq in 0..3 {
+            gpu.start_kernel(stream_kernel(2, 1, 1), seq);
+            run_to_completion(&mut gpu, 10_000);
+        }
+        assert_eq!(gpu.kernels_run(), 3);
+        assert_eq!(gpu.stats().retired_wavefronts, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "previous kernel still executing")]
+    fn overlapping_launch_panics() {
+        let mut gpu = Gpu::new(1, CuConfig::tiny_test());
+        gpu.start_kernel(stream_kernel(2, 1, 1), 0);
+        gpu.dispatch();
+        gpu.start_kernel(stream_kernel(2, 1, 1), 1);
+    }
+
+    #[test]
+    fn idle_gpu_is_done() {
+        let gpu = Gpu::new(1, CuConfig::tiny_test());
+        assert!(gpu.kernel_done());
+        assert_eq!(gpu.stats(), GpuStats::default());
+    }
+
+    #[test]
+    fn oversubscribed_grid_drains_in_waves() {
+        // 2 slots per CU, 1 CU, 10 WGs: dispatch must refill as wavefronts
+        // retire.
+        let mut gpu = Gpu::new(1, CuConfig::tiny_test());
+        gpu.start_kernel(stream_kernel(10, 1, 1), 0);
+        run_to_completion(&mut gpu, 100_000);
+        assert_eq!(gpu.stats().retired_wavefronts, 10);
+    }
+}

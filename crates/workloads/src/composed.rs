@@ -1,0 +1,139 @@
+//! The Composed Model (DNNMark CM): convolution, normalization, pooling
+//! and activation layers chained into a 130-kernel network over a small
+//! (12.1 MB) footprint.
+//!
+//! The paper classifies CM as memory-insensitive: caching improves its
+//! reuse by 69% but performance is unaffected because memory demand is
+//! exceptionally low (compute and launch overhead dominate).
+
+use crate::patterns::{PatternKind, PatternSpec, Region};
+use crate::{kernel, Category, RegionAlloc, SuiteConfig, Workload};
+use miopt_gpu::{KernelDesc, Op};
+use std::sync::Arc;
+
+fn conv(tid: u16, weights: Region, act: Region) -> Arc<KernelDesc> {
+    kernel(
+        "cm_conv",
+        tid,
+        64,
+        4,
+        16,
+        vec![
+            Op::Load { pattern: 0 },
+            Op::Load { pattern: 1 },
+            Op::WaitCnt { max: 2 },
+            Op::Lds { cycles: 8 },
+            Op::Valu { count: 64 },
+            Op::Store { pattern: 2 },
+        ],
+        vec![
+            PatternSpec {
+                region: weights,
+                elem_bytes: 4,
+                kind: PatternKind::SharedSweep {
+                    phase_bytes: weights.bytes / 16,
+                },
+                seq_stride_bytes: 0,
+            },
+            PatternSpec {
+                region: act,
+                elem_bytes: 4,
+                kind: PatternKind::SharedSweep {
+                    phase_bytes: act.bytes / 32,
+                },
+                seq_stride_bytes: 0,
+            },
+            PatternSpec {
+                region: act,
+                elem_bytes: 4,
+                kind: PatternKind::LaggedStream {
+                    lag_bytes: act.bytes / 2,
+                },
+                seq_stride_bytes: 0,
+            },
+        ],
+    )
+}
+
+fn small_layer(tid: u16, name: &str, act: Region, valu: u32) -> Arc<KernelDesc> {
+    kernel(
+        name,
+        tid,
+        16,
+        2,
+        8,
+        vec![
+            Op::Load { pattern: 0 },
+            Op::WaitCnt { max: 4 },
+            Op::Valu { count: valu },
+            Op::Store { pattern: 1 },
+        ],
+        vec![
+            PatternSpec::stream(act),
+            PatternSpec {
+                region: act,
+                elem_bytes: 4,
+                kind: PatternKind::LaggedStream {
+                    lag_bytes: act.bytes / 4,
+                },
+                seq_stride_bytes: 0,
+            },
+        ],
+    )
+}
+
+/// The Composed Model. Paper: batch 64, 4/130 kernels, 12.1 MB.
+pub(crate) fn cm(cfg: &SuiteConfig, index: u64) -> Workload {
+    let mut alloc = RegionAlloc::for_workload(index);
+    let weights = alloc.region(cfg.scaled(6 * 1024 * 1024).min(512 * 1024));
+    let act = alloc.region(cfg.scaled(6 * 1024 * 1024).min(256 * 1024));
+    let base = (index * 8) as u16;
+    let k_conv = conv(base, weights, act);
+    let k_bn = small_layer(base + 1, "cm_bn", act, 2);
+    let k_pool = small_layer(base + 2, "cm_pool", act, 2);
+    let k_act = small_layer(base + 3, "cm_act", act, 1);
+
+    // 32 blocks of conv-bn-pool-act, then a classifier tail: 130 total.
+    let mut launches = Vec::with_capacity(130);
+    for _ in 0..32 {
+        launches.push(Arc::clone(&k_conv));
+        launches.push(Arc::clone(&k_bn));
+        launches.push(Arc::clone(&k_pool));
+        launches.push(Arc::clone(&k_act));
+    }
+    launches.push(Arc::clone(&k_conv));
+    launches.push(Arc::clone(&k_act));
+
+    Workload {
+        name: "CM".to_string(),
+        category: Category::Insensitive,
+        launches,
+        footprint: alloc.allocated(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm_has_130_launches_of_4_templates() {
+        let w = cm(&SuiteConfig::paper(), 2);
+        assert_eq!(w.total_kernels(), 130);
+        assert_eq!(w.unique_kernels(), 4);
+    }
+
+    #[test]
+    fn cm_footprint_is_small() {
+        let w = cm(&SuiteConfig::paper(), 2);
+        assert!(w.footprint <= 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn conv_dominates_compute() {
+        let w = cm(&SuiteConfig::paper(), 2);
+        let conv_ops = w.launches[0].program.valu_lane_ops();
+        let bn_ops = w.launches[1].program.valu_lane_ops();
+        assert!(conv_ops > 4 * bn_ops);
+    }
+}

@@ -1,0 +1,175 @@
+//! The throughput-sensitive elementwise layers: forward/backward
+//! activation and forward LRN (paper Table 2, DNNMark).
+//!
+//! These layers stream giant arrays with zero reuse and almost no compute;
+//! the paper finds that *any* caching hurts them (Figure 6) through cache
+//! stalls and DRAM row-locality disruption.
+
+use crate::patterns::{PatternKind, PatternSpec};
+use crate::{grid, kernel, Category, RegionAlloc, SuiteConfig, Workload};
+use miopt_gpu::Op;
+
+/// Forward activation (ReLU): `y[i] = max(x[i], 0)`.
+///
+/// Paper: batch 100, 2.4 GB footprint, 1 kernel. One load, one store,
+/// one VALU op per element — pure memory throughput.
+pub(crate) fn fw_act(cfg: &SuiteConfig, index: u64) -> Workload {
+    let mut alloc = RegionAlloc::for_workload(index);
+    let bytes = cfg.scaled(600 * 1024 * 1024);
+    let x = alloc.region(bytes);
+    let y = alloc.region(bytes);
+    let elems = bytes / 4;
+    let (wgs, iters) = grid(elems, 4, 640);
+    let k = kernel(
+        "fw_act_relu",
+        (index * 8) as u16,
+        wgs,
+        4,
+        iters,
+        vec![
+            Op::Load { pattern: 0 },
+            Op::WaitCnt { max: 24 },
+            Op::Valu { count: 1 },
+            Op::Store { pattern: 1 },
+        ],
+        vec![PatternSpec::stream(x), PatternSpec::stream(y)],
+    );
+    Workload {
+        name: "FwAct".to_string(),
+        category: Category::ThroughputSensitive,
+        launches: vec![k],
+        footprint: alloc.allocated(),
+    }
+}
+
+/// Backward activation: `dx[i] = dy[i] * (x[i] > 0)`.
+///
+/// Paper: batch 100, 2.4 GB footprint. Two loads per store.
+pub(crate) fn bw_act(cfg: &SuiteConfig, index: u64) -> Workload {
+    let mut alloc = RegionAlloc::for_workload(index);
+    let bytes = cfg.scaled(400 * 1024 * 1024);
+    let x = alloc.region(bytes);
+    let dy = alloc.region(bytes);
+    let dx = alloc.region(bytes);
+    let elems = bytes / 4;
+    let (wgs, iters) = grid(elems, 4, 640);
+    let k = kernel(
+        "bw_act_relu",
+        (index * 8) as u16,
+        wgs,
+        4,
+        iters,
+        vec![
+            Op::Load { pattern: 0 },
+            Op::Load { pattern: 1 },
+            Op::WaitCnt { max: 24 },
+            Op::Valu { count: 1 },
+            Op::Store { pattern: 2 },
+        ],
+        vec![
+            PatternSpec::stream(x),
+            PatternSpec::stream(dy),
+            PatternSpec::stream(dx),
+        ],
+    );
+    Workload {
+        name: "BwAct".to_string(),
+        category: Category::ThroughputSensitive,
+        launches: vec![k],
+        footprint: alloc.allocated(),
+    }
+}
+
+/// Forward local response normalization.
+///
+/// Paper: batch 100, 2.4 GB footprint, throughput sensitive — the
+/// cross-channel window is precomputed into a scale array by MIOpen, so
+/// the kernel streams the input and the scale with no reuse but a 2:1
+/// load:store ratio. FwLRN is the workload most hurt by DRAM row-locality
+/// disruption (Section VII.A: allocation bypass recovers it).
+pub(crate) fn fw_lrn(cfg: &SuiteConfig, index: u64) -> Workload {
+    let mut alloc = RegionAlloc::for_workload(index);
+    // Slightly larger arrays than BwAct and heavier per-element math
+    // (the powf of the LRN denominator).
+    let bytes = cfg.scaled(448 * 1024 * 1024);
+    let x = alloc.region(bytes);
+    let scale = alloc.region(bytes);
+    let y = alloc.region(bytes);
+    let elems = bytes / 4;
+    let (wgs, iters) = grid(elems, 4, 640);
+    let k = kernel(
+        "fw_lrn",
+        (index * 8) as u16,
+        wgs,
+        4,
+        iters,
+        vec![
+            Op::Load { pattern: 0 },
+            Op::Load { pattern: 1 },
+            Op::WaitCnt { max: 24 },
+            Op::Valu { count: 4 },
+            Op::Store { pattern: 2 },
+        ],
+        vec![
+            PatternSpec::stream(x),
+            PatternSpec {
+                region: scale,
+                elem_bytes: 4,
+                kind: PatternKind::Stream,
+                seq_stride_bytes: 0,
+            },
+            PatternSpec::stream(y),
+        ],
+    );
+    Workload {
+        name: "FwLRN".to_string(),
+        category: Category::ThroughputSensitive,
+        launches: vec![k],
+        footprint: alloc.allocated(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miopt_gpu::AccessCtx;
+
+    #[test]
+    fn fw_act_streams_disjoint_in_and_out() {
+        let w = fw_act(&SuiteConfig::quick(), 14);
+        let k = &w.launches[0];
+        let load = k.gen.lane_addr(&AccessCtx {
+            kernel_seq: 0,
+            wg: 0,
+            wf: 0,
+            lane: 0,
+            iter: 0,
+            pattern: 0,
+        });
+        let store = k.gen.lane_addr(&AccessCtx {
+            kernel_seq: 0,
+            wg: 0,
+            wf: 0,
+            lane: 0,
+            iter: 0,
+            pattern: 1,
+        });
+        assert_ne!(load, store);
+    }
+
+    #[test]
+    fn bw_act_is_two_loads_one_store() {
+        let w = bw_act(&SuiteConfig::quick(), 16);
+        let body = &w.launches[0].program.body;
+        let loads = body.iter().filter(|o| matches!(o, Op::Load { .. })).count();
+        let stores = body.iter().filter(|o| matches!(o, Op::Store { .. })).count();
+        assert_eq!((loads, stores), (2, 1));
+    }
+
+    #[test]
+    fn footprints_scale_with_divisor() {
+        let big = fw_act(&SuiteConfig::paper(), 14).footprint;
+        let small = fw_act(&SuiteConfig::quick(), 14).footprint;
+        assert!(big > 8 * small);
+    }
+}

@@ -1,0 +1,147 @@
+//! Pooling layers (DNNMark).
+//!
+//! Forward pooling reads overlapping 3x3 stride-2 windows: the horizontal
+//! overlap coalesces within a wavefront, but the vertical overlap (a row
+//! re-read one output-row later) needs a cache. Backward pooling scatters
+//! gradients into a 4x larger array with revisits that L2 write coalescing
+//! collapses — with markedly unequal load/store counts, as the paper
+//! notes.
+
+use crate::patterns::{PatternKind, PatternSpec};
+use crate::{grid, kernel, Category, RegionAlloc, SuiteConfig, Workload};
+use miopt_gpu::Op;
+
+/// Forward max pooling. Paper: batch 256, 480 MB footprint.
+pub(crate) fn fw_pool(cfg: &SuiteConfig, index: u64) -> Workload {
+    let mut alloc = RegionAlloc::for_workload(index);
+    let in_bytes = cfg.scaled(192 * 1024 * 1024);
+    let out_bytes = in_bytes / 4;
+    let x = alloc.region(in_bytes);
+    let y = alloc.region(out_bytes);
+    let out_elems = out_bytes / 4;
+    let (wgs, iters) = grid(out_elems, 4, 640);
+    // One output row of windows separates the overlapping input row: a
+    // wavefront-local reuse distance that the resident-wavefront count
+    // pushes past the L1s but the shared L2 holds.
+    let lag = 2048;
+    let k = kernel(
+        "fw_pool_max",
+        (index * 8) as u16,
+        wgs,
+        4,
+        iters,
+        vec![
+            // The two fresh window rows: 16 B per lane covers the 4 input
+            // elements per output.
+            Op::Load { pattern: 0 },
+            // The re-read row shared with the previous output row.
+            Op::Load { pattern: 1 },
+            Op::WaitCnt { max: 24 },
+            Op::Valu { count: 2 },
+            Op::Store { pattern: 2 },
+        ],
+        vec![
+            PatternSpec {
+                region: x,
+                elem_bytes: 16,
+                kind: PatternKind::Stream,
+                seq_stride_bytes: 0,
+            },
+            PatternSpec {
+                region: x,
+                elem_bytes: 8,
+                kind: PatternKind::ChunkReread { lag_bytes: lag },
+                seq_stride_bytes: 0,
+            },
+            PatternSpec::stream(y),
+        ],
+    );
+    Workload {
+        name: "FwPool".to_string(),
+        category: Category::ReuseSensitive,
+        launches: vec![k],
+        footprint: alloc.allocated(),
+    }
+}
+
+/// Backward max pooling. Paper: batch 256, 252 MB footprint. Loads the
+/// small output gradient, scatters into the large input gradient with
+/// overlapping revisited lines (write-coalescing potential at the L2).
+pub(crate) fn bw_pool(cfg: &SuiteConfig, index: u64) -> Workload {
+    let mut alloc = RegionAlloc::for_workload(index);
+    let dy_bytes = cfg.scaled(32 * 1024 * 1024);
+    let dx_bytes = dy_bytes * 4;
+    let dy = alloc.region(dy_bytes);
+    let mask = alloc.region(dx_bytes);
+    let dx = alloc.region(dx_bytes);
+    let dy_elems = dy_bytes / 4;
+    let (wgs, iters) = grid(dy_elems, 4, 640);
+    let k = kernel(
+        "bw_pool_max",
+        (index * 8) as u16,
+        wgs,
+        4,
+        iters,
+        vec![
+            // The output gradient plus the argmax mask over the full
+            // input extent.
+            Op::Load { pattern: 0 },
+            Op::Load { pattern: 1 },
+            Op::WaitCnt { max: 24 },
+            Op::Valu { count: 2 },
+            // Scatter: each 16 B-per-lane store covers the 4x larger dx,
+            // revisiting each position twice (window overlap).
+            Op::Store { pattern: 2 },
+            Op::Store { pattern: 2 },
+        ],
+        vec![
+            PatternSpec::stream(dy),
+            PatternSpec {
+                region: mask,
+                elem_bytes: 16,
+                kind: PatternKind::Stream,
+                seq_stride_bytes: 0,
+            },
+            PatternSpec {
+                region: dx,
+                elem_bytes: 16,
+                kind: PatternKind::Revisit { times: 2 },
+                seq_stride_bytes: 0,
+            },
+        ],
+    );
+    Workload {
+        name: "BwPool".to_string(),
+        category: Category::ReuseSensitive,
+        launches: vec![k],
+        footprint: alloc.allocated(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fw_pool_output_is_quarter_of_input() {
+        let w = fw_pool(&SuiteConfig::quick(), 4);
+        // footprint = in + in/4
+        let in_bytes = w.footprint * 4 / 5;
+        assert!(in_bytes > 0);
+        assert!(w.footprint - in_bytes <= in_bytes / 4 + 8192);
+    }
+
+    #[test]
+    fn bw_pool_store_traffic_outweighs_loads() {
+        // Unequal load/store counts (paper Section II.B): the dx scatter
+        // (two 16 B-per-lane stores = 32 lines/iter) outweighs the dy +
+        // mask loads (4 + 16 lines/iter).
+        let w = bw_pool(&SuiteConfig::quick(), 7);
+        let body = &w.launches[0].program.body;
+        let stores = body.iter().filter(|o| matches!(o, Op::Store { .. })).count();
+        assert_eq!(stores, 2);
+        let store_lines_per_iter = 2 * (64 * 16) / 64;
+        let load_lines_per_iter = (64 * 4) / 64 + (64 * 16) / 64;
+        assert!(store_lines_per_iter > load_lines_per_iter);
+    }
+}

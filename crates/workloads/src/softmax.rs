@@ -1,0 +1,112 @@
+//! Softmax layers (DNNMark): tiny classifier outputs (batch 512 x ~10
+//! classes, 0.01–0.02 MB) re-read several times per kernel (max, exp/sum,
+//! divide). Everything fits in any cache; uncached, every pass pays DRAM
+//! latency.
+
+use crate::patterns::{PatternKind, PatternSpec};
+use crate::{kernel, Category, RegionAlloc, SuiteConfig, Workload};
+use miopt_gpu::Op;
+
+fn soft(
+    name: &str,
+    index: u64,
+    arrays: u64,
+    passes: usize,
+    _cfg: &SuiteConfig,
+) -> Workload {
+    let mut alloc = RegionAlloc::for_workload(index);
+    // Paper sizes are absolute and tiny; no scaling.
+    let bytes = 24 * 1024;
+    let x = alloc.region(bytes);
+    let extra = (1..arrays).map(|_| alloc.region(bytes)).collect::<Vec<_>>();
+    let y = alloc.region(bytes);
+
+    let mut body = Vec::new();
+    let mut pats = Vec::new();
+    // Pass 0 reads fresh; later passes re-read at growing lags.
+    for p in 0..passes {
+        body.push(Op::Load {
+            pattern: pats.len() as u16,
+        });
+        pats.push(PatternSpec {
+            region: x,
+            elem_bytes: 4,
+            kind: if p == 0 {
+                PatternKind::Stream
+            } else {
+                PatternKind::LaggedStream {
+                    lag_bytes: 4096 * p as u64,
+                }
+            },
+            seq_stride_bytes: 0,
+        });
+        body.push(Op::WaitCnt { max: 2 });
+        body.push(Op::Valu { count: 2 });
+    }
+    for r in &extra {
+        body.push(Op::Load {
+            pattern: pats.len() as u16,
+        });
+        pats.push(PatternSpec::stream(*r));
+    }
+    body.push(Op::WaitCnt { max: 0 });
+    body.push(Op::Store {
+        pattern: pats.len() as u16,
+    });
+    pats.push(PatternSpec::stream(y));
+
+    // Batch 512 rows of ~12 classes: a handful of wavefronts.
+    let k = kernel(name, (index * 8) as u16, 8, 1, 12, body, pats);
+    Workload {
+        name: name.to_string(),
+        category: Category::ReuseSensitive,
+        launches: vec![k],
+        footprint: alloc.allocated(),
+    }
+}
+
+/// Forward softmax. Paper: batch 512, 0.01 MB.
+pub(crate) fn fw_soft(cfg: &SuiteConfig, index: u64) -> Workload {
+    let mut w = soft("FwSoft", index, 1, 3, cfg);
+    w.name = "FwSoft".to_string();
+    w
+}
+
+/// Backward softmax. Paper: batch 512, 0.02 MB (reads y and dy).
+pub(crate) fn bw_soft(cfg: &SuiteConfig, index: u64) -> Workload {
+    let mut w = soft("BwSoft", index, 2, 2, cfg);
+    w.name = "BwSoft".to_string();
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprints_are_tiny_and_bw_larger() {
+        let cfg = SuiteConfig::paper();
+        let f = fw_soft(&cfg, 5).footprint;
+        let b = bw_soft(&cfg, 6).footprint;
+        assert!(f < 256 * 1024);
+        assert!(b > f, "backward reads one extra array");
+    }
+
+    #[test]
+    fn multiple_passes_reread_the_input() {
+        let w = fw_soft(&SuiteConfig::paper(), 5);
+        let loads = w.launches[0]
+            .program
+            .body
+            .iter()
+            .filter(|o| matches!(o, Op::Load { .. }))
+            .count();
+        assert!(loads >= 3, "softmax makes several passes");
+    }
+
+    #[test]
+    fn grid_is_small() {
+        let w = fw_soft(&SuiteConfig::paper(), 5);
+        assert!(w.launches[0].total_wavefronts() <= 16, "latency-bound layer");
+    }
+}

@@ -1,0 +1,61 @@
+//! Sweep every caching policy — the three static policies plus the paper's
+//! optimization ladder — over one benchmark and report the comparison the
+//! paper makes in Figures 6 and 10.
+//!
+//! ```text
+//! cargo run --release --example policy_sweep -- [workload]
+//! ```
+
+use miopt::runner::{run_ladder_with_statics, run_one};
+use miopt::{CachePolicy, PolicyConfig, SystemConfig};
+use miopt_workloads::{by_name, Category, SuiteConfig};
+
+fn main() {
+    let workload_name = std::env::args().nth(1).unwrap_or_else(|| "FwPool".to_string());
+    let scale = SuiteConfig::quick();
+    let workload = by_name(&scale, &workload_name)
+        .unwrap_or_else(|| panic!("unknown workload {workload_name:?}"));
+    let cfg = SystemConfig::paper_table1();
+
+    println!("policy sweep for {} (paper category: {:?})", workload.name, workload.category);
+    println!("{:14} {:>12} {:>10} {:>10} {:>10} {:>10}", "config", "cycles", "vs Unc", "DRAM", "rowhit%", "stalls/rq");
+
+    let statics: Vec<_> = CachePolicy::ALL
+        .iter()
+        .map(|&p| run_one(&cfg, &workload, PolicyConfig::of(p)))
+        .collect();
+    let base = statics[0].metrics.cycles as f64;
+    let ladder = run_ladder_with_statics(&cfg, &workload, statics);
+
+    for run in ladder.statics.iter().chain(ladder.ladder.iter()) {
+        let m = &run.metrics;
+        println!(
+            "{:14} {:>12} {:>9.3}x {:>10} {:>9.1}% {:>10.3}",
+            run.policy.label(),
+            m.cycles,
+            m.cycles as f64 / base,
+            m.dram_accesses(),
+            m.row_hit_ratio() * 100.0,
+            m.stalls_per_request(),
+        );
+    }
+
+    let measured = miopt::runner::classify(&ladder.statics);
+    println!("\nmeasured category: {measured:?}");
+    if measured == workload.category {
+        println!("matches the paper's Figure 6 classification.");
+    } else {
+        println!(
+            "differs from the paper's classification ({:?}) — expected at reduced scales.",
+            workload.category
+        );
+    }
+    let best = ladder.static_best();
+    let pcby = &ladder.ladder[2];
+    println!(
+        "CacheRW-PCby vs static best ({}): {:.3}x",
+        best.policy.label(),
+        pcby.metrics.cycles as f64 / best.metrics.cycles as f64
+    );
+    let _ = Category::Insensitive; // (re-exported for doc purposes)
+}

@@ -1,0 +1,48 @@
+//! Quickstart: simulate one MI benchmark under one GPU caching policy and
+//! print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart -- [workload] [policy]
+//! cargo run --release --example quickstart -- FwFc CacheR
+//! ```
+
+use miopt::{ApuSystem, CachePolicy, PolicyConfig, SystemConfig};
+use miopt_workloads::{by_name, SuiteConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workload_name = args.next().unwrap_or_else(|| "BwBN".to_string());
+    let policy = match args.next().as_deref() {
+        None | Some("CacheR") => CachePolicy::CacheR,
+        Some("Uncached") => CachePolicy::Uncached,
+        Some("CacheRW") => CachePolicy::CacheRW,
+        Some(other) => panic!("unknown policy {other:?} (Uncached|CacheR|CacheRW)"),
+    };
+
+    // The quick suite scale keeps this example under a few seconds; use
+    // SuiteConfig::paper() for the full reproduction scale.
+    let scale = SuiteConfig::quick();
+    let workload = by_name(&scale, &workload_name)
+        .unwrap_or_else(|| panic!("unknown workload {workload_name:?}"));
+
+    println!(
+        "simulating {} ({} kernels, {:.2} MB footprint) under {policy} on the Table 1 system",
+        workload.name,
+        workload.total_kernels(),
+        workload.footprint_bytes() as f64 / (1024.0 * 1024.0),
+    );
+
+    let cfg = SystemConfig::paper_table1();
+    let mut sys = ApuSystem::new(cfg, PolicyConfig::of(policy), &workload);
+    let m = sys.run_to_completion(20_000_000_000).expect("simulation finished");
+
+    println!("execution time      {:>12} cycles ({:.3} ms)", m.cycles, m.seconds() * 1e3);
+    println!("compute bandwidth   {:>12.1} GVOPS", m.gvops());
+    println!("data bandwidth      {:>12.2} GMR/s", m.gmrs());
+    println!("GPU memory requests {:>12}", m.gpu.memory_requests());
+    println!("DRAM accesses       {:>12}", m.dram_accesses());
+    println!("DRAM row hit ratio  {:>12.1}%", m.row_hit_ratio() * 100.0);
+    println!("cache stalls/request{:>12.3}", m.stalls_per_request());
+    println!("L1 load hit rate    {:>12.1}%", m.l1.load_hit_rate() * 100.0);
+    println!("L2 load hit rate    {:>12.1}%", m.l2.load_hit_rate() * 100.0);
+}

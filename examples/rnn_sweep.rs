@@ -1,0 +1,79 @@
+//! Sweep RNN input sizes, as the paper's Section V.C invites: "As hidden
+//! layer size, sequence length, and batch size increase, the number of
+//! kernels and GPU footprint also increase. Thus, these workloads are
+//! useful for examining the behavior of a variety of different RNN
+//! training and inference sizes."
+//!
+//! This example varies the hidden-layer size and the sequence length of
+//! an LSTM forward pass and reports how the Uncached/CacheR trade-off
+//! moves: bigger hidden layers shift the bottleneck from launch overhead
+//! and latency toward weight bandwidth, where caching earns more.
+//!
+//! ```text
+//! cargo run --release --example rnn_sweep
+//! ```
+
+use miopt::runner::run_one;
+use miopt::{CachePolicy, PolicyConfig, SystemConfig};
+use miopt_workloads::rnn::{rnn_with_config, RnnConfig};
+
+fn main() {
+    let cfg = SystemConfig::paper_table1();
+
+    println!("LSTM forward: hidden-size sweep (sequence length 16)");
+    println!(
+        "{:>8} {:>9} {:>12} {:>12} {:>12} {:>10}",
+        "hidden", "kernels", "footprint", "Uncached", "CacheR", "speedup"
+    );
+    for hidden in [64u64, 128, 256, 512] {
+        let w = rnn_with_config(
+            "FwLSTM",
+            9,
+            &RnnConfig {
+                gates: 4,
+                hidden,
+                seq_len: 16,
+                backward: false,
+            },
+        );
+        let unc = run_one(&cfg, &w, PolicyConfig::of(CachePolicy::Uncached));
+        let r = run_one(&cfg, &w, PolicyConfig::of(CachePolicy::CacheR));
+        println!(
+            "{:>8} {:>9} {:>10}KB {:>12} {:>12} {:>9.3}x",
+            hidden,
+            w.total_kernels(),
+            w.footprint_bytes() / 1024,
+            unc.metrics.cycles,
+            r.metrics.cycles,
+            unc.metrics.cycles as f64 / r.metrics.cycles as f64,
+        );
+    }
+
+    println!("\nLSTM forward: sequence-length sweep (hidden 128)");
+    println!(
+        "{:>8} {:>9} {:>12} {:>12} {:>10}",
+        "seq", "kernels", "Uncached", "CacheR", "speedup"
+    );
+    for seq_len in [4u32, 8, 16, 32] {
+        let w = rnn_with_config(
+            "FwLSTM",
+            9,
+            &RnnConfig {
+                gates: 4,
+                hidden: 128,
+                seq_len,
+                backward: false,
+            },
+        );
+        let unc = run_one(&cfg, &w, PolicyConfig::of(CachePolicy::Uncached));
+        let r = run_one(&cfg, &w, PolicyConfig::of(CachePolicy::CacheR));
+        println!(
+            "{:>8} {:>9} {:>12} {:>12} {:>9.3}x",
+            seq_len,
+            w.total_kernels(),
+            unc.metrics.cycles,
+            r.metrics.cycles,
+            unc.metrics.cycles as f64 / r.metrics.cycles as f64,
+        );
+    }
+}

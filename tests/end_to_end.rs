@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: whole-suite runs at quick scale on the
+//! small test system, checking the invariants that hold regardless of
+//! calibration.
+
+use miopt::runner::{run_one, run_static_sweep};
+use miopt::{CachePolicy, PolicyConfig, SystemConfig};
+use miopt_workloads::{by_name, suite, SuiteConfig};
+
+fn cfg() -> SystemConfig {
+    SystemConfig::small_test()
+}
+
+#[test]
+fn every_workload_completes_under_every_static_policy() {
+    let workloads = suite(&SuiteConfig::quick());
+    // The big streaming workloads are slow even at quick scale on debug
+    // builds; sample across categories instead of running all 17 x 3.
+    let names = ["CM", "FwBN", "FwSoft", "BwPool", "FwGRU", "BwBN", "FwFc"];
+    for w in workloads.iter().filter(|w| names.contains(&w.name.as_str())) {
+        for p in CachePolicy::ALL {
+            let r = run_one(&cfg(), w, PolicyConfig::of(p));
+            assert!(r.metrics.cycles > 0, "{}/{p}", w.name);
+            assert!(
+                r.metrics.gpu.retired_wavefronts > 0,
+                "{}/{p}: no wavefronts retired",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn uncached_never_counts_cache_stalls() {
+    for name in ["FwSoft", "BwBN", "FwGRU"] {
+        let w = by_name(&SuiteConfig::quick(), name).unwrap();
+        let r = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::Uncached));
+        assert_eq!(r.metrics.cache_stalls(), 0, "{name}");
+    }
+}
+
+#[test]
+fn gpu_request_counts_are_policy_independent() {
+    // The CU issues the same coalesced request stream whatever the caches
+    // do with it.
+    let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+    let counts: Vec<u64> = CachePolicy::ALL
+        .iter()
+        .map(|&p| run_one(&cfg(), &w, PolicyConfig::of(p)).metrics.gpu.memory_requests())
+        .collect();
+    assert_eq!(counts[0], counts[1]);
+    assert_eq!(counts[1], counts[2]);
+}
+
+#[test]
+fn dram_accesses_never_exceed_gpu_requests_plus_writebacks() {
+    for name in ["FwSoft", "BwBN", "FwFc"] {
+        let w = by_name(&SuiteConfig::quick(), name).unwrap();
+        for p in CachePolicy::ALL {
+            let r = run_one(&cfg(), &w, PolicyConfig::of(p));
+            let m = &r.metrics;
+            let upper = m.gpu.memory_requests()
+                + m.l2.writebacks.get()
+                + m.l2.rinse_writebacks.get()
+                + m.l2.flush_writebacks.get();
+            assert!(
+                m.dram_accesses() <= upper,
+                "{name}/{p}: dram {} > upper bound {upper}",
+                m.dram_accesses()
+            );
+        }
+    }
+}
+
+#[test]
+fn reuse_workloads_cut_dram_traffic_with_caching() {
+    for name in ["FwSoft", "BwBN", "FwFc"] {
+        let w = by_name(&SuiteConfig::quick(), name).unwrap();
+        let unc = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::Uncached));
+        let r = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheR));
+        assert!(
+            (r.metrics.dram_accesses() as f64) < 0.9 * unc.metrics.dram_accesses() as f64,
+            "{name}: CacheR {} vs Uncached {}",
+            r.metrics.dram_accesses(),
+            unc.metrics.dram_accesses()
+        );
+    }
+}
+
+#[test]
+fn optimized_configs_complete_and_bound_stalls() {
+    use miopt::OptimizationSet;
+    let w = by_name(&SuiteConfig::quick(), "BwBN").unwrap();
+    let plain = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheRW));
+    let ab = run_one(
+        &cfg(),
+        &w,
+        PolicyConfig {
+            policy: CachePolicy::CacheRW,
+            opts: OptimizationSet::ab(),
+        },
+    );
+    // Allocation bypass exists to remove set-busy stalls.
+    assert!(
+        ab.metrics.l1.stall_set_busy.get() + ab.metrics.l2.stall_set_busy.get()
+            <= plain.metrics.l1.stall_set_busy.get() + plain.metrics.l2.stall_set_busy.get(),
+        "AB must not increase allocation blocking"
+    );
+    let pcby = run_one(
+        &cfg(),
+        &w,
+        PolicyConfig {
+            policy: CachePolicy::CacheRW,
+            opts: OptimizationSet::ab_cr_pcby(),
+        },
+    );
+    assert!(pcby.metrics.cycles > 0);
+}
+
+#[test]
+fn rinsing_never_loses_dirty_data() {
+    use miopt::OptimizationSet;
+    // Rinsing is *eager* writeback: it may add writes (a rinsed line that
+    // is stored again is written back twice) but can never lose dirty
+    // data, so DRAM writes are at least those of plain CacheRW-AB and the
+    // rinse writebacks are accounted.
+    let w = by_name(&SuiteConfig::quick(), "BwPool").unwrap();
+    let ab = run_one(
+        &cfg(),
+        &w,
+        PolicyConfig {
+            policy: CachePolicy::CacheRW,
+            opts: OptimizationSet::ab(),
+        },
+    );
+    let cr = run_one(
+        &cfg(),
+        &w,
+        PolicyConfig {
+            policy: CachePolicy::CacheRW,
+            opts: OptimizationSet::ab_cr(),
+        },
+    );
+    assert!(
+        cr.metrics.dram.writes.get() >= ab.metrics.dram.writes.get(),
+        "eager writeback cannot reduce total writes: cr {} vs ab {}",
+        cr.metrics.dram.writes.get(),
+        ab.metrics.dram.writes.get()
+    );
+    assert!(cr.metrics.l2.rinse_writebacks.get() > 0, "rinsing engaged");
+}
+
+#[test]
+fn static_sweep_is_reproducible() {
+    let w = by_name(&SuiteConfig::quick(), "FwGRU").unwrap();
+    let a = run_static_sweep(&cfg(), std::slice::from_ref(&w));
+    let b = run_static_sweep(&cfg(), std::slice::from_ref(&w));
+    for (x, y) in a[0].iter().zip(b[0].iter()) {
+        assert_eq!(x.metrics.cycles, y.metrics.cycles);
+        assert_eq!(x.metrics.dram_accesses(), y.metrics.dram_accesses());
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests on the cache model: for arbitrary request
+//! sequences and policies, the cache must answer every load exactly once,
+//! never lose a store, and keep its statistics consistent.
+
+use miopt_cache::{Blocked, CacheConfig, CacheUnit, LevelPolicy, Outcome, PredictorConfig, RowMap};
+use miopt_engine::{AccessKind, Cycle, LineAddr, MemReq, MemResp, Origin, Pc, ReqId, TimedQueue};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Req {
+    line: u64,
+    is_store: bool,
+    pc: u32,
+}
+
+fn req_strategy(lines: u64) -> impl Strategy<Value = Req> {
+    (0..lines, any::<bool>(), 0u32..8).prop_map(|(line, is_store, pc)| Req { line, is_store, pc })
+}
+
+fn policy_strategy() -> impl Strategy<Value = LevelPolicy> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(enabled, stores, ab, rinse, pcby)| LevelPolicy {
+            enabled,
+            cache_loads: enabled,
+            cache_stores: enabled && stores,
+            allocation_bypass: ab,
+            rinse: enabled && stores && rinse,
+            pc_bypass: pcby.then(PredictorConfig::paper),
+            row_map: (enabled && stores && rinse).then(|| RowMap::new(1, 2)),
+        },
+    )
+}
+
+/// Drives a request sequence through a cache with an "ideal memory" below
+/// it (every forwarded load is answered after a fixed delay), and checks
+/// end-to-end invariants.
+fn drive(policy: LevelPolicy, reqs: Vec<Req>) {
+    let mut cache = CacheUnit::new(CacheConfig::tiny_test(), policy, 0);
+    let mut down: TimedQueue<MemReq> = TimedQueue::new(16, 1);
+    let mut up: TimedQueue<MemResp> = TimedQueue::new(16, 1);
+    let mut memory: Vec<(Cycle, MemResp)> = Vec::new(); // pending "DRAM" responses
+    let mut outstanding: HashMap<u64, u64> = HashMap::new(); // load id -> count
+    let mut answered: HashMap<u64, u64> = HashMap::new();
+    let mut loads_issued = 0u64;
+
+    let mut pending: std::collections::VecDeque<(u64, Req)> = reqs.into_iter().enumerate().map(|(i, r)| (i as u64, r)).collect();
+    let mut now = Cycle(0);
+    let mut idle_cycles = 0;
+    loop {
+        // Feed one request per cycle if the cache accepts it.
+        if let Some((id, r)) = pending.front().cloned() {
+            let mem_req = MemReq {
+                id: ReqId(id),
+                line: LineAddr(r.line),
+                is_store: r.is_store,
+                kind: AccessKind::Cached,
+                pc: Pc(r.pc),
+                origin: Origin::Wavefront { cu: 0, slot: 0 },
+                issue_cycle: now,
+            };
+            match cache.access(now, mem_req, &mut down, &mut up) {
+                Ok(outcome) => {
+                    pending.pop_front();
+                    if !r.is_store {
+                        loads_issued += 1;
+                        *outstanding.entry(id).or_default() += 1;
+                    }
+                    // Hits answer immediately via `up`; everything else via
+                    // fills or silently (stores).
+                    match outcome {
+                        Outcome::Hit
+                        | Outcome::Merged
+                        | Outcome::MissForwarded
+                        | Outcome::BypassForwarded
+                        | Outcome::StoreAbsorbed
+                        | Outcome::StoreForwarded => {}
+                    }
+                }
+                Err(
+                    Blocked::MshrFull
+                    | Blocked::SetBusy
+                    | Blocked::MergeFull
+                    | Blocked::OutQueueFull
+                    | Blocked::RespQueueFull
+                    | Blocked::PortBusy,
+                ) => {}
+            }
+        }
+
+        // "DRAM": consume forwarded requests, schedule responses for loads.
+        while let Some(fwd) = down.pop_ready(now) {
+            if fwd.wants_response() {
+                memory.push((now + 20, MemResp::for_req(&fwd)));
+            }
+        }
+        // Deliver due memory responses as fills (up may be full: retry
+        // next cycle).
+        let mut i = 0;
+        while i < memory.len() {
+            if memory[i].0 <= now {
+                let (_, resp) = memory[i];
+                if cache.fill(now, resp, &mut up).is_ok() {
+                    memory.swap_remove(i);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        // Collect answers.
+        while let Some(resp) = up.pop_ready(now) {
+            *answered.entry(resp.id.0).or_default() += 1;
+        }
+
+        let done = pending.is_empty() && memory.is_empty() && !cache.busy() && down.is_empty() && up.is_empty();
+        if done {
+            idle_cycles += 1;
+            if idle_cycles > 64 {
+                break;
+            }
+        } else {
+            idle_cycles = 0;
+        }
+        now += 1;
+        assert!(now.0 < 1_000_000, "cache test did not converge");
+    }
+
+    // Every load answered exactly once.
+    assert_eq!(answered.len() as u64, loads_issued, "missing/extra answers");
+    for (id, n) in &answered {
+        assert_eq!(*n, 1, "load {id} answered {n} times");
+        assert!(outstanding.contains_key(id));
+    }
+    // Stats consistency.
+    let s = cache.stats();
+    let load_events =
+        s.load_hits.get() + s.load_merges.get() + s.load_misses.get() + s.load_bypasses.get();
+    assert_eq!(load_events, loads_issued, "load accounting");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_loads_answered_exactly_once(
+        policy in policy_strategy(),
+        reqs in prop::collection::vec(req_strategy(32), 1..200),
+    ) {
+        drive(policy, reqs);
+    }
+
+    #[test]
+    fn hot_set_conflicts_never_lose_requests(
+        policy in policy_strategy(),
+        // All lines map to set 0 of the 4-set tiny cache: maximal
+        // allocation blocking.
+        reqs in prop::collection::vec(
+            (0u64..8, any::<bool>()).prop_map(|(l, s)| Req { line: l * 4, is_store: s, pc: 1 }),
+            1..150,
+        ),
+    ) {
+        drive(policy, reqs);
+    }
+
+    #[test]
+    fn single_line_hammering_is_stable(
+        policy in policy_strategy(),
+        stores in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let reqs = stores
+            .into_iter()
+            .map(|is_store| Req { line: 7, is_store, pc: 2 })
+            .collect();
+        drive(policy, reqs);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests on workload address patterns and the coalescer:
+//! generated addresses stay inside their regions, and coalescing never
+//! produces more requests than active lanes.
+
+use miopt_engine::LINE_BYTES;
+use miopt_gpu::{coalesce, AccessCtx, AddrGen};
+use miopt_workloads::patterns::{LayerGen, PatternKind, PatternSpec, Region};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = PatternKind> {
+    prop_oneof![
+        Just(PatternKind::Stream),
+        (1u64..1 << 16).prop_map(|lag_bytes| PatternKind::LaggedStream { lag_bytes }),
+        (1u32..8).prop_map(|times| PatternKind::Revisit { times }),
+        ((1u64..1 << 14), (0u32..8))
+            .prop_map(|(plane_bytes, plane)| PatternKind::Planes { plane_bytes, plane }),
+        (1u64..1 << 14).prop_map(|phase_bytes| PatternKind::SharedSweep { phase_bytes }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn addresses_stay_in_region(
+        kind in kind_strategy(),
+        region_kb in 1u64..256,
+        elem_bytes in prop::sample::select(vec![4u32, 8, 16]),
+        wg in 0u32..1000,
+        wf in 0u32..4,
+        lane in 0u32..64,
+        iter in 0u32..64,
+        seq in 0u32..400,
+        seq_stride in 0u64..8192,
+    ) {
+        let region = Region::new(4096, region_kb * 1024);
+        let gen = LayerGen::new(
+            vec![PatternSpec { region, elem_bytes, kind, seq_stride_bytes: seq_stride }],
+            4,
+            64,
+        );
+        let ctx = AccessCtx { kernel_seq: seq, wg, wf, lane, iter, pattern: 0 };
+        let addr = gen.lane_addr(&ctx).expect("patterns are always active");
+        prop_assert!(addr.0 >= region.base);
+        prop_assert!(addr.0 < region.base + region.bytes);
+    }
+
+    #[test]
+    fn dense_lanes_coalesce_tightly(
+        base in 0u64..1 << 30,
+        elem_bytes in prop::sample::select(vec![4u64, 8, 16]),
+    ) {
+        // 64 dense lanes of elem_bytes each touch exactly
+        // 64 * elem_bytes / 64 lines when base is line-aligned.
+        let aligned = base / LINE_BYTES * LINE_BYTES;
+        let lines = coalesce((0..64u64).map(|l| Some(miopt_engine::Addr(aligned + l * elem_bytes))));
+        prop_assert_eq!(lines.len() as u64, 64 * elem_bytes / LINE_BYTES);
+    }
+
+    #[test]
+    fn coalesced_count_bounded_by_active_lanes(
+        addrs in prop::collection::vec(prop::option::of(0u64..1 << 24), 64),
+    ) {
+        let active = addrs.iter().filter(|a| a.is_some()).count();
+        let lines = coalesce(addrs.into_iter().map(|a| a.map(miopt_engine::Addr)));
+        prop_assert!(lines.len() <= active);
+        // No duplicate lines.
+        let mut sorted: Vec<_> = lines.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), lines.len());
+    }
+
+    #[test]
+    fn revisit_touches_each_position_times_times(
+        times in 1u32..6,
+    ) {
+        let region = Region::new(0, 1 << 20);
+        let iters = times * 8;
+        let gen = LayerGen::new(
+            vec![PatternSpec {
+                region,
+                elem_bytes: 4,
+                kind: PatternKind::Revisit { times },
+                seq_stride_bytes: 0,
+            }],
+            1,
+            iters,
+        );
+        let mut positions = Vec::new();
+        for iter in 0..iters {
+            let ctx = AccessCtx { kernel_seq: 0, wg: 0, wf: 0, lane: 0, iter, pattern: 0 };
+            positions.push(gen.lane_addr(&ctx).unwrap().0);
+        }
+        for chunk in positions.chunks(times as usize) {
+            prop_assert!(chunk.iter().all(|p| *p == chunk[0]), "chunk not constant: {chunk:?}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Asserts the default system configuration reproduces the paper's
+//! Table 1 parameters exactly.
+
+use miopt::SystemConfig;
+
+#[test]
+fn table1_gpu_parameters() {
+    let c = SystemConfig::paper_table1();
+    assert!((c.gpu_clock_hz - 1.6e9).abs() < 1.0, "GPU clock 1600 MHz");
+    assert_eq!(c.n_cus, 64, "# of CUs");
+    assert_eq!(c.cu.simds, 4, "# SIMD units per CU");
+    assert_eq!(c.cu.wf_slots_per_simd, 10, "max wavefronts per SIMD");
+}
+
+#[test]
+fn table1_l1_cache() {
+    let c = SystemConfig::paper_table1();
+    assert_eq!(c.l1.bytes(), 16 * 1024, "16 KB L1 per CU");
+    assert_eq!(c.l1.ways, 16, "16-way L1");
+    assert_eq!(miopt_engine::LINE_BYTES, 64, "64 B lines");
+}
+
+#[test]
+fn table1_l2_cache() {
+    let c = SystemConfig::paper_table1();
+    assert_eq!(
+        c.l2.bytes() * c.l2_slices as u64,
+        4 * 1024 * 1024,
+        "4 MB L2 per 64 CUs"
+    );
+    assert_eq!(c.l2.ways, 16, "16-way L2");
+}
+
+#[test]
+fn table1_main_memory() {
+    let c = SystemConfig::paper_table1();
+    assert_eq!(c.dram.channels, 16, "16 channels");
+    assert_eq!(c.dram.banks, 16, "16 banks per channel");
+    // 512 GB/s nominal bandwidth, within 10%.
+    let bw = f64::from(c.dram.channels) * 64.0 * c.gpu_clock_hz / c.dram.t_burst as f64 / 1e9;
+    assert!((460.0..570.0).contains(&bw), "bandwidth {bw} GB/s");
+}
+
+#[test]
+fn table1_uncontested_latencies() {
+    // Approximate uncontested L1/L2/Memory latencies: 50/125/225 cycles.
+    // Measure the round trip of a single dependent load through an
+    // otherwise idle system at each hierarchy level.
+    use miopt::{ApuSystem, CachePolicy, PolicyConfig};
+    use miopt_engine::Addr;
+    use miopt_gpu::{AccessCtx, KernelDesc, KernelProgram, Op};
+    use miopt_workloads::{Category, Workload};
+    use std::sync::Arc;
+
+    // A single wavefront issuing N fully dependent broadcast loads:
+    // per-load latency = round trip to wherever the data lives. Pattern 0
+    // hammers one line (hits in the L1 once cached); pattern 1 strides a
+    // fresh DRAM bank every iteration (activate + CAS on every access).
+    let make = |n_iters: u32, fresh_rows: bool| {
+        let kernel = Arc::new(KernelDesc {
+            name: "latency_probe".to_string(),
+            template_id: 901,
+            wgs: 1,
+            wfs_per_wg: 1,
+            program: KernelProgram::new(
+                vec![Op::Load { pattern: 0 }, Op::WaitCnt { max: 0 }],
+                n_iters,
+            ),
+            gen: Arc::new(move |ctx: &AccessCtx| {
+                if fresh_rows {
+                    Some(Addr(u64::from(ctx.iter) * 2048 * 16))
+                } else {
+                    Some(Addr(0))
+                }
+            }),
+        });
+        Workload {
+            name: "latency".to_string(),
+            category: Category::ReuseSensitive,
+            launches: vec![kernel],
+            footprint: 64,
+        }
+    };
+
+    let mut cfg = SystemConfig::paper_table1();
+    cfg.launch_overhead = 0;
+    let run = |policy, iters, fresh| {
+        let mut sys = ApuSystem::new(cfg.clone(), PolicyConfig::of(policy), &make(iters, fresh));
+        sys.run_to_completion(10_000_000).unwrap().cycles
+    };
+
+    // Per-load marginal latency between 8 and 40 iterations isolates the
+    // steady-state round trip from startup/drain overheads.
+    let per_load =
+        |policy, fresh| (run(policy, 40, fresh) - run(policy, 8, fresh)) as f64 / 32.0;
+
+    let l1 = per_load(CachePolicy::CacheR, false); // hits in L1 after first load
+    let mem = per_load(CachePolicy::Uncached, true); // fresh DRAM row every load
+    assert!(
+        (35.0..70.0).contains(&l1),
+        "L1 hit latency ~50 cycles, measured {l1:.1}"
+    );
+    assert!(
+        (180.0..280.0).contains(&mem),
+        "memory latency ~225 cycles, measured {mem:.1}"
+    );
+    assert!(mem > l1 * 2.5, "hierarchy levels must be distinct");
+}
