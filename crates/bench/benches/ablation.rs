@@ -1,37 +1,27 @@
 //! Ablation benches for the design choices DESIGN.md calls out: MSHR
-//! depth, dirty-block-index capacity, and PC-predictor threshold. Each
-//! bench runs the affected configuration and reports the simulated cycle
-//! count through Criterion's measurement of simulator wall time (the
-//! simulated outcomes are printed once per configuration on the first
-//! iteration).
+//! depth, dirty-block-index capacity, and L2 flush width. Each
+//! measurement runs the affected configuration and reports simulator
+//! wall time; the simulated cycle counts are asserted non-degenerate as
+//! a side effect.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use miopt::runner::run_one;
 use miopt::{CachePolicy, OptimizationSet, PolicyConfig, SystemConfig};
+use miopt_bench::timing::measure;
 use miopt_workloads::{by_name, SuiteConfig};
 
-fn bench_mshr_depth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_l1_mshr_depth");
-    g.sample_size(10);
-    let w = by_name(&SuiteConfig::quick(), "BwBN").unwrap();
+fn main() {
+    let bwbn = by_name(&SuiteConfig::quick(), "BwBN").unwrap();
     for mshr in [4usize, 8, 16] {
         let mut cfg = SystemConfig::small_test();
         cfg.l1.mshr_entries = mshr;
-        g.bench_with_input(BenchmarkId::from_parameter(mshr), &cfg, |b, cfg| {
-            b.iter(|| {
-                let r = run_one(cfg, &w, PolicyConfig::of(CachePolicy::CacheR));
-                assert!(r.metrics.cycles > 0);
-                r.metrics.cycles
-            });
+        measure(&format!("ablation_l1_mshr_depth/{mshr}"), 10, || {
+            let r = run_one(&cfg, &bwbn, PolicyConfig::of(CachePolicy::CacheR));
+            assert!(r.metrics.cycles > 0);
+            r.metrics.cycles
         });
     }
-    g.finish();
-}
 
-fn bench_dbi_capacity(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_dbi_rows");
-    g.sample_size(10);
-    let w = by_name(&SuiteConfig::quick(), "BwPool").unwrap();
+    let bwpool = by_name(&SuiteConfig::quick(), "BwPool").unwrap();
     for rows in [4usize, 16, 64] {
         let mut cfg = SystemConfig::small_test();
         cfg.l2.dbi_rows = rows;
@@ -39,33 +29,19 @@ fn bench_dbi_capacity(c: &mut Criterion) {
             policy: CachePolicy::CacheRW,
             opts: OptimizationSet::ab_cr(),
         };
-        g.bench_with_input(BenchmarkId::from_parameter(rows), &cfg, |b, cfg| {
-            b.iter(|| {
-                let r = run_one(cfg, &w, policy);
-                assert!(r.metrics.cycles > 0);
-                (r.metrics.cycles, r.metrics.row_hit_ratio())
-            });
+        measure(&format!("ablation_dbi_rows/{rows}"), 10, || {
+            let r = run_one(&cfg, &bwpool, policy);
+            assert!(r.metrics.cycles > 0);
+            (r.metrics.cycles, r.metrics.row_hit_ratio())
         });
     }
-    g.finish();
-}
 
-fn bench_flush_width(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_flush_width");
-    g.sample_size(10);
-    let w = by_name(&SuiteConfig::quick(), "BwBN").unwrap();
     for width in [1u32, 2, 8] {
         let mut cfg = SystemConfig::small_test();
         cfg.l2.flush_width = width;
-        g.bench_with_input(BenchmarkId::from_parameter(width), &cfg, |b, cfg| {
-            b.iter(|| {
-                let r = run_one(cfg, &w, PolicyConfig::of(CachePolicy::CacheRW));
-                r.metrics.cycles
-            });
+        measure(&format!("ablation_flush_width/{width}"), 10, || {
+            let r = run_one(&cfg, &bwbn, PolicyConfig::of(CachePolicy::CacheRW));
+            r.metrics.cycles
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_mshr_depth, bench_dbi_capacity, bench_flush_width);
-criterion_main!(benches);

@@ -1,19 +1,19 @@
-//! Criterion benches, one group per paper table/figure.
+//! Figure-regeneration benches, one measurement per paper table/figure
+//! group.
 //!
-//! Each bench regenerates the figure's data for a representative workload
-//! subset at the quick suite scale (so `cargo bench` stays minutes, not
-//! hours); the full-scale regeneration lives in the `figures` binary
-//! (`cargo run -p miopt-bench --release --bin figures`). What Criterion
-//! measures here is the wall time of the simulation itself — i.e. the
-//! throughput of the simulator on each experiment — while the bench body
-//! asserts the figure's qualitative property as a side effect.
+//! Each measurement regenerates the figure's data for a representative
+//! workload subset at the quick suite scale (so a full pass stays
+//! minutes, not hours); the full-scale regeneration lives in the
+//! `miopt-harness` binary. What is measured is the wall time of the
+//! simulation itself — the throughput of the simulator on each
+//! experiment — while the body asserts the figure's qualitative property
+//! as a side effect.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use miopt::runner::{run_ladder_with_statics, run_one, run_static_sweep, RunResult};
 use miopt::{CachePolicy, PolicyConfig, SystemConfig};
+use miopt_bench::timing::measure;
 use miopt_bench::{fig10, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9};
 use miopt_workloads::{by_name, SuiteConfig, Workload};
-use std::hint::black_box;
 
 fn cfg() -> SystemConfig {
     SystemConfig::small_test()
@@ -29,95 +29,59 @@ fn subset() -> Vec<Workload> {
         .collect()
 }
 
-fn sweep_of(workloads: &[Workload]) -> Vec<Vec<RunResult>> {
-    run_static_sweep(&cfg(), workloads)
-}
-
-fn bench_table2(c: &mut Criterion) {
-    c.bench_function("table2_suite_construction", |b| {
-        b.iter(|| {
-            let suite = miopt_workloads::suite(black_box(&SuiteConfig::quick()));
-            assert_eq!(suite.len(), 17);
-            suite
-        });
+fn main() {
+    measure("table2_suite_construction", 10, || {
+        let suite = miopt_workloads::suite(&SuiteConfig::quick());
+        assert_eq!(suite.len(), 17);
+        suite
     });
-}
 
-fn bench_fig4_fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig04_05_bandwidth");
-    g.sample_size(10);
     let w = by_name(&SuiteConfig::quick(), "BwBN").unwrap();
-    g.bench_function("fig04_gvops_cacher_run", |b| {
-        b.iter(|| {
-            let r = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheR));
-            assert!(r.metrics.gvops() > 0.0);
-            r
-        });
+    measure("fig04_gvops_cacher_run", 10, || {
+        let r = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheR));
+        assert!(r.metrics.gvops() > 0.0);
+        r
     });
-    g.bench_function("fig05_gmrs_cacher_run", |b| {
-        b.iter(|| {
-            let r = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheR));
-            assert!(r.metrics.gmrs() > 0.0);
-            r
-        });
+    measure("fig05_gmrs_cacher_run", 10, || {
+        let r = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheR));
+        assert!(r.metrics.gmrs() > 0.0);
+        r
     });
-    g.finish();
-}
 
-fn bench_fig6_to_9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig06_09_static_sweep");
-    g.sample_size(10);
     let workloads = subset();
-    g.bench_function("static_sweep_and_extract", |b| {
-        b.iter(|| {
-            let sweep = sweep_of(black_box(&workloads));
-            let f6 = fig6(&sweep);
-            let f7 = fig7(&sweep);
-            let f8 = fig8(&sweep);
-            let f9 = fig9(&sweep);
-            let f4 = fig4(&sweep);
-            let f5 = fig5(&sweep);
-            // Fig 6 invariant: Uncached column is 1.0.
-            assert!(f6.series[0].1.iter().all(|v| (*v - 1.0).abs() < 1e-9));
-            // Fig 7 invariant: BwBN's CacheR cuts DRAM traffic.
-            let bwbn = f7.workloads.iter().position(|w| w == "BwBN").unwrap();
-            assert!(f7.series[1].1[bwbn] < 1.0);
-            // Fig 9 invariant: ratios are probabilities.
-            assert!(f9.series.iter().all(|(_, v)| v.iter().all(|x| (0.0..=1.0).contains(x))));
-            (f4, f5, f6, f7, f8, f9)
-        });
+    measure("fig06_09_static_sweep_and_extract", 10, || {
+        let sweep = run_static_sweep(&cfg(), &workloads);
+        let f6 = fig6(&sweep);
+        let f7 = fig7(&sweep);
+        let f8 = fig8(&sweep);
+        let f9 = fig9(&sweep);
+        let f4 = fig4(&sweep);
+        let f5 = fig5(&sweep);
+        // Fig 6 invariant: Uncached column is 1.0.
+        assert!(f6.series[0].1.iter().all(|v| (*v - 1.0).abs() < 1e-9));
+        // Fig 7 invariant: BwBN's CacheR cuts DRAM traffic.
+        let bwbn = f7.workloads.iter().position(|w| w == "BwBN").unwrap();
+        assert!(f7.series[1].1[bwbn] < 1.0);
+        // Fig 9 invariant: ratios are probabilities.
+        assert!(f9
+            .series
+            .iter()
+            .all(|(_, v)| v.iter().all(|x| (0.0..=1.0).contains(x))));
+        (f4, f5, f6, f7, f8, f9)
     });
-    g.finish();
-}
 
-fn bench_fig10_to_13(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_13_ladder");
-    g.sample_size(10);
-    let w = by_name(&SuiteConfig::quick(), "BwBN").unwrap();
-    g.bench_function("ladder_and_extract", |b| {
-        b.iter(|| {
-            let statics: Vec<RunResult> = CachePolicy::ALL
-                .iter()
-                .map(|&p| run_one(&cfg(), &w, PolicyConfig::of(p)))
-                .collect();
-            let ladder = vec![run_ladder_with_statics(&cfg(), &w, statics)];
-            let f10 = fig10(&ladder);
-            let f11 = fig11(&ladder);
-            let f12 = fig12(&ladder);
-            let f13 = fig13(&ladder);
-            // Fig 10 invariant: StaticBest is exactly 1.0.
-            assert!((f10.series[0].1[0] - 1.0).abs() < 1e-12);
-            (f10, f11, f12, f13)
-        });
+    measure("fig10_13_ladder_and_extract", 10, || {
+        let statics: Vec<RunResult> = CachePolicy::ALL
+            .iter()
+            .map(|&p| run_one(&cfg(), &w, PolicyConfig::of(p)))
+            .collect();
+        let ladder = vec![run_ladder_with_statics(&cfg(), &w, statics)];
+        let f10 = fig10(&ladder);
+        let f11 = fig11(&ladder);
+        let f12 = fig12(&ladder);
+        let f13 = fig13(&ladder);
+        // Fig 10 invariant: StaticBest is exactly 1.0.
+        assert!((f10.series[0].1[0] - 1.0).abs() < 1e-12);
+        (f10, f11, f12, f13)
     });
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_table2,
-    bench_fig4_fig5,
-    bench_fig6_to_9,
-    bench_fig10_to_13
-);
-criterion_main!(benches);

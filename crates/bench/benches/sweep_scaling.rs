@@ -1,0 +1,62 @@
+//! Sweep-orchestration scaling: serial vs parallel wall time for the
+//! figures grid, the headline measurement of the `miopt-harness` worker
+//! pool.
+//!
+//! The sweep is embarrassingly parallel, so on an N-core machine the
+//! pool should approach an N-fold speedup (on a single-core machine the
+//! ratio is ~1.0 and this bench only verifies the pool adds no
+//! meaningful overhead). Both paths are also checked byte-identical,
+//! which is the determinism property everything else rests on.
+
+use miopt::runner::SweepSpec;
+use miopt::SystemConfig;
+use miopt_bench::timing::measure;
+use miopt_harness::pool::PoolOptions;
+use miopt_harness::sweep::{run_sweep, SweepOptions};
+use miopt_workloads::{by_name, SuiteConfig};
+use std::sync::Arc;
+
+fn main() {
+    let s = SuiteConfig::quick();
+    let workloads = ["CM", "BwBN", "FwGRU"]
+        .iter()
+        .map(|n| by_name(&s, n).expect("suite workload"))
+        .collect();
+    let spec = Arc::new(SweepSpec::figures(SystemConfig::small_test(), workloads));
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "sweep: {} jobs ({} workloads x {} policies), {cores} core(s) available",
+        spec.job_count(),
+        spec.workloads.len(),
+        spec.policies.len(),
+    );
+
+    let opts_with = |workers: usize| SweepOptions {
+        pool: PoolOptions {
+            workers,
+            ..PoolOptions::default()
+        },
+        cache: None,
+    };
+
+    let serial = measure("sweep_serial_1_worker", 3, || {
+        run_sweep(&spec, "bench-serial", &opts_with(1))
+    });
+    let parallel = measure(&format!("sweep_parallel_{cores}_workers"), 3, || {
+        run_sweep(&spec, "bench-parallel", &opts_with(0))
+    });
+    println!("speedup: {:.2}x", serial / parallel.max(1e-12));
+
+    // Determinism: both executors must produce bit-identical metrics.
+    let a = run_sweep(&spec, "a", &opts_with(1));
+    let b = run_sweep(&spec, "b", &opts_with(0));
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.job, y.job);
+        assert_eq!(
+            x.result.as_ref().unwrap().metrics,
+            y.result.as_ref().unwrap().metrics,
+            "serial and parallel sweeps must agree bit-for-bit"
+        );
+    }
+    println!("serial and parallel outcomes are bit-identical");
+}

@@ -1,212 +1,20 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
+//! This binary is a thin wrapper over the `miopt-harness` CLI — the
+//! sweeps run through the parallel job pool with result caching and a
+//! provenance report under `results/runs/`. It exists so the historical
+//! entry point keeps working:
+//!
 //! ```text
 //! cargo run -p miopt-bench --release --bin figures -- [--scale paper|quick]
 //!     [--only <workload>[,<workload>...]] [--csv <dir>]
 //!     [--table1] [--table2] [--fig4] ... [--fig13] [--all]
+//!     [--jobs N] [--serial] [--no-cache] [--compare] ...
 //! ```
 //!
-//! With no figure selector, everything is regenerated (`--all`).
-
-use miopt::runner::{run_ladder_with_statics, run_static_sweep, LadderResult, RunResult};
-use miopt::{SystemConfig};
-use miopt_bench::{fig10, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, FigureData};
-use miopt_workloads::{suite, SuiteConfig, Workload};
-use std::collections::BTreeSet;
-use std::time::Instant;
-
-struct Args {
-    scale: SuiteConfig,
-    only: Option<BTreeSet<String>>,
-    csv_dir: Option<String>,
-    selected: BTreeSet<String>,
-}
-
-fn parse_args() -> Args {
-    let mut scale = SuiteConfig::paper();
-    let mut only = None;
-    let mut csv_dir = None;
-    let mut selected = BTreeSet::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--scale" => {
-                let v = args.next().expect("--scale needs a value");
-                scale = match v.as_str() {
-                    "paper" => SuiteConfig::paper(),
-                    "quick" => SuiteConfig::quick(),
-                    other => panic!("unknown scale {other:?} (use paper|quick)"),
-                };
-            }
-            "--only" => {
-                let v = args.next().expect("--only needs a value");
-                only = Some(v.split(',').map(|s| s.to_lowercase()).collect());
-            }
-            "--csv" => csv_dir = Some(args.next().expect("--csv needs a directory")),
-            "--all" => {
-                selected.extend(
-                    ["table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"]
-                        .map(String::from),
-                );
-            }
-            s if s.starts_with("--") => {
-                selected.insert(s.trim_start_matches("--").to_string());
-            }
-            other => panic!("unexpected argument {other:?}"),
-        }
-    }
-    if selected.is_empty() {
-        selected.extend(
-            ["table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"]
-                .map(String::from),
-        );
-    }
-    Args {
-        scale,
-        only,
-        csv_dir,
-        selected,
-    }
-}
-
-fn print_table1(cfg: &SystemConfig) {
-    println!("== Table 1: Key simulated system parameters ==");
-    println!("GPU clock                {:.0} MHz", cfg.gpu_clock_hz / 1e6);
-    println!("# of CUs                 {}", cfg.n_cus);
-    println!("# SIMD units per CU      {}", cfg.cu.simds);
-    println!("Max wavefronts per SIMD  {}", cfg.cu.wf_slots_per_simd);
-    println!(
-        "GPU L1 D-cache per CU    {} KB, 64B line, {}-way write-through",
-        cfg.l1.bytes() / 1024,
-        cfg.l1.ways
-    );
-    println!(
-        "GPU L2 cache             {} MB ({} slices), 64B line, {}-way",
-        cfg.l2.bytes() * cfg.l2_slices as u64 / (1024 * 1024),
-        cfg.l2_slices,
-        cfg.l2.ways
-    );
-    println!(
-        "Main memory              HBM2, {} channels, {} banks/channel, ~{:.0} GB/s",
-        cfg.dram.channels,
-        cfg.dram.banks,
-        f64::from(cfg.dram.channels) * 64.0 * cfg.gpu_clock_hz / cfg.dram.t_burst as f64 / 1e9
-    );
-    println!();
-}
-
-fn print_table2(workloads: &[Workload]) {
-    println!("== Table 2: Studied MI workloads ==");
-    println!(
-        "{:10} {:>14} {:>14} {:>16}",
-        "workload", "unique kernels", "total kernels", "footprint"
-    );
-    for w in workloads {
-        let fp = w.footprint_bytes();
-        let fp_str = if fp >= 1024 * 1024 {
-            format!("{:.1} MB", fp as f64 / (1024.0 * 1024.0))
-        } else {
-            format!("{:.1} KB", fp as f64 / 1024.0)
-        };
-        println!(
-            "{:10} {:>14} {:>14} {:>16}",
-            w.name,
-            w.unique_kernels(),
-            w.total_kernels(),
-            fp_str
-        );
-    }
-    println!();
-}
-
-fn emit(fig: &FigureData, csv_dir: Option<&str>, file: &str) {
-    println!("{}", fig.to_table());
-    if let Some(dir) = csv_dir {
-        std::fs::create_dir_all(dir).expect("create csv dir");
-        let path = format!("{dir}/{file}.csv");
-        std::fs::write(&path, fig.to_csv()).expect("write csv");
-        println!("(wrote {path})");
-    }
-}
+//! See `miopt_harness::cli` for the full flag reference.
 
 fn main() {
-    let args = parse_args();
-    let cfg = SystemConfig::paper_table1();
-    let mut workloads = suite(&args.scale);
-    if let Some(only) = &args.only {
-        workloads.retain(|w| only.contains(&w.name.to_lowercase()));
-        assert!(!workloads.is_empty(), "--only matched no workloads");
-    }
-    let sel = |s: &str| args.selected.contains(s);
-
-    if sel("table1") {
-        print_table1(&cfg);
-    }
-    if sel("table2") {
-        print_table2(&workloads);
-    }
-
-    let need_sweep = ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"]
-        .iter()
-        .any(|f| sel(f));
-    if !need_sweep {
-        return;
-    }
-
-    eprintln!(
-        "running static sweep: {} workloads x 3 policies ...",
-        workloads.len()
-    );
-    let t0 = Instant::now();
-    let sweep = run_static_sweep(&cfg, &workloads);
-    eprintln!("static sweep done in {:.1}s", t0.elapsed().as_secs_f64());
-
-    let csv = args.csv_dir.as_deref();
-    if sel("fig4") {
-        emit(&fig4(&sweep), csv, "fig4_gvops");
-    }
-    if sel("fig5") {
-        emit(&fig5(&sweep), csv, "fig5_gmrs");
-    }
-    if sel("fig6") {
-        emit(&fig6(&sweep), csv, "fig6_exec_time");
-    }
-    if sel("fig7") {
-        emit(&fig7(&sweep), csv, "fig7_dram_accesses");
-    }
-    if sel("fig8") {
-        emit(&fig8(&sweep), csv, "fig8_cache_stalls");
-    }
-    if sel("fig9") {
-        emit(&fig9(&sweep), csv, "fig9_row_hits");
-    }
-
-    let need_ladder = ["fig10", "fig11", "fig12", "fig13"].iter().any(|f| sel(f));
-    if !need_ladder {
-        return;
-    }
-    eprintln!(
-        "running optimization ladder: {} workloads x 3 configs ...",
-        workloads.len()
-    );
-    let t1 = Instant::now();
-    let ladders: Vec<LadderResult> = workloads
-        .iter()
-        .zip(sweep)
-        .map(|(w, statics): (&Workload, Vec<RunResult>)| run_ladder_with_statics(&cfg, w, statics))
-        .collect();
-    eprintln!("ladder done in {:.1}s", t1.elapsed().as_secs_f64());
-
-    if sel("fig10") {
-        emit(&fig10(&ladders), csv, "fig10_opt_exec_time");
-    }
-    if sel("fig11") {
-        emit(&fig11(&ladders), csv, "fig11_opt_dram");
-    }
-    if sel("fig12") {
-        emit(&fig12(&ladders), csv, "fig12_opt_stalls");
-    }
-    if sel("fig13") {
-        emit(&fig13(&ladders), csv, "fig13_opt_rows");
-    }
+    let args = miopt_harness::cli::parse_args(std::env::args().skip(1));
+    std::process::exit(miopt_harness::cli::run(&args));
 }

@@ -285,7 +285,7 @@ mod tests {
     #[test]
     fn row_map_strips_columns() {
         let m = RowMap::new(2, 3); // 4 channels, 8-line rows
-        // Same channel, all 8 columns of row 0, bank 0 share a key.
+                                   // Same channel, all 8 columns of row 0, bank 0 share a key.
         let base = m.key(LineAddr(0));
         for col in 0..8u64 {
             assert_eq!(m.key(LineAddr(col * 4)), base);

@@ -63,7 +63,12 @@ impl MshrTable {
     ///
     /// Panics in debug builds if an entry for the line already exists or
     /// the table is full (callers check first).
-    pub(crate) fn allocate(&mut self, req: MemReq, allocates: bool, reserved: Option<(usize, usize)>) {
+    pub(crate) fn allocate(
+        &mut self,
+        req: MemReq,
+        allocates: bool,
+        reserved: Option<(usize, usize)>,
+    ) {
         debug_assert!(self.has_free_entry());
         let prev = self.entries.insert(
             req.line,

@@ -109,7 +109,8 @@ impl PcPredictor {
         self.queries = self.queries.wrapping_add(1);
         let idx = self.index(pc);
         let predicted = self.counters[idx] >= self.cfg.threshold;
-        let sampled = self.cfg.sample_period > 0 && self.queries.is_multiple_of(self.cfg.sample_period);
+        let sampled =
+            self.cfg.sample_period > 0 && self.queries.is_multiple_of(self.cfg.sample_period);
         let cache = predicted || sampled;
         if cache {
             self.stats.predict_cache.inc();

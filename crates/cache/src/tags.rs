@@ -191,7 +191,14 @@ impl TagArray {
     }
 
     /// Installs `line` in `way` of its set with the given state.
-    pub(crate) fn install(&mut self, line: LineAddr, way: usize, state: LineState, pc: Pc, dirty: bool) {
+    pub(crate) fn install(
+        &mut self,
+        line: LineAddr,
+        way: usize,
+        state: LineState,
+        pc: Pc,
+        dirty: bool,
+    ) {
         let set = self.set_of(line);
         self.use_stamp += 1;
         let stamp = self.use_stamp;
@@ -228,7 +235,10 @@ impl TagArray {
                 debug_assert!(!l.dirty, "flash_invalidate with dirty line");
                 visit(l);
             }
-            debug_assert!(l.state != LineState::Busy, "flash_invalidate with busy line");
+            debug_assert!(
+                l.state != LineState::Busy,
+                "flash_invalidate with busy line"
+            );
         }
         self.epoch += 1;
     }
@@ -252,7 +262,10 @@ impl TagArray {
 
     /// Number of busy lines.
     pub(crate) fn busy_count(&self) -> usize {
-        self.lines.iter().filter(|l| l.state == LineState::Busy).count()
+        self.lines
+            .iter()
+            .filter(|l| l.state == LineState::Busy)
+            .count()
     }
 }
 

@@ -161,7 +161,9 @@ impl CacheUnit {
                     continue;
                 }
             }
-            let Some(&req) = input.ready_front(now) else { return };
+            let Some(&req) = input.ready_front(now) else {
+                return;
+            };
             match self.access(now, req, down, up) {
                 Ok(_) => {
                     input.pop_ready(now);
@@ -255,7 +257,12 @@ impl CacheUnit {
         }
     }
 
-    fn forward(&mut self, now: Cycle, req: MemReq, down: &mut TimedQueue<MemReq>) -> Result<(), Blocked> {
+    fn forward(
+        &mut self,
+        now: Cycle,
+        req: MemReq,
+        down: &mut TimedQueue<MemReq>,
+    ) -> Result<(), Blocked> {
         if !down.can_push() {
             return Err(Blocked::OutQueueFull);
         }
@@ -361,7 +368,8 @@ impl CacheUnit {
                         p.train_reuse(pc);
                     }
                     if req.wants_response() {
-                        up.push(now, MemResp::for_req(&req)).expect("checked can_push");
+                        up.push(now, MemResp::for_req(&req))
+                            .expect("checked can_push");
                     }
                     self.stats.accesses.inc();
                     self.stats.load_hits.inc();
@@ -452,7 +460,10 @@ impl CacheUnit {
             self.forward(now, req, down)?;
             if let Some((set, way)) = hit {
                 if self.tags.line(set, way).state == LineState::Valid {
-                    debug_assert!(!self.tags.line(set, way).dirty, "dirty line at write-through level");
+                    debug_assert!(
+                        !self.tags.line(set, way).dirty,
+                        "dirty line at write-through level"
+                    );
                     self.tags.invalidate(set, way);
                 }
             }
@@ -601,7 +612,9 @@ impl CacheUnit {
                 continue;
             }
             if let Some((set, way)) = self.tags.probe(b) {
-                if self.tags.line(set, way).state == LineState::Valid && self.tags.line(set, way).dirty {
+                if self.tags.line(set, way).state == LineState::Valid
+                    && self.tags.line(set, way).dirty
+                {
                     self.tags.line_mut(set, way).dirty = false;
                     let id = self.next_wb_id();
                     down.push(now, MemReq::writeback(id, b, now))
@@ -669,7 +682,10 @@ impl CacheUnit {
         if up.free_slots() < needed {
             return Err(resp);
         }
-        let entry = self.mshr.complete(resp.line, resp.id).expect("checked above");
+        let entry = self
+            .mshr
+            .complete(resp.line, resp.id)
+            .expect("checked above");
         if entry.allocates {
             let (set, way) = entry.reserved.expect("allocating entries reserve a way");
             debug_assert_eq!(self.tags.line(set, way).state, LineState::Busy);
@@ -678,7 +694,8 @@ impl CacheUnit {
         }
         for w in &entry.waiters {
             if w.wants_response() {
-                up.push(now, MemResp::for_req(w)).expect("checked free_slots");
+                up.push(now, MemResp::for_req(w))
+                    .expect("checked free_slots");
             }
         }
         self.stats.fills.inc();
@@ -699,7 +716,9 @@ impl CacheUnit {
             if !down.can_push() {
                 return;
             }
-            let Some(line) = self.pending_flush.pop() else { return };
+            let Some(line) = self.pending_flush.pop() else {
+                return;
+            };
             if let Some((set, way)) = self.tags.probe(line) {
                 if self.tags.line(set, way).dirty {
                     self.tags.line_mut(set, way).dirty = false;
@@ -731,7 +750,10 @@ impl CacheUnit {
     /// Panics in debug builds if fills are outstanding or dirty data
     /// remains (drain and flush first).
     pub fn self_invalidate(&mut self) {
-        debug_assert!(self.mshr.is_empty(), "self-invalidate with outstanding fills");
+        debug_assert!(
+            self.mshr.is_empty(),
+            "self-invalidate with outstanding fills"
+        );
         let mut invalidated = 0u64;
         let mut no_reuse_pcs = Vec::new();
         self.tags.flash_invalidate(|l| {
@@ -832,7 +854,12 @@ mod tests {
         }
     }
 
-    fn warm(c: &mut CacheUnit, line: u64, down: &mut TimedQueue<MemReq>, up: &mut TimedQueue<MemResp>) {
+    fn warm(
+        c: &mut CacheUnit,
+        line: u64,
+        down: &mut TimedQueue<MemReq>,
+        up: &mut TimedQueue<MemResp>,
+    ) {
         warm_at(c, Cycle(0), line, down, up);
     }
 
@@ -841,7 +868,10 @@ mod tests {
         let mut c = cache(LevelPolicy::cache_loads_only());
         let (mut down, mut up) = queues();
         let r = load(1, 8, 7);
-        assert_eq!(c.access(Cycle(0), r, &mut down, &mut up).unwrap(), Outcome::MissForwarded);
+        assert_eq!(
+            c.access(Cycle(0), r, &mut down, &mut up).unwrap(),
+            Outcome::MissForwarded
+        );
         assert_eq!(c.busy_lines(), 1);
         let fwd = down.pop_ready(Cycle(0)).unwrap();
         assert_eq!(fwd.id, ReqId(1));
@@ -852,7 +882,8 @@ mod tests {
         assert_eq!(c.live_lines(), 1);
         // Second access hits.
         assert_eq!(
-            c.access(Cycle(6), load(2, 8, 7), &mut down, &mut up).unwrap(),
+            c.access(Cycle(6), load(2, 8, 7), &mut down, &mut up)
+                .unwrap(),
             Outcome::Hit
         );
         assert_eq!(up.pop_ready(Cycle(6)).unwrap().id, ReqId(2));
@@ -864,8 +895,16 @@ mod tests {
     fn pending_miss_merges_and_fill_answers_all() {
         let mut c = cache(LevelPolicy::cache_loads_only());
         let (mut down, mut up) = queues();
-        assert_eq!(c.access(Cycle(0), load(1, 8, 7), &mut down, &mut up).unwrap(), Outcome::MissForwarded);
-        assert_eq!(c.access(Cycle(1), load(2, 8, 7), &mut down, &mut up).unwrap(), Outcome::Merged);
+        assert_eq!(
+            c.access(Cycle(0), load(1, 8, 7), &mut down, &mut up)
+                .unwrap(),
+            Outcome::MissForwarded
+        );
+        assert_eq!(
+            c.access(Cycle(1), load(2, 8, 7), &mut down, &mut up)
+                .unwrap(),
+            Outcome::Merged
+        );
         assert_eq!(down.len(), 1, "merged load must not be forwarded");
         let fwd = down.pop_ready(Cycle(1)).unwrap();
         c.fill(Cycle(5), MemResp::for_req(&fwd), &mut up).unwrap();
@@ -883,13 +922,19 @@ mod tests {
         let mut c = cache(LevelPolicy::disabled());
         let (mut down, mut up) = queues();
         assert_eq!(
-            c.access(Cycle(0), load(1, 8, 7), &mut down, &mut up).unwrap(),
+            c.access(Cycle(0), load(1, 8, 7), &mut down, &mut up)
+                .unwrap(),
             Outcome::BypassForwarded
         );
         // Coalescing still happens on the bypass path.
-        assert_eq!(c.access(Cycle(0), load(2, 8, 7), &mut down, &mut up).unwrap(), Outcome::Merged);
         assert_eq!(
-            c.access(Cycle(0), store(3, 16, 7), &mut down, &mut up).unwrap(),
+            c.access(Cycle(0), load(2, 8, 7), &mut down, &mut up)
+                .unwrap(),
+            Outcome::Merged
+        );
+        assert_eq!(
+            c.access(Cycle(0), store(3, 16, 7), &mut down, &mut up)
+                .unwrap(),
             Outcome::StoreForwarded
         );
         assert_eq!(c.live_lines(), 0, "disabled cache must not fill");
@@ -907,9 +952,15 @@ mod tests {
         let (mut down, mut up) = queues();
         // tiny_test: 4 sets, 2 ways; three set-colliding lines.
         let l = colliding(4, 3);
-        assert!(c.access(Cycle(0), load(1, l[0], 7), &mut down, &mut up).is_ok());
-        assert!(c.access(Cycle(1), load(2, l[1], 7), &mut down, &mut up).is_ok());
-        let err = c.access(Cycle(2), load(3, l[2], 7), &mut down, &mut up).unwrap_err();
+        assert!(c
+            .access(Cycle(0), load(1, l[0], 7), &mut down, &mut up)
+            .is_ok());
+        assert!(c
+            .access(Cycle(1), load(2, l[1], 7), &mut down, &mut up)
+            .is_ok());
+        let err = c
+            .access(Cycle(2), load(3, l[2], 7), &mut down, &mut up)
+            .unwrap_err();
         assert_eq!(err, Blocked::SetBusy);
         assert_eq!(c.stats().stall_set_busy.get(), 1);
     }
@@ -921,10 +972,15 @@ mod tests {
         let mut c = cache(p);
         let (mut down, mut up) = queues();
         let l = colliding(4, 3);
-        assert!(c.access(Cycle(0), load(1, l[0], 7), &mut down, &mut up).is_ok());
-        assert!(c.access(Cycle(1), load(2, l[1], 7), &mut down, &mut up).is_ok());
+        assert!(c
+            .access(Cycle(0), load(1, l[0], 7), &mut down, &mut up)
+            .is_ok());
+        assert!(c
+            .access(Cycle(1), load(2, l[1], 7), &mut down, &mut up)
+            .is_ok());
         assert_eq!(
-            c.access(Cycle(2), load(3, l[2], 7), &mut down, &mut up).unwrap(),
+            c.access(Cycle(2), load(3, l[2], 7), &mut down, &mut up)
+                .unwrap(),
             Outcome::BypassForwarded
         );
         assert_eq!(c.stats().alloc_bypasses.get(), 1);
@@ -939,7 +995,8 @@ mod tests {
         warm(&mut c, 8, &mut down, &mut up);
         assert_eq!(c.live_lines(), 1);
         assert_eq!(
-            c.access(Cycle(10), store(5, 8, 9), &mut down, &mut up).unwrap(),
+            c.access(Cycle(10), store(5, 8, 9), &mut down, &mut up)
+                .unwrap(),
             Outcome::StoreForwarded
         );
         assert_eq!(c.live_lines(), 0, "stale copy must be invalidated");
@@ -951,13 +1008,15 @@ mod tests {
         let mut c = cache(LevelPolicy::cache_loads_and_stores());
         let (mut down, mut up) = queues();
         assert_eq!(
-            c.access(Cycle(0), store(1, 8, 9), &mut down, &mut up).unwrap(),
+            c.access(Cycle(0), store(1, 8, 9), &mut down, &mut up)
+                .unwrap(),
             Outcome::StoreAbsorbed
         );
         assert_eq!(down.len(), 0, "absorbed store generates no traffic");
         // Second store to the same line coalesces (write hit).
         assert_eq!(
-            c.access(Cycle(1), store(2, 8, 9), &mut down, &mut up).unwrap(),
+            c.access(Cycle(1), store(2, 8, 9), &mut down, &mut up)
+                .unwrap(),
             Outcome::StoreAbsorbed
         );
         assert_eq!(c.stats().store_hits.get(), 1);
@@ -981,9 +1040,12 @@ mod tests {
         let (mut down, mut up) = queues();
         // Fill one set with dirty stores, then force a third allocation.
         let l = colliding(4, 3);
-        c.access(Cycle(0), store(1, l[0], 9), &mut down, &mut up).unwrap();
-        c.access(Cycle(1), store(2, l[1], 9), &mut down, &mut up).unwrap();
-        c.access(Cycle(2), store(3, l[2], 9), &mut down, &mut up).unwrap();
+        c.access(Cycle(0), store(1, l[0], 9), &mut down, &mut up)
+            .unwrap();
+        c.access(Cycle(1), store(2, l[1], 9), &mut down, &mut up)
+            .unwrap();
+        c.access(Cycle(2), store(3, l[2], 9), &mut down, &mut up)
+            .unwrap();
         assert_eq!(c.stats().writebacks.get(), 1);
         let wb = down.pop_ready(Cycle(2)).unwrap();
         assert!(wb.is_store);
@@ -997,7 +1059,8 @@ mod tests {
         warm(&mut c, 8, &mut down, &mut up);
         c.self_invalidate();
         assert_eq!(
-            c.access(Cycle(20), load(9, 8, 7), &mut down, &mut up).unwrap(),
+            c.access(Cycle(20), load(9, 8, 7), &mut down, &mut up)
+                .unwrap(),
             Outcome::MissForwarded
         );
         assert_eq!(c.stats().self_invalidations.get(), 1);
@@ -1014,19 +1077,33 @@ mod tests {
         let mut c = cache(p);
         let (mut down, mut up) = queues();
         for (i, line) in [0u64, 1, 2, 3].iter().enumerate() {
-            c.access(Cycle(i as u64), store(i as u64, *line, 9), &mut down, &mut up)
-                .unwrap();
+            c.access(
+                Cycle(i as u64),
+                store(i as u64, *line, 9),
+                &mut down,
+                &mut up,
+            )
+            .unwrap();
         }
         // Two more dirty lines that collide with line 0's set force its
         // eviction (LRU dirty) and must rinse lines 1..3 (same DRAM row
         // as line 0, RowMap(0, 2)).
         let l = colliding(0, 3);
         assert_eq!(l[0], 0);
-        assert!(l[1] > 3 && l[2] > 3, "colliders must be outside row 0: {l:?}");
-        c.access(Cycle(4), store(10, l[1], 9), &mut down, &mut up).unwrap();
-        c.access(Cycle(5), store(11, l[2], 9), &mut down, &mut up).unwrap();
+        assert!(
+            l[1] > 3 && l[2] > 3,
+            "colliders must be outside row 0: {l:?}"
+        );
+        c.access(Cycle(4), store(10, l[1], 9), &mut down, &mut up)
+            .unwrap();
+        c.access(Cycle(5), store(11, l[2], 9), &mut down, &mut up)
+            .unwrap();
         assert_eq!(c.stats().writebacks.get(), 1);
-        assert_eq!(c.stats().rinse_writebacks.get(), 3, "lines 1,2,3 rinsed with 0");
+        assert_eq!(
+            c.stats().rinse_writebacks.get(),
+            3,
+            "lines 1,2,3 rinsed with 0"
+        );
         // Rinsed lines remain resident (clean).
         assert!(c.live_lines() >= 4);
     }
@@ -1049,12 +1126,14 @@ mod tests {
             match c.access(Cycle(round), r, &mut down, &mut up) {
                 Ok(Outcome::MissForwarded) => {
                     let fwd = down.pop_ready(Cycle(round)).unwrap();
-                    c.fill(Cycle(round), MemResp::for_req(&fwd), &mut up).unwrap();
+                    c.fill(Cycle(round), MemResp::for_req(&fwd), &mut up)
+                        .unwrap();
                     up.pop_ready(Cycle(round)).unwrap();
                 }
                 Ok(Outcome::BypassForwarded) => {
                     let fwd = down.pop_ready(Cycle(round)).unwrap();
-                    c.fill(Cycle(round), MemResp::for_req(&fwd), &mut up).unwrap();
+                    c.fill(Cycle(round), MemResp::for_req(&fwd), &mut up)
+                        .unwrap();
                     up.pop_ready(Cycle(round)).unwrap();
                 }
                 other => panic!("unexpected {other:?}"),
@@ -1087,14 +1166,20 @@ mod tests {
         let (mut down, mut up) = queues();
         // tiny_test: 4 MSHR entries; use 4 different sets to avoid SetBusy.
         for (i, line) in [0u64, 1, 2, 3].iter().enumerate() {
-            c.access(Cycle(i as u64), load(i as u64, *line, 7), &mut down, &mut up)
-                .unwrap();
+            c.access(
+                Cycle(i as u64),
+                load(i as u64, *line, 7),
+                &mut down,
+                &mut up,
+            )
+            .unwrap();
         }
-        let err = c.access(Cycle(1), load(9, 20, 7), &mut down, &mut up).unwrap_err();
+        let err = c
+            .access(Cycle(1), load(9, 20, 7), &mut down, &mut up)
+            .unwrap_err();
         assert_eq!(err, Blocked::MshrFull);
         assert_eq!(c.stats().stall_mshr.get(), 1);
     }
-
 
     #[test]
     fn service_parks_blocked_requests_and_lets_younger_overtake() {
@@ -1105,11 +1190,12 @@ mod tests {
         let (mut down, mut up) = queues();
         let mut input: TimedQueue<MemReq> = TimedQueue::new(16, 0);
         let l = colliding(4, 3);
-        let other_set = (l[2] + 1..).find(|x| {
-            crate::tags::set_index_for(LineAddr(*x), 4, 31, 0)
-                != crate::tags::set_index_for(LineAddr(l[0]), 4, 31, 0)
-        })
-        .unwrap();
+        let other_set = (l[2] + 1..)
+            .find(|x| {
+                crate::tags::set_index_for(LineAddr(*x), 4, 31, 0)
+                    != crate::tags::set_index_for(LineAddr(l[0]), 4, 31, 0)
+            })
+            .unwrap();
         for (i, line) in [l[0], l[1], l[2], other_set].iter().enumerate() {
             input.push(Cycle(0), load(i as u64, *line, 7)).unwrap();
         }
@@ -1118,10 +1204,13 @@ mod tests {
         }
         // The set-conflicting load is parked, the other-set load got out.
         let forwarded: Vec<u64> = down.drain_all().map(|r| r.line.0).collect();
-        assert!(forwarded.contains(&other_set), "younger request overtook: {forwarded:?}");
+        assert!(
+            forwarded.contains(&other_set),
+            "younger request overtook: {forwarded:?}"
+        );
         assert!(!forwarded.contains(&l[2]), "blocked request stays parked");
         assert!(c.busy(), "replay entry pending");
-        assert_eq!(c.stats().stall_set_busy.get() > 0, true);
+        assert!(c.stats().stall_set_busy.get() > 0);
     }
 
     #[test]
@@ -1163,7 +1252,11 @@ mod tests {
         let mut down: TimedQueue<MemReq> = TimedQueue::new(1, 0);
         let mut up: TimedQueue<MemResp> = TimedQueue::new(16, 0);
         let mut input: TimedQueue<MemReq> = TimedQueue::new(16, 0);
-        down.push(Cycle(0), MemReq::writeback(ReqId(99), LineAddr(77), Cycle(0))).unwrap();
+        down.push(
+            Cycle(0),
+            MemReq::writeback(ReqId(99), LineAddr(77), Cycle(0)),
+        )
+        .unwrap();
         input.push(Cycle(0), load(1, 8, 7)).unwrap();
         c.service(Cycle(0), &mut input, &mut down, &mut up);
         assert_eq!(input.len(), 1, "request stays queued");
@@ -1177,12 +1270,17 @@ mod tests {
         warm_at(&mut c, Cycle(0), 8, &mut down, &mut up);
         warm_at(&mut c, Cycle(1), 9, &mut down, &mut up);
         // Two hits in the same cycle: second is port-blocked.
-        assert!(c.access(Cycle(50), load(1, 8, 7), &mut down, &mut up).is_ok());
+        assert!(c
+            .access(Cycle(50), load(1, 8, 7), &mut down, &mut up)
+            .is_ok());
         assert_eq!(
-            c.access(Cycle(50), load(2, 9, 7), &mut down, &mut up).unwrap_err(),
+            c.access(Cycle(50), load(2, 9, 7), &mut down, &mut up)
+                .unwrap_err(),
             Blocked::PortBusy
         );
         // Next cycle it goes through.
-        assert!(c.access(Cycle(51), load(2, 9, 7), &mut down, &mut up).is_ok());
+        assert!(c
+            .access(Cycle(51), load(2, 9, 7), &mut down, &mut up)
+            .is_ok());
     }
 }

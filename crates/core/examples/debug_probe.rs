@@ -16,7 +16,12 @@ fn main() {
         _ => SuiteConfig::paper(),
     };
     let w = by_name(&scale, &name).unwrap();
-    println!("workload {} launches={} footprint={}KB", w.name, w.total_kernels(), w.footprint/1024);
+    println!(
+        "workload {} launches={} footprint={}KB",
+        w.name,
+        w.total_kernels(),
+        w.footprint / 1024
+    );
     for p in CachePolicy::ALL {
         let mut sys = ApuSystem::new(SystemConfig::paper_table1(), PolicyConfig::of(p), &w);
         let m = sys.run_to_completion(20_000_000_000).unwrap();

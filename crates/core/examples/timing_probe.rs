@@ -18,7 +18,12 @@ fn main() {
         _ => CachePolicy::CacheR,
     };
     let w = by_name(&SuiteConfig::paper(), &name).unwrap();
-    eprintln!("{}: {} kernels, {:.1} MB", w.name, w.total_kernels(), w.footprint as f64/1048576.0);
+    eprintln!(
+        "{}: {} kernels, {:.1} MB",
+        w.name,
+        w.total_kernels(),
+        w.footprint as f64 / 1048576.0
+    );
     let t = Instant::now();
     let mut sys = ApuSystem::new(SystemConfig::paper_table1(), PolicyConfig::of(p), &w);
     let mut last = Instant::now();
@@ -28,11 +33,26 @@ fn main() {
         steps += 1;
         if last.elapsed().as_secs() >= 10 {
             let m = sys.metrics();
-            eprintln!("  t={:5.0}s cycles={} dram={} gpureq={}", t.elapsed().as_secs_f64(), steps, m.dram_accesses(), m.gpu.memory_requests());
+            eprintln!(
+                "  t={:5.0}s cycles={} dram={} gpureq={}",
+                t.elapsed().as_secs_f64(),
+                steps,
+                m.dram_accesses(),
+                m.gpu.memory_requests()
+            );
             last = Instant::now();
         }
-        if t.elapsed().as_secs() > 60 { eprintln!("  TIMEOUT at {steps} cycles"); break; }
+        if t.elapsed().as_secs() > 60 {
+            eprintln!("  TIMEOUT at {steps} cycles");
+            break;
+        }
     }
     let m = sys.metrics();
-    eprintln!("done: {:.1}s wall, {} cycles, {} dram, {:.1} Mcyc/s", t.elapsed().as_secs_f64(), m.cycles, m.dram_accesses(), m.cycles as f64/t.elapsed().as_secs_f64()/1e6);
+    eprintln!(
+        "done: {:.1}s wall, {} cycles, {} dram, {:.1} Mcyc/s",
+        t.elapsed().as_secs_f64(),
+        m.cycles,
+        m.dram_accesses(),
+        m.cycles as f64 / t.elapsed().as_secs_f64() / 1e6
+    );
 }

@@ -232,10 +232,10 @@ mod tests {
         // Two lines in the same DRAM row must share a row key, and
         // different rows must differ.
         for (a, b, same) in [
-            (0u64, 1, true),   // next column, same row
-            (0, 31, true),     // last column of the same row
-            (0, 32, false),    // next channel
-            (0, 512, false),   // next bank
+            (0u64, 1, true), // next column, same row
+            (0, 31, true),   // last column of the same row
+            (0, 32, false),  // next channel
+            (0, 512, false), // next bank
         ] {
             let la = dmap.locate(LineAddr(a));
             let lb = dmap.locate(LineAddr(b));

@@ -5,7 +5,7 @@ use miopt_gpu::GpuStats;
 
 /// Everything a single simulation run reports — the raw material for every
 /// figure in the paper.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Metrics {
     /// Execution time in GPU cycles (Figures 6 and 10 use this,
     /// normalized).
@@ -39,6 +39,35 @@ impl Metrics {
             l2,
             gpu_clock_hz: cfg.gpu_clock_hz,
         }
+    }
+
+    /// Reconstructs metrics from their components (results
+    /// deserialization hook; also used to synthesize metrics in tests).
+    /// The inverse of reading the public fields plus [`Metrics::gpu_clock_hz`].
+    #[must_use]
+    pub fn from_parts(
+        cycles: u64,
+        gpu: GpuStats,
+        dram: DramStats,
+        l1: CacheStats,
+        l2: CacheStats,
+        gpu_clock_hz: f64,
+    ) -> Metrics {
+        Metrics {
+            cycles,
+            gpu,
+            dram,
+            l1,
+            l2,
+            gpu_clock_hz,
+        }
+    }
+
+    /// The GPU clock this run was simulated at, in Hz (needed to
+    /// serialize and rebuild the rate metrics).
+    #[must_use]
+    pub fn gpu_clock_hz(&self) -> f64 {
+        self.gpu_clock_hz
     }
 
     /// Wall-clock seconds of the simulated execution.

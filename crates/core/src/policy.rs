@@ -15,7 +15,11 @@ pub enum CachePolicy {
 
 impl CachePolicy {
     /// All three static policies, in the paper's presentation order.
-    pub const ALL: [CachePolicy; 3] = [CachePolicy::Uncached, CachePolicy::CacheR, CachePolicy::CacheRW];
+    pub const ALL: [CachePolicy; 3] = [
+        CachePolicy::Uncached,
+        CachePolicy::CacheR,
+        CachePolicy::CacheRW,
+    ];
 }
 
 impl fmt::Display for CachePolicy {

@@ -11,7 +11,7 @@ use miopt_workloads::Workload;
 const MAX_CYCLES: u64 = 20_000_000_000;
 
 /// The result of one (workload, policy) simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Workload name.
     pub workload: String,
@@ -40,19 +40,164 @@ pub fn run_one(cfg: &SystemConfig, workload: &Workload, policy: PolicyConfig) ->
     }
 }
 
+/// One independent unit of sweep work: simulate `workload` under
+/// `policy`.
+///
+/// Jobs are *descriptions*, not computations: a [`SweepSpec`] enumerates
+/// them in a deterministic order and any executor — the serial loops in
+/// this module or the `miopt-harness` worker pool — can run them in any
+/// order and reassemble identical figure series, because assembly keys on
+/// the job id rather than on completion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Dense index of this job within its [`SweepSpec`] (also the slot
+    /// its result occupies during assembly).
+    pub id: usize,
+    /// Index into [`SweepSpec::workloads`].
+    pub workload: usize,
+    /// The policy configuration to simulate under.
+    pub policy: PolicyConfig,
+}
+
+/// A declarative description of a (workload × policy) experiment grid.
+///
+/// The job list is workload-major and policy-minor, matching the serial
+/// execution order of [`run_static_sweep`] / [`run_optimization_ladder`],
+/// so a serial executor that walks `jobs` in order reproduces the
+/// historical behaviour exactly.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// The simulated machine.
+    pub cfg: SystemConfig,
+    /// The workloads under study.
+    pub workloads: Vec<Workload>,
+    /// The per-workload policy grid, in figure order. The first
+    /// [`SweepSpec::n_static`] entries are the static policies.
+    pub policies: Vec<PolicyConfig>,
+    /// How many leading entries of `policies` are the static policies
+    /// (the Figures 6–9 columns); the rest form the optimization ladder.
+    pub n_static: usize,
+}
+
+impl SweepSpec {
+    /// The Figures 6–9 grid: every workload under each static policy.
+    #[must_use]
+    pub fn statics(cfg: SystemConfig, workloads: Vec<Workload>) -> SweepSpec {
+        SweepSpec {
+            cfg,
+            workloads,
+            policies: CachePolicy::ALL
+                .iter()
+                .map(|&p| PolicyConfig::of(p))
+                .collect(),
+            n_static: CachePolicy::ALL.len(),
+        }
+    }
+
+    /// The full Figures 6–13 grid: the three static policies plus the
+    /// three ladder configurations per workload.
+    #[must_use]
+    pub fn figures(cfg: SystemConfig, workloads: Vec<Workload>) -> SweepSpec {
+        let mut spec = SweepSpec::statics(cfg, workloads);
+        spec.policies.extend(optimization_ladder());
+        spec
+    }
+
+    /// Every job of the grid, in deterministic workload-major order.
+    #[must_use]
+    pub fn jobs(&self) -> Vec<Job> {
+        let mut jobs = Vec::with_capacity(self.workloads.len() * self.policies.len());
+        for w in 0..self.workloads.len() {
+            for &policy in &self.policies {
+                jobs.push(Job {
+                    id: jobs.len(),
+                    workload: w,
+                    policy,
+                });
+            }
+        }
+        jobs
+    }
+
+    /// Total number of jobs in the grid.
+    #[must_use]
+    pub fn job_count(&self) -> usize {
+        self.workloads.len() * self.policies.len()
+    }
+
+    /// Runs one job to completion (the executor-side entry point).
+    #[must_use]
+    pub fn run_job(&self, job: &Job) -> RunResult {
+        run_one(&self.cfg, &self.workloads[job.workload], job.policy)
+    }
+
+    /// A short human-readable label for a job (progress reporting).
+    #[must_use]
+    pub fn job_label(&self, job: &Job) -> String {
+        format!("{}/{}", self.workloads[job.workload].name, job.policy)
+    }
+
+    /// Reassembles completed job results into the Figures 6–9 static
+    /// sweep structure: one row per workload, one static policy per
+    /// column.
+    ///
+    /// `results` must hold one result per job, indexed by job id (the
+    /// order [`SweepSpec::jobs`] produces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` does not have exactly [`SweepSpec::job_count`]
+    /// entries.
+    #[must_use]
+    pub fn assemble_statics(&self, results: &[RunResult]) -> Vec<Vec<RunResult>> {
+        assert_eq!(
+            results.len(),
+            self.job_count(),
+            "one result per job required"
+        );
+        let stride = self.policies.len();
+        (0..self.workloads.len())
+            .map(|w| results[w * stride..w * stride + self.n_static].to_vec())
+            .collect()
+    }
+
+    /// Reassembles completed job results into the Figures 10–13 ladder
+    /// structure (only meaningful for specs with ladder policies, i.e.
+    /// [`SweepSpec::figures`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` does not have exactly [`SweepSpec::job_count`]
+    /// entries, or if the spec has no ladder policies.
+    #[must_use]
+    pub fn assemble_ladders(&self, results: &[RunResult]) -> Vec<LadderResult> {
+        assert_eq!(
+            results.len(),
+            self.job_count(),
+            "one result per job required"
+        );
+        assert!(
+            self.policies.len() > self.n_static,
+            "spec has no ladder policies to assemble"
+        );
+        let stride = self.policies.len();
+        (0..self.workloads.len())
+            .map(|w| LadderResult {
+                workload: self.workloads[w].name.clone(),
+                statics: results[w * stride..w * stride + self.n_static].to_vec(),
+                ladder: results[w * stride + self.n_static..(w + 1) * stride].to_vec(),
+            })
+            .collect()
+    }
+}
+
 /// The Figure 6–9 sweep: every workload under each static policy
 /// (`Uncached`, `CacheR`, `CacheRW`), in that order per workload.
 #[must_use]
 pub fn run_static_sweep(cfg: &SystemConfig, workloads: &[Workload]) -> Vec<Vec<RunResult>> {
-    workloads
-        .iter()
-        .map(|w| {
-            CachePolicy::ALL
-                .iter()
-                .map(|&p| run_one(cfg, w, PolicyConfig::of(p)))
-                .collect()
-        })
-        .collect()
+    let spec = SweepSpec::statics(cfg.clone(), workloads.to_vec());
+    let results: Vec<RunResult> = spec.jobs().iter().map(|j| spec.run_job(j)).collect();
+    spec.assemble_statics(&results)
 }
 
 /// One workload's Figure 10–13 data: the three static policy runs (from
@@ -121,16 +266,9 @@ pub fn run_ladder_with_statics(
 /// best/worst from a fresh static sweep.
 #[must_use]
 pub fn run_optimization_ladder(cfg: &SystemConfig, workloads: &[Workload]) -> Vec<LadderResult> {
-    workloads
-        .iter()
-        .map(|w| {
-            let statics: Vec<RunResult> = CachePolicy::ALL
-                .iter()
-                .map(|&p| run_one(cfg, w, PolicyConfig::of(p)))
-                .collect();
-            run_ladder_with_statics(cfg, w, statics)
-        })
-        .collect()
+    let spec = SweepSpec::figures(cfg.clone(), workloads.to_vec());
+    let results: Vec<RunResult> = spec.jobs().iter().map(|j| spec.run_job(j)).collect();
+    spec.assemble_ladders(&results)
 }
 
 /// Classifies a workload from its measured static-sweep results using the
@@ -202,5 +340,134 @@ mod tests {
         // sensitive.
         let c = classify(&sweep[0]);
         assert_ne!(c, miopt_workloads::Category::ThroughputSensitive);
+    }
+
+    #[test]
+    fn figures_spec_enumerates_the_full_grid_in_serial_order() {
+        let cfg = SystemConfig::small_test();
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let spec = SweepSpec::figures(cfg, vec![w.clone(), w]);
+        assert_eq!(spec.job_count(), 12);
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 12);
+        // Workload-major, policy-minor, with dense ids.
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, i);
+            assert_eq!(j.workload, i / 6);
+        }
+        let labels: Vec<String> = jobs[..6].iter().map(|j| j.policy.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "Uncached",
+                "CacheR",
+                "CacheRW",
+                "CacheRW-AB",
+                "CacheRW-CR",
+                "CacheRW-PCby"
+            ]
+        );
+        assert_eq!(spec.job_label(&jobs[1]), "FwSoft/CacheR");
+    }
+
+    #[test]
+    fn assembly_reproduces_the_serial_sweep_structures() {
+        let cfg = SystemConfig::small_test();
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let spec = SweepSpec::figures(cfg.clone(), vec![w.clone()]);
+        let results: Vec<RunResult> = spec.jobs().iter().map(|j| spec.run_job(j)).collect();
+        let statics = spec.assemble_statics(&results);
+        let ladders = spec.assemble_ladders(&results);
+        let serial_statics = run_static_sweep(&cfg, std::slice::from_ref(&w));
+        assert_eq!(statics.len(), 1);
+        for (a, b) in statics[0].iter().zip(&serial_statics[0]) {
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.metrics, b.metrics);
+        }
+        assert_eq!(ladders.len(), 1);
+        assert_eq!(ladders[0].statics.len(), 3);
+        assert_eq!(ladders[0].ladder.len(), 3);
+        assert_eq!(ladders[0].ladder[2].policy.label(), "CacheRW-PCby");
+    }
+
+    /// Builds a synthetic static-sweep result with the given cycle counts
+    /// for (Uncached, CacheR, CacheRW).
+    fn synthetic_statics(unc: u64, r: u64, rw: u64) -> Vec<RunResult> {
+        use miopt_cache::CacheStats;
+        use miopt_dram::DramStats;
+        use miopt_gpu::GpuStats;
+        CachePolicy::ALL
+            .iter()
+            .zip([unc, r, rw])
+            .map(|(&p, cycles)| RunResult {
+                workload: "synthetic".to_string(),
+                policy: PolicyConfig::of(p),
+                metrics: Metrics::from_parts(
+                    cycles,
+                    GpuStats::default(),
+                    DramStats::default(),
+                    CacheStats::default(),
+                    CacheStats::default(),
+                    1.6e9,
+                ),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn classify_boundary_spread_exactly_at_5_percent_is_insensitive() {
+        use miopt_workloads::Category::*;
+        // best = 0.95 exactly: `best < 0.95` is false -> not reuse
+        // sensitive; worst = 1.05 exactly: `worst > 1.05` is false -> not
+        // throughput sensitive. Both thresholds are exclusive.
+        assert_eq!(
+            classify(&synthetic_statics(10_000, 9_500, 10_500)),
+            Insensitive
+        );
+        // One cycle inside either threshold flips the class.
+        assert_eq!(
+            classify(&synthetic_statics(10_000, 9_499, 10_000)),
+            ReuseSensitive
+        );
+        assert_eq!(
+            classify(&synthetic_statics(10_000, 10_000, 10_501)),
+            ThroughputSensitive
+        );
+    }
+
+    #[test]
+    fn classify_boundary_tied_cached_policies() {
+        use miopt_workloads::Category::*;
+        // CacheR and CacheRW tied: best == worst, so only one side of the
+        // rule can trigger.
+        assert_eq!(
+            classify(&synthetic_statics(10_000, 9_000, 9_000)),
+            ReuseSensitive
+        );
+        assert_eq!(
+            classify(&synthetic_statics(10_000, 11_000, 11_000)),
+            ThroughputSensitive
+        );
+        assert_eq!(
+            classify(&synthetic_statics(10_000, 10_000, 10_000)),
+            Insensitive
+        );
+    }
+
+    #[test]
+    fn classify_boundary_cached_policies_straddling_uncached() {
+        use miopt_workloads::Category::*;
+        // CacheR clearly faster, CacheRW clearly slower than Uncached.
+        // The paper's rule checks `best < 0.95` first, so a workload
+        // where caching can both help and hurt reads as reuse sensitive.
+        assert_eq!(
+            classify(&synthetic_statics(10_000, 8_000, 12_000)),
+            ReuseSensitive
+        );
+        // Straddling inside the 5% band stays insensitive.
+        assert_eq!(
+            classify(&synthetic_statics(10_000, 9_600, 10_400)),
+            Insensitive
+        );
     }
 }

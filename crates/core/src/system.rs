@@ -100,7 +100,8 @@ impl ApuSystem {
     pub fn new(cfg: SystemConfig, policy: PolicyConfig, workload: &Workload) -> ApuSystem {
         cfg.validate().expect("invalid system config");
         assert!(
-            cfg.queue_capacity > cfg.l1.mshr_merge_cap && cfg.queue_capacity > cfg.l2.mshr_merge_cap,
+            cfg.queue_capacity > cfg.l1.mshr_merge_cap
+                && cfg.queue_capacity > cfg.l2.mshr_merge_cap,
             "queue capacity must exceed MSHR merge caps"
         );
         let n = cfg.n_cus;
@@ -127,7 +128,9 @@ impl ApuSystem {
                 .collect(),
             l1_down: (0..n).map(|_| mk_req(cap, cfg.lat_l1_l2 / 2)).collect(),
             req_xbar: Crossbar::new(n, s, cfg.xbar_per_output),
-            l2_in: (0..s).map(|_| mk_req(cap, cfg.lat_l1_l2 - cfg.lat_l1_l2 / 2)).collect(),
+            l2_in: (0..s)
+                .map(|_| mk_req(cap, cfg.lat_l1_l2 - cfg.lat_l1_l2 / 2))
+                .collect(),
             l2s: (0..s)
                 .map(|i| CacheUnit::new(cfg.l2.clone(), l2_policy.clone(), 1000 + i as u32))
                 .collect(),
@@ -349,7 +352,9 @@ impl ApuSystem {
             while let Some(req) = q.ready_front(now) {
                 if self.dram.can_accept(req) {
                     let req = q.pop_ready(now).expect("head ready");
-                    self.dram.push(now, req).unwrap_or_else(|_| unreachable!("checked can_accept"));
+                    self.dram
+                        .push(now, req)
+                        .unwrap_or_else(|_| unreachable!("checked can_accept"));
                 } else {
                     break;
                 }
@@ -357,12 +362,13 @@ impl ApuSystem {
         }
 
         // 6. Response crossbar (L2 -> L1s).
-        self.resp_xbar.tick(now, &mut self.l2_up, &mut self.l1_fill_in, |r| {
-            match r.origin {
-                miopt_engine::Origin::Wavefront { cu, .. } => cu as usize,
-                miopt_engine::Origin::Internal => 0,
-            }
-        });
+        self.resp_xbar
+            .tick(now, &mut self.l2_up, &mut self.l1_fill_in, |r| {
+                match r.origin {
+                    miopt_engine::Origin::Wavefront { cu, .. } => cu as usize,
+                    miopt_engine::Origin::Internal => 0,
+                }
+            });
 
         // 7. L1 fills.
         for i in 0..self.l1s.len() {
@@ -391,9 +397,10 @@ impl ApuSystem {
 
         // 9. Request crossbar (L1s -> L2 slices).
         let cfg = &self.cfg;
-        self.req_xbar.tick(now, &mut self.l1_down, &mut self.l2_in, |r| {
-            cfg.l2_slice_of(r.line)
-        });
+        self.req_xbar
+            .tick(now, &mut self.l1_down, &mut self.l2_in, |r| {
+                cfg.l2_slice_of(r.line)
+            });
 
         // 10. Responses to the GPU.
         for i in 0..self.l1_up.len() {

@@ -113,7 +113,8 @@ impl Channel {
                     if entry.req.wants_response() {
                         let ready = data_start + self.cfg.t_cas + self.cfg.t_burst;
                         self.in_service += 1;
-                        self.responses.push_back((ready, MemResp::for_req(&entry.req)));
+                        self.responses
+                            .push_back((ready, MemResp::for_req(&entry.req)));
                         // Keep responses ordered by readiness for pop.
                         let n = self.responses.len();
                         if n >= 2 && self.responses[n - 2].0 > self.responses[n - 1].0 {
@@ -148,11 +149,12 @@ impl Channel {
             match bank.open_row() {
                 Some(open) if open == row => continue, // will be served
                 open => {
-                    let keeps_open_row_busy = open.is_some()
-                        && window > 1
-                        && self.queue.iter().take(window).any(|o| {
-                            o.loc.bank as usize == bank_idx && Some(o.loc.row) == open
-                        });
+                    let keeps_open_row_busy =
+                        open.is_some()
+                            && window > 1
+                            && self.queue.iter().take(window).any(|o| {
+                                o.loc.bank as usize == bank_idx && Some(o.loc.row) == open
+                            });
                     if keeps_open_row_busy {
                         continue;
                     }
@@ -220,7 +222,8 @@ mod tests {
         let mut stats = DramStats::default();
         // Open row 0 of bank 0 (channel 0): line 0.
         let l0 = 0u64;
-        ch.push(Cycle(0), mk_read(0, l0), map.locate(LineAddr(l0))).unwrap();
+        ch.push(Cycle(0), mk_read(0, l0), map.locate(LineAddr(l0)))
+            .unwrap();
         let mut now = Cycle(0);
         let mut order = Vec::new();
         while order.is_empty() {
@@ -235,8 +238,12 @@ mod tests {
         let bank_stride = u64::from(cfg.channels) * cfg.lines_per_row * u64::from(cfg.banks);
         let conflict_line = bank_stride; // channel 0, bank 0, row 1
         let hit_line = 1; // channel 0, bank 0, row 0, column 1
-        ch.push(now, mk_read(1, conflict_line), map.locate(LineAddr(conflict_line)))
-            .unwrap();
+        ch.push(
+            now,
+            mk_read(1, conflict_line),
+            map.locate(LineAddr(conflict_line)),
+        )
+        .unwrap();
         ch.push(now, mk_read(2, hit_line), map.locate(LineAddr(hit_line)))
             .unwrap();
         let mut guard = 0;
@@ -249,7 +256,11 @@ mod tests {
             guard += 1;
             assert!(guard < 10_000);
         }
-        assert_eq!(order, vec![0, 2, 1], "row hit should be serviced before conflict");
+        assert_eq!(
+            order,
+            vec![0, 2, 1],
+            "row hit should be serviced before conflict"
+        );
         assert!(stats.row_hits.hits() >= 1);
     }
 
@@ -264,17 +275,23 @@ mod tests {
         let mut stats = DramStats::default();
         // Open a row, then enqueue conflict-then-hit; with cap 0 the oldest
         // (conflict) must go first.
-        ch.push(Cycle(0), mk_read(0, 0), map.locate(LineAddr(0))).unwrap();
+        ch.push(Cycle(0), mk_read(0, 0), map.locate(LineAddr(0)))
+            .unwrap();
         let mut now = Cycle(0);
         while stats.reads.get() < 1 {
             ch.tick(now, &mut stats);
             now += 1;
         }
         let bank_stride = u64::from(cfg.channels) * cfg.lines_per_row * u64::from(cfg.banks);
-        ch.push(now, mk_read(1, bank_stride), map.locate(LineAddr(bank_stride)))
-            .unwrap();
+        ch.push(
+            now,
+            mk_read(1, bank_stride),
+            map.locate(LineAddr(bank_stride)),
+        )
+        .unwrap();
         now += 1; // make the first entry older than cap 0
-        ch.push(now, mk_read(2, 1), map.locate(LineAddr(1))).unwrap();
+        ch.push(now, mk_read(2, 1), map.locate(LineAddr(1)))
+            .unwrap();
         let mut order = Vec::new();
         let mut guard = 0;
         while order.len() < 3 {

@@ -93,13 +93,19 @@ impl DramConfig {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if !is_pow2(u64::from(self.channels)) {
-            return Err(format!("channels must be a power of two, got {}", self.channels));
+            return Err(format!(
+                "channels must be a power of two, got {}",
+                self.channels
+            ));
         }
         if !is_pow2(u64::from(self.banks)) {
             return Err(format!("banks must be a power of two, got {}", self.banks));
         }
         if !is_pow2(self.lines_per_row) {
-            return Err(format!("lines_per_row must be a power of two, got {}", self.lines_per_row));
+            return Err(format!(
+                "lines_per_row must be a power of two, got {}",
+                self.lines_per_row
+            ));
         }
         if self.t_burst == 0 {
             return Err("t_burst must be nonzero".to_string());

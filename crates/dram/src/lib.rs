@@ -47,7 +47,7 @@ use miopt_engine::stats::{Counter, Ratio};
 use miopt_engine::{Cycle, MemReq, MemResp};
 
 /// Aggregate DRAM statistics across all channels.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Read bursts serviced.
     pub reads: Counter,
@@ -67,6 +67,47 @@ impl DramStats {
     pub fn accesses(&self) -> u64 {
         self.reads.get() + self.writes.get()
     }
+
+    /// All counters as stable `(name, value)` pairs; the row-hit ratio is
+    /// flattened into its numerator/denominator (results serialization
+    /// hook).
+    #[must_use]
+    pub fn to_pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("reads", self.reads.get()),
+            ("writes", self.writes.get()),
+            ("row_hits_hits", self.row_hits.hits()),
+            ("row_hits_total", self.row_hits.total()),
+            ("row_closed", self.row_closed.get()),
+            ("row_conflicts", self.row_conflicts.get()),
+        ]
+    }
+
+    /// Reconstructs statistics from persisted counters. `get` is queried
+    /// once per field name (results deserialization hook).
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first field `get` cannot supply, or the
+    /// row-hit ratio violation if the numerator exceeds the denominator.
+    pub fn from_pairs(mut get: impl FnMut(&str) -> Option<u64>) -> Result<DramStats, String> {
+        let mut want =
+            |name: &'static str| get(name).ok_or_else(|| format!("missing dram stat `{name}`"));
+        let reads = Counter::from_value(want("reads")?);
+        let writes = Counter::from_value(want("writes")?);
+        let hits = want("row_hits_hits")?;
+        let total = want("row_hits_total")?;
+        if hits > total {
+            return Err(format!("row_hits ratio {hits}/{total} is impossible"));
+        }
+        Ok(DramStats {
+            reads,
+            writes,
+            row_hits: Ratio::from_parts(hits, total),
+            row_closed: Counter::from_value(want("row_closed")?),
+            row_conflicts: Counter::from_value(want("row_conflicts")?),
+        })
+    }
 }
 
 /// The HBM2 memory system: a set of independently scheduled channels.
@@ -82,7 +123,9 @@ impl Dram {
     #[must_use]
     pub fn new(cfg: DramConfig) -> Dram {
         let map = AddressMap::new(&cfg);
-        let channels = (0..cfg.channels).map(|_| Channel::new(cfg.clone())).collect();
+        let channels = (0..cfg.channels)
+            .map(|_| Channel::new(cfg.clone()))
+            .collect();
         Dram {
             map,
             channels,
@@ -268,8 +311,11 @@ mod tests {
     fn writes_complete_without_responses() {
         let mut dram = Dram::new(DramConfig::hbm2_paper());
         for i in 0..4 {
-            dram.push(Cycle(0), MemReq::writeback(ReqId(i), LineAddr(i * 2), Cycle(0)))
-                .unwrap();
+            dram.push(
+                Cycle(0),
+                MemReq::writeback(ReqId(i), LineAddr(i * 2), Cycle(0)),
+            )
+            .unwrap();
         }
         let mut resp_count = 0;
         run_until_idle(&mut dram, Cycle(0), |_, _| resp_count += 1);

@@ -33,6 +33,13 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0
     }
+
+    /// Reconstructs a counter from a persisted count (results
+    /// deserialization hook — not for use inside the simulator).
+    #[must_use]
+    pub fn from_value(n: u64) -> Counter {
+        Counter(n)
+    }
 }
 
 impl fmt::Display for Counter {
@@ -90,11 +97,29 @@ impl Ratio {
             self.hits as f64 / self.total as f64
         }
     }
+
+    /// Reconstructs a ratio from persisted numerator/denominator (results
+    /// deserialization hook — not for use inside the simulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hits > total`.
+    #[must_use]
+    pub fn from_parts(hits: u64, total: u64) -> Ratio {
+        assert!(hits <= total, "ratio numerator exceeds denominator");
+        Ratio { hits, total }
+    }
 }
 
 impl fmt::Display for Ratio {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} ({:.1}%)", self.hits, self.total, self.value() * 100.0)
+        write!(
+            f,
+            "{}/{} ({:.1}%)",
+            self.hits,
+            self.total,
+            self.value() * 100.0
+        )
     }
 }
 
@@ -190,6 +215,21 @@ mod tests {
         assert_eq!(s.count(), 3);
         assert_eq!(s.mean(), 3.0);
         assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn counter_and_ratio_round_trip_through_their_parts() {
+        let c = Counter::from_value(17);
+        assert_eq!(Counter::from_value(c.get()), c);
+        let r = Ratio::from_parts(3, 9);
+        assert_eq!(Ratio::from_parts(r.hits(), r.total()), r);
+        assert!((r.value() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "numerator exceeds")]
+    fn ratio_rejects_impossible_parts() {
+        let _ = Ratio::from_parts(5, 3);
     }
 
     #[test]

@@ -203,7 +203,9 @@ impl Cu {
             let rot = self.pending_mask.rotate_right(self.mem_rr % 64);
             let idx = ((rot.trailing_zeros() + self.mem_rr) % 64) as usize;
             debug_assert!(self.pending_mask & (1 << idx) != 0);
-            let wf = self.slots[idx].as_mut().expect("pending bit implies wavefront");
+            let wf = self.slots[idx]
+                .as_mut()
+                .expect("pending bit implies wavefront");
             let acc = *wf.pending.front().expect("pending bit implies requests");
             let pc = wf.kernel().pc_of(acc.op_index);
             self.req_counter += 1;
@@ -356,7 +358,11 @@ mod tests {
     fn two_wavefronts_hide_each_others_latency() {
         let mut cu = Cu::new(CuConfig::tiny_test(), 0);
         let k = kernel(
-            vec![Op::Load { pattern: 0 }, Op::WaitCnt { max: 0 }, Op::Valu { count: 1 }],
+            vec![
+                Op::Load { pattern: 0 },
+                Op::WaitCnt { max: 0 },
+                Op::Valu { count: 1 },
+            ],
             1,
             2,
         );
@@ -393,7 +399,10 @@ mod tests {
         }
         let pcs: Vec<_> = q.drain_all().map(|r| r.pc).collect();
         assert!(!pcs.is_empty());
-        assert!(pcs.windows(2).all(|w| w[0] == w[1]), "same static instruction");
+        assert!(
+            pcs.windows(2).all(|w| w[0] == w[1]),
+            "same static instruction"
+        );
     }
 
     #[test]

@@ -23,6 +23,35 @@ impl GpuStats {
     pub fn memory_requests(&self) -> u64 {
         self.line_loads + self.line_stores
     }
+
+    /// All counters as stable `(name, value)` pairs (results
+    /// serialization hook).
+    #[must_use]
+    pub fn to_pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("valu_lane_ops", self.valu_lane_ops),
+            ("line_loads", self.line_loads),
+            ("line_stores", self.line_stores),
+            ("retired_wavefronts", self.retired_wavefronts),
+        ]
+    }
+
+    /// Reconstructs statistics from persisted counters. `get` is queried
+    /// once per field name (results deserialization hook).
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first field `get` cannot supply.
+    pub fn from_pairs(mut get: impl FnMut(&str) -> Option<u64>) -> Result<GpuStats, String> {
+        let mut want =
+            |name: &'static str| get(name).ok_or_else(|| format!("missing gpu stat `{name}`"));
+        Ok(GpuStats {
+            valu_lane_ops: want("valu_lane_ops")?,
+            line_loads: want("line_loads")?,
+            line_stores: want("line_stores")?,
+            retired_wavefronts: want("retired_wavefronts")?,
+        })
+    }
 }
 
 /// State of the kernel currently being dispatched/executed.
@@ -91,7 +120,9 @@ impl Gpu {
     pub fn new(n_cus: usize, cu_cfg: CuConfig) -> Gpu {
         assert!(n_cus > 0, "GPU needs at least one CU");
         Gpu {
-            cus: (0..n_cus).map(|i| Cu::new(cu_cfg.clone(), i as u16)).collect(),
+            cus: (0..n_cus)
+                .map(|i| Cu::new(cu_cfg.clone(), i as u16))
+                .collect(),
             active: None,
             kernels_run: 0,
         }
@@ -156,7 +187,9 @@ impl Gpu {
 
     /// Assigns pending work-groups to CUs with free slots.
     fn dispatch(&mut self) {
-        let Some(k) = self.active.as_mut() else { return };
+        let Some(k) = self.active.as_mut() else {
+            return;
+        };
         if k.next_wg == k.desc.wgs {
             return;
         }
@@ -226,7 +259,11 @@ mod tests {
             wgs,
             wfs_per_wg,
             program: KernelProgram::new(
-                vec![Op::Load { pattern: 0 }, Op::WaitCnt { max: 0 }, Op::Store { pattern: 1 }],
+                vec![
+                    Op::Load { pattern: 0 },
+                    Op::WaitCnt { max: 0 },
+                    Op::Store { pattern: 1 },
+                ],
                 iters,
             ),
             gen,
@@ -234,8 +271,9 @@ mod tests {
     }
 
     fn run_to_completion(gpu: &mut Gpu, limit: u64) -> u64 {
-        let mut l1_ins: Vec<TimedQueue<MemReq>> =
-            (0..gpu.cu_count()).map(|_| TimedQueue::new(64, 0)).collect();
+        let mut l1_ins: Vec<TimedQueue<MemReq>> = (0..gpu.cu_count())
+            .map(|_| TimedQueue::new(64, 0))
+            .collect();
         let mut now = Cycle(0);
         while !gpu.kernel_done() {
             gpu.tick(now, &mut l1_ins);

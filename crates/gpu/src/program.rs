@@ -174,7 +174,11 @@ mod tests {
     #[test]
     fn valu_lane_ops_counts_lanes_times_iters() {
         let p = KernelProgram::new(
-            vec![Op::Valu { count: 3 }, Op::Load { pattern: 0 }, Op::Valu { count: 1 }],
+            vec![
+                Op::Valu { count: 3 },
+                Op::Load { pattern: 0 },
+                Op::Valu { count: 1 },
+            ],
             5,
         );
         assert_eq!(p.valu_lane_ops(), (3 + 1) * 64 * 5);
@@ -192,7 +196,10 @@ mod tests {
         };
         assert_eq!(k.pc_of(0), k.pc_of(0));
         assert_ne!(k.pc_of(0), k.pc_of(1));
-        let k2 = KernelDesc { template_id: 8, ..k.clone() };
+        let k2 = KernelDesc {
+            template_id: 8,
+            ..k.clone()
+        };
         assert_ne!(k.pc_of(0), k2.pc_of(0));
     }
 

@@ -68,7 +68,10 @@ impl Wavefront {
 
     /// A load response arrived.
     pub(crate) fn on_load_response(&mut self) {
-        debug_assert!(self.outstanding_loads > 0, "response without outstanding load");
+        debug_assert!(
+            self.outstanding_loads > 0,
+            "response without outstanding load"
+        );
         self.outstanding_loads = self.outstanding_loads.saturating_sub(1);
     }
 
@@ -163,9 +166,7 @@ mod tests {
 
     fn kernel(body: Vec<Op>, iters: u32) -> Arc<KernelDesc> {
         let gen: Arc<dyn AddrGen> = Arc::new(|ctx: &AccessCtx| {
-            Some(Addr(
-                u64::from(ctx.iter) * 256 + u64::from(ctx.lane) * 4,
-            ))
+            Some(Addr(u64::from(ctx.iter) * 256 + u64::from(ctx.lane) * 4))
         });
         Arc::new(KernelDesc {
             name: "test".to_string(),
@@ -225,7 +226,12 @@ mod tests {
 
     #[test]
     fn multicycle_op_delays_next_issue() {
-        let mut wf = Wavefront::new(kernel(vec![Op::Valu { count: 10 }, Op::Valu { count: 1 }], 1), 0, 0, 0);
+        let mut wf = Wavefront::new(
+            kernel(vec![Op::Valu { count: 10 }, Op::Valu { count: 1 }], 1),
+            0,
+            0,
+            0,
+        );
         wf.issue(Cycle(0));
         assert_eq!(wf.state(Cycle(20)), WfState::Waiting);
         assert_eq!(wf.state(Cycle(40)), WfState::Ready);

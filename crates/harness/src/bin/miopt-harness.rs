@@ -1,0 +1,8 @@
+//! The `miopt-harness` binary: regenerates the paper's tables and
+//! figures through the parallel sweep orchestrator. See
+//! [`miopt_harness::cli`] for the flag reference.
+
+fn main() {
+    let args = miopt_harness::cli::parse_args(std::env::args().skip(1));
+    std::process::exit(miopt_harness::cli::run(&args));
+}

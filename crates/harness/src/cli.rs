@@ -1,0 +1,413 @@
+//! The `miopt-harness` command line: regenerates every table and figure
+//! of the paper's evaluation through the parallel sweep orchestrator.
+//!
+//! ```text
+//! miopt-harness [--scale paper|quick] [--only <w>[,<w>...]]
+//!     [--csv <dir>] [--table1] [--table2] [--fig4] ... [--fig13] [--all]
+//!     [--jobs N] [--serial] [--no-cache] [--cache-dir <dir>]
+//!     [--out <dir>] [--sweep-name <name>] [--timeout-secs N]
+//!     [--quiet] [--compare]
+//! ```
+//!
+//! With no figure selector, everything is regenerated (`--all`). The
+//! `figures` binary in `miopt-bench` is a thin wrapper over this module,
+//! so both entry points behave identically.
+
+use crate::cache::ResultCache;
+use crate::figures::{fig10, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, FigureData};
+use crate::pool::PoolOptions;
+use crate::sweep::{run_sweep, SweepOptions};
+use miopt::runner::SweepSpec;
+use miopt::SystemConfig;
+use miopt_workloads::{suite, SuiteConfig, Workload};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ALL_OUTPUTS: [&str; 12] = [
+    "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13",
+];
+
+/// Parsed command-line options.
+pub struct CliArgs {
+    /// Workload suite scale.
+    pub scale: SuiteConfig,
+    /// The scale's name (`"paper"` or `"quick"`), for artifact naming.
+    pub scale_name: String,
+    /// Lower-cased workload-name filter, when `--only` was given.
+    pub only: Option<BTreeSet<String>>,
+    /// Directory for CSV emission, when `--csv` was given.
+    pub csv_dir: Option<String>,
+    /// Selected outputs (table/figure names without the `--`).
+    pub selected: BTreeSet<String>,
+    /// Worker threads (0 = all available cores).
+    pub jobs: usize,
+    /// Skip the persistent result cache.
+    pub no_cache: bool,
+    /// Result cache directory.
+    pub cache_dir: PathBuf,
+    /// Directory sweep reports are written under.
+    pub runs_dir: PathBuf,
+    /// Sweep report name (the `results/runs/<name>.json` stem).
+    pub sweep_name: String,
+    /// Per-job wall-clock timeout.
+    pub timeout: Option<Duration>,
+    /// Suppress per-job progress lines.
+    pub quiet: bool,
+    /// Run the sweep serially AND in parallel and verify byte-identical
+    /// figures, reporting the speedup.
+    pub compare: bool,
+}
+
+/// Parses CLI arguments (everything after the program name).
+///
+/// # Panics
+///
+/// Panics with a descriptive message on malformed arguments, matching
+/// the historical `figures` binary behaviour.
+#[must_use]
+pub fn parse_args(args: impl Iterator<Item = String>) -> CliArgs {
+    let mut out = CliArgs {
+        scale: SuiteConfig::paper(),
+        scale_name: "paper".to_string(),
+        only: None,
+        csv_dir: None,
+        selected: BTreeSet::new(),
+        jobs: 0,
+        no_cache: false,
+        cache_dir: ResultCache::default_dir(),
+        runs_dir: PathBuf::from("results/runs"),
+        sweep_name: String::new(),
+        timeout: None,
+        quiet: false,
+        compare: false,
+    };
+    let mut args = args;
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--scale" => {
+                let v = value("--scale");
+                out.scale = match v.as_str() {
+                    "paper" => SuiteConfig::paper(),
+                    "quick" => SuiteConfig::quick(),
+                    other => panic!("unknown scale {other:?} (use paper|quick)"),
+                };
+                out.scale_name = v;
+            }
+            "--only" => {
+                out.only = Some(value("--only").split(',').map(str::to_lowercase).collect());
+            }
+            "--csv" => out.csv_dir = Some(value("--csv")),
+            "--jobs" => {
+                out.jobs = value("--jobs").parse().expect("--jobs needs a number");
+            }
+            "--serial" => out.jobs = 1,
+            "--no-cache" => out.no_cache = true,
+            "--cache-dir" => out.cache_dir = PathBuf::from(value("--cache-dir")),
+            "--out" => out.runs_dir = PathBuf::from(value("--out")),
+            "--sweep-name" => out.sweep_name = value("--sweep-name"),
+            "--timeout-secs" => {
+                let secs: u64 = value("--timeout-secs")
+                    .parse()
+                    .expect("--timeout-secs needs a number");
+                out.timeout = Some(Duration::from_secs(secs));
+            }
+            "--quiet" => out.quiet = true,
+            "--compare" => out.compare = true,
+            "--all" => out.selected.extend(ALL_OUTPUTS.map(String::from)),
+            s if s.starts_with("--") && ALL_OUTPUTS.contains(&s.trim_start_matches("--")) => {
+                out.selected.insert(s.trim_start_matches("--").to_string());
+            }
+            other => panic!("unexpected argument {other:?}"),
+        }
+    }
+    if out.selected.is_empty() {
+        out.selected.extend(ALL_OUTPUTS.map(String::from));
+    }
+    if out.sweep_name.is_empty() {
+        out.sweep_name = format!("figures-{}", out.scale_name);
+    }
+    out
+}
+
+fn print_table1(cfg: &SystemConfig) {
+    println!("== Table 1: Key simulated system parameters ==");
+    println!("GPU clock                {:.0} MHz", cfg.gpu_clock_hz / 1e6);
+    println!("# of CUs                 {}", cfg.n_cus);
+    println!("# SIMD units per CU      {}", cfg.cu.simds);
+    println!("Max wavefronts per SIMD  {}", cfg.cu.wf_slots_per_simd);
+    println!(
+        "GPU L1 D-cache per CU    {} KB, 64B line, {}-way write-through",
+        cfg.l1.bytes() / 1024,
+        cfg.l1.ways
+    );
+    println!(
+        "GPU L2 cache             {} MB ({} slices), 64B line, {}-way",
+        cfg.l2.bytes() * cfg.l2_slices as u64 / (1024 * 1024),
+        cfg.l2_slices,
+        cfg.l2.ways
+    );
+    println!(
+        "Main memory              HBM2, {} channels, {} banks/channel, ~{:.0} GB/s",
+        cfg.dram.channels,
+        cfg.dram.banks,
+        f64::from(cfg.dram.channels) * 64.0 * cfg.gpu_clock_hz / cfg.dram.t_burst as f64 / 1e9
+    );
+    println!();
+}
+
+fn print_table2(workloads: &[Workload]) {
+    println!("== Table 2: Studied MI workloads ==");
+    println!(
+        "{:10} {:>14} {:>14} {:>16}",
+        "workload", "unique kernels", "total kernels", "footprint"
+    );
+    for w in workloads {
+        let fp = w.footprint_bytes();
+        let fp_str = if fp >= 1024 * 1024 {
+            format!("{:.1} MB", fp as f64 / (1024.0 * 1024.0))
+        } else {
+            format!("{:.1} KB", fp as f64 / 1024.0)
+        };
+        println!(
+            "{:10} {:>14} {:>14} {:>16}",
+            w.name,
+            w.unique_kernels(),
+            w.total_kernels(),
+            fp_str
+        );
+    }
+    println!();
+}
+
+fn emit(fig: &FigureData, csv_dir: Option<&str>, file: &str) {
+    println!("{}", fig.to_table());
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = format!("{dir}/{file}.csv");
+        std::fs::write(&path, fig.to_csv()).expect("write csv");
+        println!("(wrote {path})");
+    }
+}
+
+/// All six static-sweep figures plus the four ladder figures from one
+/// figures-grid sweep, keyed by output name.
+fn figure_set(
+    spec: &SweepSpec,
+    results: &[miopt::runner::RunResult],
+    want_ladder: bool,
+) -> Vec<(&'static str, &'static str, FigureData)> {
+    let sweep = spec.assemble_statics(results);
+    let mut figs = vec![
+        ("fig4", "fig4_gvops", fig4(&sweep)),
+        ("fig5", "fig5_gmrs", fig5(&sweep)),
+        ("fig6", "fig6_exec_time", fig6(&sweep)),
+        ("fig7", "fig7_dram_accesses", fig7(&sweep)),
+        ("fig8", "fig8_cache_stalls", fig8(&sweep)),
+        ("fig9", "fig9_row_hits", fig9(&sweep)),
+    ];
+    if want_ladder {
+        let ladders = spec.assemble_ladders(results);
+        figs.push(("fig10", "fig10_opt_exec_time", fig10(&ladders)));
+        figs.push(("fig11", "fig11_opt_dram", fig11(&ladders)));
+        figs.push(("fig12", "fig12_opt_stalls", fig12(&ladders)));
+        figs.push(("fig13", "fig13_opt_rows", fig13(&ladders)));
+    }
+    figs
+}
+
+/// Runs the CLI. Returns the process exit code.
+#[must_use]
+pub fn run(args: &CliArgs) -> i32 {
+    let cfg = SystemConfig::paper_table1();
+    let mut workloads = suite(&args.scale);
+    if let Some(only) = &args.only {
+        workloads.retain(|w| only.contains(&w.name.to_lowercase()));
+        assert!(!workloads.is_empty(), "--only matched no workloads");
+    }
+    let sel = |s: &str| args.selected.contains(s);
+
+    if sel("table1") {
+        print_table1(&cfg);
+    }
+    if sel("table2") {
+        print_table2(&workloads);
+    }
+
+    let need_sweep = ALL_OUTPUTS[2..].iter().any(|f| sel(f));
+    if !need_sweep {
+        return 0;
+    }
+    let need_ladder = ["fig10", "fig11", "fig12", "fig13"].iter().any(|f| sel(f));
+
+    // One grid covers all selected figures: the static prefix feeds
+    // figures 4-9 and the ladder suffix feeds 10-13.
+    let spec = Arc::new(if need_ladder {
+        SweepSpec::figures(cfg, workloads)
+    } else {
+        SweepSpec::statics(cfg, workloads)
+    });
+    let opts = SweepOptions {
+        pool: PoolOptions {
+            workers: args.jobs,
+            job_timeout: args.timeout,
+            progress: !args.quiet,
+        },
+        cache: (!args.no_cache).then(|| ResultCache::new(&args.cache_dir)),
+    };
+
+    eprintln!(
+        "running sweep: {} workloads x {} policies = {} jobs on {} worker(s) ...",
+        spec.workloads.len(),
+        spec.policies.len(),
+        spec.job_count(),
+        opts.pool.effective_workers(),
+    );
+    let t0 = Instant::now();
+    let run = run_sweep(&spec, &args.sweep_name, &opts);
+    let parallel_elapsed = t0.elapsed();
+    eprintln!("sweep done in {:.1}s", parallel_elapsed.as_secs_f64());
+
+    match run.report.write_under(&args.runs_dir) {
+        Ok(path) => eprintln!("(wrote {})", path.display()),
+        Err(e) => eprintln!("warning: could not write sweep report: {e}"),
+    }
+
+    let results = match run.results(&spec) {
+        Ok(r) => r,
+        Err(failures) => {
+            eprintln!(
+                "error: {} job(s) failed:\n{failures}",
+                failures.lines().count()
+            );
+            return 1;
+        }
+    };
+
+    let csv = args.csv_dir.as_deref();
+    for (name, file, fig) in figure_set(&spec, &results, need_ladder) {
+        if sel(name) {
+            emit(&fig, csv, file);
+        }
+    }
+
+    if args.compare {
+        return compare(&spec, &results, need_ladder, parallel_elapsed, &opts);
+    }
+    0
+}
+
+/// Re-runs the sweep serially and uncached, then verifies the parallel
+/// figures are byte-identical and reports the wall-time ratio.
+fn compare(
+    spec: &Arc<SweepSpec>,
+    parallel_results: &[miopt::runner::RunResult],
+    need_ladder: bool,
+    parallel_elapsed: Duration,
+    opts: &SweepOptions,
+) -> i32 {
+    eprintln!("comparing against a serial uncached sweep ...");
+    let serial_opts = SweepOptions {
+        pool: PoolOptions {
+            workers: 1,
+            progress: opts.pool.progress,
+            ..opts.pool.clone()
+        },
+        cache: None,
+    };
+    let t0 = Instant::now();
+    let serial = run_sweep(spec, "compare-serial", &serial_opts);
+    let serial_elapsed = t0.elapsed();
+    let serial_results = match serial.results(spec) {
+        Ok(r) => r,
+        Err(failures) => {
+            eprintln!("error: serial comparison run failed:\n{failures}");
+            return 1;
+        }
+    };
+    let a = figure_set(spec, parallel_results, need_ladder);
+    let b = figure_set(spec, &serial_results, need_ladder);
+    for ((name, _, fa), (_, _, fb)) in a.iter().zip(&b) {
+        assert_eq!(
+            fa.to_csv(),
+            fb.to_csv(),
+            "{name}: parallel and serial sweeps must be byte-identical"
+        );
+    }
+    eprintln!(
+        "parallel and serial figures are byte-identical ({} figures checked)",
+        a.len()
+    );
+    eprintln!(
+        "serial {:.1}s vs parallel {:.1}s: {:.2}x",
+        serial_elapsed.as_secs_f64(),
+        parallel_elapsed.as_secs_f64(),
+        serial_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64().max(1e-9),
+    );
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(list: &[&str]) -> CliArgs {
+        parse_args(list.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn defaults_select_everything() {
+        let a = parse(&[]);
+        assert_eq!(a.selected.len(), ALL_OUTPUTS.len());
+        assert_eq!(a.jobs, 0);
+        assert!(!a.no_cache);
+        assert_eq!(a.sweep_name, "figures-paper");
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&[
+            "--scale",
+            "quick",
+            "--only",
+            "FwSoft,FwPool",
+            "--csv",
+            "/tmp/x",
+            "--fig6",
+            "--jobs",
+            "4",
+            "--no-cache",
+            "--timeout-secs",
+            "30",
+            "--quiet",
+            "--sweep-name",
+            "mysweep",
+        ]);
+        assert_eq!(a.scale_name, "quick");
+        assert_eq!(a.only.as_ref().unwrap().len(), 2);
+        assert!(a.only.unwrap().contains("fwsoft"));
+        assert_eq!(a.selected.iter().collect::<Vec<_>>(), vec!["fig6"]);
+        assert_eq!(a.jobs, 4);
+        assert!(a.no_cache);
+        assert_eq!(a.timeout, Some(Duration::from_secs(30)));
+        assert!(a.quiet);
+        assert_eq!(a.sweep_name, "mysweep");
+    }
+
+    #[test]
+    fn serial_is_one_worker() {
+        assert_eq!(parse(&["--serial"]).jobs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected argument")]
+    fn unknown_positional_rejected() {
+        drop(parse(&["fig6"]));
+    }
+}

@@ -1,0 +1,42 @@
+//! `miopt-harness`: parallel experiment orchestration for the miopt
+//! simulator.
+//!
+//! The simulator's sweeps — the (workload × policy) grids behind the
+//! paper's Figures 6–13 — are embarrassingly parallel but were run
+//! serially. This crate turns a [`SweepSpec`](miopt::runner::SweepSpec)
+//! into a deterministic job DAG executed across a scoped worker pool,
+//! with:
+//!
+//! * byte-identical results at any worker count ([`pool`]),
+//! * per-job panic and wall-clock-timeout isolation ([`pool`]),
+//! * structured JSON sweep reports with full run provenance under
+//!   `results/runs/` ([`results`], [`provenance`]),
+//! * persistent result caching keyed by the experiment's identity hash
+//!   ([`cache`]),
+//! * the figure-extraction pipeline and the `miopt-harness` CLI that
+//!   regenerates every paper figure through the pool ([`figures`],
+//!   [`cli`]).
+//!
+//! Everything is dependency-free: the JSON layer ([`json`]) is written
+//! in-tree so offline builds never touch a registry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cli;
+pub mod figures;
+pub mod json;
+pub mod pool;
+pub mod progress;
+pub mod provenance;
+pub mod results;
+pub mod sweep;
+
+pub use cache::{CacheKey, ResultCache};
+pub use figures::FigureData;
+pub use json::Json;
+pub use pool::{JobError, JobOutcome, PoolOptions};
+pub use provenance::Provenance;
+pub use results::{SweepReport, SCHEMA_VERSION};
+pub use sweep::{run_sweep, SweepOptions, SweepRun};

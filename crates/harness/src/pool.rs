@@ -1,0 +1,453 @@
+//! A deterministic job-DAG executor over a scoped `std::thread` worker
+//! pool.
+//!
+//! The (workload × policy) grid of a sweep is embarrassingly parallel —
+//! every simulation is independent — but the executor is written as a
+//! general dependency DAG so future sweeps (e.g. a ladder stage gated on
+//! its static stage) can express ordering without a new engine.
+//!
+//! Design points:
+//!
+//! * **Determinism.** Results are recorded into a slot per job id, never
+//!   in completion order, so any worker count (including 1) produces an
+//!   identical result vector; ready jobs are claimed lowest-id-first.
+//! * **Isolation.** A panicking simulation fails *its job* (the panic is
+//!   caught and recorded) and the sweep continues. With a wall-clock
+//!   timeout configured, each job runs on a dedicated thread; a job that
+//!   exceeds the deadline is abandoned (the thread is detached — `std`
+//!   threads cannot be killed — and the job reports [`JobError::TimedOut`]).
+//! * **Failure propagation.** A job whose dependency failed is not run;
+//!   it reports [`JobError::DepFailed`].
+
+use crate::progress::Progress;
+use miopt::runner::{Job, RunResult, SweepSpec};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a job produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The simulation panicked; the payload is the panic message.
+    Panicked(String),
+    /// The simulation exceeded the configured wall-clock timeout.
+    TimedOut(Duration),
+    /// A dependency (by job id) failed, so this job never ran.
+    DepFailed(usize),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            JobError::TimedOut(t) => write!(f, "timed out after {:.1}s", t.as_secs_f64()),
+            JobError::DepFailed(id) => write!(f, "dependency job {id} failed"),
+        }
+    }
+}
+
+/// The outcome of one job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job that ran (or was skipped).
+    pub job: Job,
+    /// The simulation result, or why there is none.
+    pub result: Result<RunResult, JobError>,
+    /// Wall time spent on this job (≈0 for cache hits and skips).
+    pub elapsed: Duration,
+    /// Whether the result came from the persistent cache.
+    pub cached: bool,
+}
+
+/// Executor options. The default is every available core, no timeout,
+/// no progress output.
+#[derive(Debug, Clone, Default)]
+pub struct PoolOptions {
+    /// Worker threads; 0 means [`std::thread::available_parallelism`].
+    pub workers: usize,
+    /// Per-job wall-clock timeout; `None` relies on the simulator's own
+    /// cycle budget to terminate hung configurations.
+    pub job_timeout: Option<Duration>,
+    /// Print per-job completion lines to stderr.
+    pub progress: bool,
+}
+
+impl PoolOptions {
+    /// The effective worker count.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
+/// A job result source consulted before simulating (the persistent
+/// cache, in production; anything in tests).
+pub trait ResultSource: Sync {
+    /// A previously computed result for `job`, if one exists.
+    fn fetch(&self, spec: &SweepSpec, job: &Job) -> Option<RunResult>;
+    /// Offers a freshly computed result for persistence.
+    fn offer(&self, spec: &SweepSpec, job: &Job, result: &RunResult);
+}
+
+/// A no-op source: every job simulates.
+pub struct NoCache;
+
+impl ResultSource for NoCache {
+    fn fetch(&self, _: &SweepSpec, _: &Job) -> Option<RunResult> {
+        None
+    }
+    fn offer(&self, _: &SweepSpec, _: &Job, _: &RunResult) {}
+}
+
+struct DagState {
+    /// Unsatisfied dependency count per job; `usize::MAX` marks claimed.
+    waiting: Vec<usize>,
+    /// Jobs ready to claim, lowest id first.
+    ready: BinaryHeap<Reverse<usize>>,
+    /// Slot per job id.
+    outcomes: Vec<Option<JobOutcome>>,
+    /// Jobs without a recorded outcome yet.
+    unfinished: usize,
+}
+
+struct Dag {
+    state: Mutex<DagState>,
+    wake: Condvar,
+    /// dependents[i] = jobs that wait on job i.
+    dependents: Vec<Vec<usize>>,
+}
+
+/// Runs every job of `spec` (with `deps[i]` = ids that must succeed
+/// before job `i` runs) across a scoped worker pool and returns one
+/// outcome per job, in job-id order regardless of completion order.
+///
+/// `deps` may be empty, meaning no ordering constraints.
+///
+/// # Panics
+///
+/// Panics if `deps` is non-empty but not exactly one entry per job, or
+/// if a dependency id is out of range (a malformed DAG is a programming
+/// error, not a job failure).
+pub fn run_dag(
+    spec: &Arc<SweepSpec>,
+    deps: &[Vec<usize>],
+    source: &dyn ResultSource,
+    opts: &PoolOptions,
+) -> Vec<JobOutcome> {
+    let jobs = spec.jobs();
+    let n = jobs.len();
+    let deps: Vec<Vec<usize>> = if deps.is_empty() {
+        vec![Vec::new(); n]
+    } else {
+        assert_eq!(deps.len(), n, "one dependency list per job");
+        deps.to_vec()
+    };
+    for d in deps.iter().flatten() {
+        assert!(*d < n, "dependency id {d} out of range");
+    }
+    let mut dependents = vec![Vec::new(); n];
+    let mut waiting = vec![0usize; n];
+    for (i, ds) in deps.iter().enumerate() {
+        waiting[i] = ds.len();
+        for &d in ds {
+            dependents[d].push(i);
+        }
+    }
+    let ready: BinaryHeap<Reverse<usize>> =
+        (0..n).filter(|&i| waiting[i] == 0).map(Reverse).collect();
+    assert!(
+        n == 0 || !ready.is_empty(),
+        "dependency cycle: no runnable job"
+    );
+
+    let dag = Dag {
+        state: Mutex::new(DagState {
+            waiting,
+            ready,
+            outcomes: vec![None; n],
+            unfinished: n,
+        }),
+        wake: Condvar::new(),
+        dependents,
+    };
+    let progress = Progress::new(n, opts.progress);
+    let workers = opts.effective_workers().min(n.max(1));
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| worker(spec, &dag, source, opts, &progress));
+        }
+    });
+
+    let state = dag.state.into_inner().expect("workers exited cleanly");
+    assert_eq!(
+        state.unfinished, 0,
+        "executor finished with unrecorded jobs"
+    );
+    state
+        .outcomes
+        .into_iter()
+        .map(|o| o.expect("every job recorded"))
+        .collect()
+}
+
+fn worker(
+    spec: &Arc<SweepSpec>,
+    dag: &Dag,
+    source: &dyn ResultSource,
+    opts: &PoolOptions,
+    progress: &Progress,
+) {
+    let jobs = spec.jobs();
+    loop {
+        let job = {
+            let mut st = dag.state.lock().expect("pool lock");
+            loop {
+                if st.unfinished == 0 {
+                    return;
+                }
+                if let Some(Reverse(id)) = st.ready.pop() {
+                    st.waiting[id] = usize::MAX;
+                    break jobs[id];
+                }
+                st = dag.wake.wait(st).expect("pool lock");
+            }
+        };
+
+        let started = Instant::now();
+        let (result, cached) = match source.fetch(spec, &job) {
+            Some(hit) => (Ok(hit), true),
+            None => {
+                let r = execute(spec, job, opts.job_timeout);
+                if let Ok(res) = &r {
+                    source.offer(spec, &job, res);
+                }
+                (r, false)
+            }
+        };
+        let outcome = JobOutcome {
+            job,
+            result,
+            elapsed: started.elapsed(),
+            cached,
+        };
+        progress.report(&spec.job_label(&job), &outcome);
+        record(dag, &jobs, outcome, progress);
+    }
+}
+
+/// Records an outcome, unblocking or failing dependents, and wakes
+/// waiting workers.
+fn record(dag: &Dag, jobs: &[Job], outcome: JobOutcome, progress: &Progress) {
+    let mut st = dag.state.lock().expect("pool lock");
+    let mut pending = vec![outcome];
+    while let Some(o) = pending.pop() {
+        let id = o.job.id;
+        let failed = o.result.is_err();
+        debug_assert!(st.outcomes[id].is_none(), "job {id} recorded twice");
+        st.outcomes[id] = Some(o);
+        st.unfinished -= 1;
+        for &dep in &dag.dependents[id] {
+            if failed {
+                // Fail the whole downstream cone without running it.
+                if st.outcomes[dep].is_none() && st.waiting[dep] != usize::MAX {
+                    st.waiting[dep] = usize::MAX;
+                    let skipped = JobOutcome {
+                        job: jobs[dep],
+                        result: Err(JobError::DepFailed(id)),
+                        elapsed: Duration::ZERO,
+                        cached: false,
+                    };
+                    progress.report("(skipped)", &skipped);
+                    pending.push(skipped);
+                }
+            } else if st.waiting[dep] != usize::MAX {
+                st.waiting[dep] -= 1;
+                if st.waiting[dep] == 0 {
+                    st.ready.push(Reverse(dep));
+                }
+            }
+        }
+    }
+    drop(st);
+    dag.wake.notify_all();
+}
+
+/// Runs one job with panic isolation, and wall-clock timeout isolation
+/// when configured.
+fn execute(
+    spec: &Arc<SweepSpec>,
+    job: Job,
+    timeout: Option<Duration>,
+) -> Result<RunResult, JobError> {
+    match timeout {
+        None => catch_unwind(AssertUnwindSafe(|| spec.run_job(&job)))
+            .map_err(|p| JobError::Panicked(panic_message(&p))),
+        Some(limit) => {
+            let (tx, rx) = mpsc::channel();
+            let spec = Arc::clone(spec);
+            // Detached on purpose: a hung simulation cannot be killed, so
+            // the thread is abandoned and dies with the process.
+            std::thread::Builder::new()
+                .name(format!("miopt-job-{}", job.id))
+                .spawn(move || {
+                    let r = catch_unwind(AssertUnwindSafe(|| spec.run_job(&job)));
+                    let _ = tx.send(r);
+                })
+                .expect("spawn job thread");
+            match rx.recv_timeout(limit) {
+                Ok(Ok(result)) => Ok(result),
+                Ok(Err(p)) => Err(JobError::Panicked(panic_message(&p))),
+                Err(mpsc::RecvTimeoutError::Timeout) => Err(JobError::TimedOut(limit)),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    Err(JobError::Panicked("job thread died".to_string()))
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miopt::SystemConfig;
+    use miopt_workloads::{by_name, SuiteConfig};
+
+    fn spec_of(names: &[&str]) -> Arc<SweepSpec> {
+        let s = SuiteConfig::quick();
+        Arc::new(SweepSpec::statics(
+            SystemConfig::small_test(),
+            names.iter().map(|n| by_name(&s, n).unwrap()).collect(),
+        ))
+    }
+
+    #[test]
+    fn pool_matches_serial_for_any_worker_count() {
+        let spec = spec_of(&["FwSoft"]);
+        let serial = run_dag(
+            &spec,
+            &[],
+            &NoCache,
+            &PoolOptions {
+                workers: 1,
+                ..PoolOptions::default()
+            },
+        );
+        let parallel = run_dag(
+            &spec,
+            &[],
+            &NoCache,
+            &PoolOptions {
+                workers: 4,
+                ..PoolOptions::default()
+            },
+        );
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.job, b.job, "slot order must be job order");
+            let (ra, rb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(ra.metrics, rb.metrics);
+        }
+    }
+
+    #[test]
+    fn dep_failure_skips_the_downstream_cone() {
+        let spec = spec_of(&["FwSoft"]);
+        // Chain 0 <- 1 <- 2; job 0 is forced to fail with a nanosecond
+        // timeout, which must fail the whole downstream cone unrun.
+        let deps = vec![vec![], vec![0], vec![1]];
+        let opts = PoolOptions {
+            workers: 2,
+            job_timeout: Some(Duration::from_nanos(1)),
+            ..PoolOptions::default()
+        };
+        let outcomes = run_dag(&spec, &deps, &NoCache, &opts);
+        assert!(matches!(outcomes[0].result, Err(JobError::TimedOut(_))));
+        assert_eq!(outcomes[1].result, Err(JobError::DepFailed(0)));
+        assert_eq!(outcomes[2].result, Err(JobError::DepFailed(1)));
+    }
+
+    #[test]
+    fn honours_dependency_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct OrderSpy {
+            seq: AtomicUsize,
+            seen: Mutex<Vec<(usize, usize)>>,
+        }
+        impl ResultSource for OrderSpy {
+            fn fetch(&self, _: &SweepSpec, job: &Job) -> Option<RunResult> {
+                let t = self.seq.fetch_add(1, Ordering::SeqCst);
+                self.seen.lock().unwrap().push((job.id, t));
+                None
+            }
+            fn offer(&self, _: &SweepSpec, _: &Job, _: &RunResult) {}
+        }
+        let spec = spec_of(&["FwSoft"]);
+        // Job 2 must start only after jobs 0 and 1 completed.
+        let deps = vec![vec![], vec![], vec![0, 1]];
+        let spy = OrderSpy {
+            seq: AtomicUsize::new(0),
+            seen: Mutex::new(Vec::new()),
+        };
+        let outcomes = run_dag(
+            &spec,
+            &deps,
+            &spy,
+            &PoolOptions {
+                workers: 3,
+                ..PoolOptions::default()
+            },
+        );
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        let seen = spy.seen.lock().unwrap();
+        let start_of = |id: usize| seen.iter().find(|(j, _)| *j == id).unwrap().1;
+        assert!(start_of(2) > start_of(0));
+        assert!(start_of(2) > start_of(1));
+    }
+
+    #[test]
+    fn cache_hits_skip_simulation() {
+        struct Canned(RunResult);
+        impl ResultSource for Canned {
+            fn fetch(&self, _: &SweepSpec, job: &Job) -> Option<RunResult> {
+                (job.id == 0).then(|| self.0.clone())
+            }
+            fn offer(&self, _: &SweepSpec, _: &Job, _: &RunResult) {}
+        }
+        let spec = spec_of(&["FwSoft"]);
+        let jobs = spec.jobs();
+        let canned = Canned(spec.run_job(&jobs[0]));
+        let outcomes = run_dag(
+            &spec,
+            &[],
+            &canned,
+            &PoolOptions {
+                workers: 2,
+                ..PoolOptions::default()
+            },
+        );
+        assert!(outcomes[0].cached);
+        assert!(!outcomes[1].cached);
+        assert_eq!(
+            outcomes[0].result.as_ref().unwrap().metrics,
+            canned.0.metrics
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Structured results: converting run metrics to and from JSON, and the
+//! on-disk sweep report written under `results/runs/`.
+//!
+//! The schema (version [`SCHEMA_VERSION`]) is documented in DESIGN.md
+//! §"miopt-harness". The important property is *exactness*: every counter
+//! is a JSON integer and the clock is written with shortest round-trip
+//! float formatting, so deserializing a cached result reproduces the
+//! original [`Metrics`] bit for bit — the determinism guarantees of the
+//! simulator extend through the results layer.
+
+use crate::json::Json;
+use crate::provenance::Provenance;
+use miopt::runner::RunResult;
+use miopt::Metrics;
+use miopt_cache::CacheStats;
+use miopt_dram::DramStats;
+use miopt_gpu::GpuStats;
+use std::path::Path;
+
+/// Version tag of the results/cache JSON schema. Bump on any change to
+/// the serialized layout; cached results from other versions are ignored.
+pub const SCHEMA_VERSION: u32 = 1;
+
+fn pairs_to_json(pairs: Vec<(&'static str, u64)>) -> Json {
+    Json::obj(pairs.into_iter().map(|(k, v)| (k, Json::U64(v))))
+}
+
+fn json_field(obj: &Json, name: &str) -> impl FnMut(&str) -> Option<u64> {
+    let section = obj.get(name).cloned();
+    move |key| section.as_ref()?.get(key)?.as_u64()
+}
+
+/// Serializes metrics to a JSON object.
+#[must_use]
+pub fn metrics_to_json(m: &Metrics) -> Json {
+    Json::obj([
+        ("cycles", Json::U64(m.cycles)),
+        ("gpu_clock_hz", Json::F64(m.gpu_clock_hz())),
+        ("gpu", pairs_to_json(m.gpu.to_pairs())),
+        ("dram", pairs_to_json(m.dram.to_pairs())),
+        ("l1", pairs_to_json(m.l1.to_pairs())),
+        ("l2", pairs_to_json(m.l2.to_pairs())),
+    ])
+}
+
+/// Rebuilds metrics from [`metrics_to_json`] output.
+///
+/// # Errors
+///
+/// Returns a description of the first missing or malformed field.
+pub fn metrics_from_json(obj: &Json) -> Result<Metrics, String> {
+    let cycles = obj
+        .get("cycles")
+        .and_then(Json::as_u64)
+        .ok_or("missing or invalid `cycles`")?;
+    let clock = obj
+        .get("gpu_clock_hz")
+        .and_then(Json::as_f64)
+        .ok_or("missing or invalid `gpu_clock_hz`")?;
+    let gpu = GpuStats::from_pairs(json_field(obj, "gpu"))?;
+    let dram = DramStats::from_pairs(json_field(obj, "dram"))?;
+    let l1 = CacheStats::from_pairs(json_field(obj, "l1"))?;
+    let l2 = CacheStats::from_pairs(json_field(obj, "l2"))?;
+    Ok(Metrics::from_parts(cycles, gpu, dram, l1, l2, clock))
+}
+
+/// One job's entry in a sweep report.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job id within the sweep (assembly order).
+    pub id: usize,
+    /// Workload display name.
+    pub workload: String,
+    /// Stable workload identity ([`miopt_workloads::Workload::stable_id`]).
+    pub workload_id: String,
+    /// Policy label (e.g. `CacheRW-PCby`).
+    pub policy: String,
+    /// The persistent result-cache key of this job, as hex.
+    pub cache_key: String,
+    /// Whether the result was loaded from the cache rather than
+    /// simulated.
+    pub cached: bool,
+    /// Wall milliseconds this job took in this sweep (≈0 when cached).
+    pub elapsed_ms: u64,
+    /// `"ok"`, or the failure description for panicked/timed-out jobs.
+    pub status: String,
+    /// The metrics, when the job succeeded.
+    pub metrics: Option<Metrics>,
+}
+
+impl JobRecord {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id".to_string(), Json::U64(self.id as u64)),
+            ("workload".to_string(), Json::str(&self.workload)),
+            ("workload_id".to_string(), Json::str(&self.workload_id)),
+            ("policy".to_string(), Json::str(&self.policy)),
+            ("cache_key".to_string(), Json::str(&self.cache_key)),
+            ("cached".to_string(), Json::Bool(self.cached)),
+            ("elapsed_ms".to_string(), Json::U64(self.elapsed_ms)),
+            ("status".to_string(), Json::str(&self.status)),
+        ];
+        if let Some(m) = &self.metrics {
+            pairs.push(("metrics".to_string(), metrics_to_json(m)));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// A complete sweep report: provenance plus one record per job.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Sweep name (also the `results/runs/<name>.json` file stem).
+    pub name: String,
+    /// Run provenance.
+    pub provenance: Provenance,
+    /// Per-job records, in job-id order.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl SweepReport {
+    /// The report as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("sweep", Json::str(&self.name)),
+            ("schema_version", Json::U64(u64::from(SCHEMA_VERSION))),
+            ("provenance", self.provenance.to_json()),
+            (
+                "jobs",
+                Json::Arr(self.jobs.iter().map(JobRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the report under `dir` as `<name>.json`, creating the
+    /// directory if needed, and returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_under(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.to_json().to_pretty())?;
+        Ok(path)
+    }
+}
+
+/// Builds the job records for a finished sweep.
+#[must_use]
+pub fn job_records(
+    spec: &miopt::runner::SweepSpec,
+    outcomes: &[crate::pool::JobOutcome],
+    keys: &[crate::cache::CacheKey],
+) -> Vec<JobRecord> {
+    outcomes
+        .iter()
+        .map(|o| {
+            let w = &spec.workloads[o.job.workload];
+            JobRecord {
+                id: o.job.id,
+                workload: w.name.clone(),
+                workload_id: w.stable_id(),
+                policy: o.job.policy.label(),
+                cache_key: keys[o.job.id].hex(),
+                cached: o.cached,
+                elapsed_ms: o.elapsed.as_millis() as u64,
+                status: match &o.result {
+                    Ok(_) => "ok".to_string(),
+                    Err(e) => e.to_string(),
+                },
+                metrics: o.result.as_ref().ok().map(|r| r.metrics.clone()),
+            }
+        })
+        .collect()
+}
+
+/// Round-trips a [`RunResult`] through JSON (used by the cache layer).
+#[must_use]
+pub fn run_result_to_json(r: &RunResult) -> Json {
+    Json::obj([
+        ("workload", Json::str(&r.workload)),
+        ("policy", Json::str(r.policy.label())),
+        ("metrics", metrics_to_json(&r.metrics)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miopt::runner::run_one;
+    use miopt::{CachePolicy, PolicyConfig, SystemConfig};
+    use miopt_workloads::{by_name, SuiteConfig};
+
+    #[test]
+    fn metrics_round_trip_bit_exactly() {
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let r = run_one(
+            &SystemConfig::small_test(),
+            &w,
+            PolicyConfig::of(CachePolicy::CacheRW),
+        );
+        let doc = metrics_to_json(&r.metrics);
+        let text = doc.to_pretty();
+        let back = metrics_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r.metrics);
+        // And the derived figure metrics agree exactly.
+        assert_eq!(back.gvops().to_bits(), r.metrics.gvops().to_bits());
+        assert_eq!(
+            back.stalls_per_request().to_bits(),
+            r.metrics.stalls_per_request().to_bits()
+        );
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let r = run_one(
+            &SystemConfig::small_test(),
+            &w,
+            PolicyConfig::of(CachePolicy::Uncached),
+        );
+        let mut doc = metrics_to_json(&r.metrics);
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "dram");
+        }
+        let err = metrics_from_json(&doc).unwrap_err();
+        assert!(err.contains("dram"), "{err}");
+    }
+}

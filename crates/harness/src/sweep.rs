@@ -1,0 +1,158 @@
+//! High-level sweep orchestration: a [`SweepSpec`] in, executed through
+//! the worker pool with optional persistent caching, a [`SweepReport`]
+//! (provenance + per-job records) out.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::pool::{run_dag, JobOutcome, NoCache, PoolOptions, ResultSource};
+use crate::provenance::Provenance;
+use crate::results::{job_records, SweepReport};
+use miopt::runner::{Job, RunResult, SweepSpec};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Orchestration options for one sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker pool configuration.
+    pub pool: PoolOptions,
+    /// Persistent result cache; `None` simulates every job.
+    pub cache: Option<ResultCache>,
+}
+
+/// A finished sweep: every job outcome plus the structured report.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// One outcome per job, in job-id order.
+    pub outcomes: Vec<JobOutcome>,
+    /// The report ready to write under `results/runs/`.
+    pub report: SweepReport,
+}
+
+impl SweepRun {
+    /// The successful results in job-id order, or a description of every
+    /// failed job.
+    ///
+    /// # Errors
+    ///
+    /// Lists each failed job as `label: error`, one per line.
+    pub fn results(&self, spec: &SweepSpec) -> Result<Vec<RunResult>, String> {
+        let mut failures = Vec::new();
+        let mut results = Vec::with_capacity(self.outcomes.len());
+        for o in &self.outcomes {
+            match &o.result {
+                Ok(r) => results.push(r.clone()),
+                Err(e) => failures.push(format!("{}: {e}", spec.job_label(&o.job))),
+            }
+        }
+        if failures.is_empty() {
+            Ok(results)
+        } else {
+            Err(failures.join("\n"))
+        }
+    }
+}
+
+/// [`ResultSource`] adapter over the persistent cache. Store failures
+/// are reported to stderr but never fail the sweep: a read-only checkout
+/// still computes, just without persistence.
+struct CacheSource {
+    cache: ResultCache,
+}
+
+impl ResultSource for CacheSource {
+    fn fetch(&self, spec: &SweepSpec, job: &Job) -> Option<RunResult> {
+        self.cache.load(spec, job)
+    }
+
+    fn offer(&self, spec: &SweepSpec, job: &Job, result: &RunResult) {
+        if let Err(e) = self.cache.store(spec, job, result) {
+            eprintln!(
+                "warning: result cache store failed for {}: {e}",
+                spec.job_label(job)
+            );
+        }
+    }
+}
+
+/// Runs every job of `spec` and assembles the report named `name`.
+#[must_use]
+pub fn run_sweep(spec: &Arc<SweepSpec>, name: &str, opts: &SweepOptions) -> SweepRun {
+    let workers = opts.pool.effective_workers();
+    let mut provenance = Provenance::collect(&spec.cfg, workers);
+    let started = Instant::now();
+    let outcomes = match &opts.cache {
+        Some(cache) => {
+            let source = CacheSource {
+                cache: cache.clone(),
+            };
+            run_dag(spec, &[], &source, &opts.pool)
+        }
+        None => run_dag(spec, &[], &NoCache, &opts.pool),
+    };
+    provenance.elapsed_ms = started.elapsed().as_millis() as u64;
+    let keys: Vec<CacheKey> = spec
+        .jobs()
+        .iter()
+        .map(|j| CacheKey::for_job(spec, j))
+        .collect();
+    let report = SweepReport {
+        name: name.to_string(),
+        provenance,
+        jobs: job_records(spec, &outcomes, &keys),
+    };
+    SweepRun { outcomes, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miopt::SystemConfig;
+    use miopt_workloads::{by_name, SuiteConfig};
+
+    fn test_spec() -> Arc<SweepSpec> {
+        Arc::new(SweepSpec::statics(
+            SystemConfig::small_test(),
+            vec![by_name(&SuiteConfig::quick(), "FwSoft").unwrap()],
+        ))
+    }
+
+    #[test]
+    fn sweep_produces_a_complete_report() {
+        let spec = test_spec();
+        let run = run_sweep(&spec, "unit", &SweepOptions::default());
+        assert_eq!(run.outcomes.len(), spec.job_count());
+        assert_eq!(run.report.jobs.len(), spec.job_count());
+        assert_eq!(run.report.name, "unit");
+        assert!(run.report.jobs.iter().all(|j| j.status == "ok"));
+        let results = run.results(&spec).expect("all jobs succeed");
+        let statics = spec.assemble_statics(&results);
+        assert_eq!(statics.len(), 1);
+        assert_eq!(statics[0].len(), 3);
+    }
+
+    #[test]
+    fn caching_round_trips_through_a_real_sweep() {
+        let dir = std::env::temp_dir().join(format!("miopt-sweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = test_spec();
+        let opts = SweepOptions {
+            cache: Some(ResultCache::new(&dir)),
+            ..SweepOptions::default()
+        };
+        let cold = run_sweep(&spec, "cold", &opts);
+        assert!(cold.outcomes.iter().all(|o| !o.cached));
+        let warm = run_sweep(&spec, "warm", &opts);
+        assert!(
+            warm.outcomes.iter().all(|o| o.cached),
+            "second run must hit"
+        );
+        for (a, b) in cold.outcomes.iter().zip(&warm.outcomes) {
+            assert_eq!(
+                a.result.as_ref().unwrap().metrics,
+                b.result.as_ref().unwrap().metrics,
+                "cached results must be bit-identical to fresh ones"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -70,7 +70,10 @@ impl Crossbar {
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn new(inputs: usize, outputs: usize, per_output: u32) -> Crossbar {
-        assert!(inputs > 0 && outputs > 0, "crossbar dimensions must be nonzero");
+        assert!(
+            inputs > 0 && outputs > 0,
+            "crossbar dimensions must be nonzero"
+        );
         assert!(per_output > 0, "per_output must be nonzero");
         Crossbar {
             inputs,
@@ -182,7 +185,11 @@ mod tests {
         ins[0].push(Cycle(0), 1).unwrap();
         ins[0].push(Cycle(0), 2).unwrap();
         assert_eq!(x.tick(Cycle(0), &mut ins, &mut outs, |_| 0), 1);
-        assert_eq!(x.tick(Cycle(1), &mut ins, &mut outs, |_| 0), 0, "output full");
+        assert_eq!(
+            x.tick(Cycle(1), &mut ins, &mut outs, |_| 0),
+            0,
+            "output full"
+        );
         outs[0].pop_ready(Cycle(1)).unwrap();
         assert_eq!(x.tick(Cycle(2), &mut ins, &mut outs, |_| 0), 1);
     }

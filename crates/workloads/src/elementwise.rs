@@ -162,7 +162,10 @@ mod tests {
         let w = bw_act(&SuiteConfig::quick(), 16);
         let body = &w.launches[0].program.body;
         let loads = body.iter().filter(|o| matches!(o, Op::Load { .. })).count();
-        let stores = body.iter().filter(|o| matches!(o, Op::Store { .. })).count();
+        let stores = body
+            .iter()
+            .filter(|o| matches!(o, Op::Store { .. }))
+            .count();
         assert_eq!((loads, stores), (2, 1));
     }
 

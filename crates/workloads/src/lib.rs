@@ -135,6 +135,44 @@ impl Workload {
     pub fn footprint_bytes(&self) -> u64 {
         self.footprint
     }
+
+    /// A stable identity string for this workload instance, usable as a
+    /// persistent experiment-cache key.
+    ///
+    /// The id is `<name>-<fnv64 hex>` where the digest covers the
+    /// workload's name, footprint, and every launch's static geometry
+    /// (template id, grid shape, program length and iteration count) —
+    /// everything that determines the generated address stream. Two
+    /// workloads built from different [`SuiteConfig`] scales therefore get
+    /// different ids, while rebuilding the same suite reproduces the same
+    /// id byte for byte.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use miopt_workloads::{by_name, SuiteConfig};
+    ///
+    /// let a = by_name(&SuiteConfig::quick(), "FwPool").unwrap();
+    /// let b = by_name(&SuiteConfig::quick(), "FwPool").unwrap();
+    /// assert_eq!(a.stable_id(), b.stable_id());
+    /// let c = by_name(&SuiteConfig::paper(), "FwPool").unwrap();
+    /// assert_ne!(a.stable_id(), c.stable_id());
+    /// ```
+    #[must_use]
+    pub fn stable_id(&self) -> String {
+        let mut h = miopt_engine::util::Fnv1a::new();
+        h.write(self.name.as_bytes());
+        h.write_u64(self.footprint);
+        h.write_u64(self.launches.len() as u64);
+        for k in &self.launches {
+            h.write_u64(u64::from(k.template_id));
+            h.write_u64(u64::from(k.wgs));
+            h.write_u64(u64::from(k.wfs_per_wg));
+            h.write_u64(u64::from(k.program.iters));
+            h.write_u64(k.program.body.len() as u64);
+        }
+        format!("{}-{:016x}", self.name, h.finish())
+    }
 }
 
 /// Allocates non-overlapping regions for a workload's arrays.
@@ -312,7 +350,10 @@ mod tests {
         assert!(fp("BwAct") >= fp("FwAct")); // both 2.4 GB in the paper
         assert!(fp("FwLSTM") < 4 * 1024 * 1024);
         assert!(fp("FwSoft") < 1024 * 1024);
-        assert!(fp("BwBN") < 8 * 1024 * 1024, "BwBN stays near its paper size");
+        assert!(
+            fp("BwBN") < 8 * 1024 * 1024,
+            "BwBN stays near its paper size"
+        );
         assert!(fp("FwPool") > 8 * 1024 * 1024, "FwPool must exceed the L2");
     }
 
@@ -341,8 +382,32 @@ mod tests {
             let (wgs, iters) = grid(total, 4, 640);
             let covered = u64::from(wgs) * 4 * 64 * u64::from(iters);
             assert!(covered >= total, "{total}: covered {covered}");
-            assert!(covered < total + (4 * 64 * u64::from(iters) * 2), "{total}: overshoot");
+            assert!(
+                covered < total + (4 * 64 * u64::from(iters) * 2),
+                "{total}: overshoot"
+            );
         }
+    }
+
+    #[test]
+    fn stable_ids_are_unique_reproducible_and_scale_sensitive() {
+        let quick: Vec<String> = suite(&SuiteConfig::quick())
+            .iter()
+            .map(Workload::stable_id)
+            .collect();
+        // Unique within a suite.
+        assert_eq!(quick.iter().collect::<BTreeSet<_>>().len(), quick.len());
+        // Rebuilding reproduces identical ids.
+        let again: Vec<String> = suite(&SuiteConfig::quick())
+            .iter()
+            .map(Workload::stable_id)
+            .collect();
+        assert_eq!(quick, again);
+        // Footprint-scaled workloads get a different id at a different
+        // scale (tiny natural-size workloads legitimately keep theirs).
+        let q = by_name(&SuiteConfig::quick(), "FwPool").unwrap();
+        let p = by_name(&SuiteConfig::paper(), "FwPool").unwrap();
+        assert_ne!(q.stable_id(), p.stable_id());
     }
 
     #[test]

@@ -138,7 +138,10 @@ mod tests {
         // mask loads (4 + 16 lines/iter).
         let w = bw_pool(&SuiteConfig::quick(), 7);
         let body = &w.launches[0].program.body;
-        let stores = body.iter().filter(|o| matches!(o, Op::Store { .. })).count();
+        let stores = body
+            .iter()
+            .filter(|o| matches!(o, Op::Store { .. }))
+            .count();
         assert_eq!(stores, 2);
         let store_lines_per_iter = 2 * (64 * 16) / 64;
         let load_lines_per_iter = (64 * 4) / 64 + (64 * 16) / 64;

@@ -215,11 +215,7 @@ struct RnnShape {
 }
 
 fn rnn(name: &str, index: u64, _cfg: &SuiteConfig, shape: &RnnShape) -> Workload {
-    rnn_impl(
-        name,
-        index,
-        &RnnConfig::paper(shape.gates, shape.backward),
-    )
+    rnn_impl(name, index, &RnnConfig::paper(shape.gates, shape.backward))
 }
 
 fn rnn_impl(name: &str, index: u64, config: &RnnConfig) -> Workload {
@@ -369,7 +365,11 @@ mod tests {
     fn grids_are_tiny() {
         let w = fw_lstm(&SuiteConfig::paper(), 9);
         for k in &w.launches {
-            assert!(k.total_wavefronts() <= 64, "{}: batch-1 RNNs are small", k.name);
+            assert!(
+                k.total_wavefronts() <= 64,
+                "{}: batch-1 RNNs are small",
+                k.name
+            );
         }
     }
 }

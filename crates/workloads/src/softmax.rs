@@ -7,13 +7,7 @@ use crate::patterns::{PatternKind, PatternSpec};
 use crate::{kernel, Category, RegionAlloc, SuiteConfig, Workload};
 use miopt_gpu::Op;
 
-fn soft(
-    name: &str,
-    index: u64,
-    arrays: u64,
-    passes: usize,
-    _cfg: &SuiteConfig,
-) -> Workload {
+fn soft(name: &str, index: u64, arrays: u64, passes: usize, _cfg: &SuiteConfig) -> Workload {
     let mut alloc = RegionAlloc::for_workload(index);
     // Paper sizes are absolute and tiny; no scaling.
     let bytes = 24 * 1024;
@@ -107,6 +101,9 @@ mod tests {
     #[test]
     fn grid_is_small() {
         let w = fw_soft(&SuiteConfig::paper(), 5);
-        assert!(w.launches[0].total_wavefronts() <= 16, "latency-bound layer");
+        assert!(
+            w.launches[0].total_wavefronts() <= 16,
+            "latency-bound layer"
+        );
     }
 }

@@ -2,30 +2,43 @@
 //! optimization ladder — over one benchmark and report the comparison the
 //! paper makes in Figures 6 and 10.
 //!
+//! The six runs go through the `miopt-harness` worker pool, so they use
+//! every available core and still produce exactly the numbers a serial
+//! sweep would.
+//!
 //! ```text
-//! cargo run --release --example policy_sweep -- [workload]
+//! cargo run --release -p miopt-harness --example policy_sweep -- [workload]
 //! ```
 
-use miopt::runner::{run_ladder_with_statics, run_one};
-use miopt::{CachePolicy, PolicyConfig, SystemConfig};
+use miopt::runner::SweepSpec;
+use miopt::SystemConfig;
+use miopt_harness::sweep::{run_sweep, SweepOptions};
 use miopt_workloads::{by_name, Category, SuiteConfig};
+use std::sync::Arc;
 
 fn main() {
-    let workload_name = std::env::args().nth(1).unwrap_or_else(|| "FwPool".to_string());
+    let workload_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "FwPool".to_string());
     let scale = SuiteConfig::quick();
     let workload = by_name(&scale, &workload_name)
         .unwrap_or_else(|| panic!("unknown workload {workload_name:?}"));
     let cfg = SystemConfig::paper_table1();
 
-    println!("policy sweep for {} (paper category: {:?})", workload.name, workload.category);
-    println!("{:14} {:>12} {:>10} {:>10} {:>10} {:>10}", "config", "cycles", "vs Unc", "DRAM", "rowhit%", "stalls/rq");
+    println!(
+        "policy sweep for {} (paper category: {:?})",
+        workload.name, workload.category
+    );
+    println!(
+        "{:14} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "config", "cycles", "vs Unc", "DRAM", "rowhit%", "stalls/rq"
+    );
 
-    let statics: Vec<_> = CachePolicy::ALL
-        .iter()
-        .map(|&p| run_one(&cfg, &workload, PolicyConfig::of(p)))
-        .collect();
-    let base = statics[0].metrics.cycles as f64;
-    let ladder = run_ladder_with_statics(&cfg, &workload, statics);
+    let spec = Arc::new(SweepSpec::figures(cfg, vec![workload.clone()]));
+    let run = run_sweep(&spec, "example-policy-sweep", &SweepOptions::default());
+    let results = run.results(&spec).expect("sweep jobs succeed");
+    let ladder = spec.assemble_ladders(&results).remove(0);
+    let base = ladder.uncached().metrics.cycles as f64;
 
     for run in ladder.statics.iter().chain(ladder.ladder.iter()) {
         let m = &run.metrics;

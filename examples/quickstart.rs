@@ -34,15 +34,27 @@ fn main() {
 
     let cfg = SystemConfig::paper_table1();
     let mut sys = ApuSystem::new(cfg, PolicyConfig::of(policy), &workload);
-    let m = sys.run_to_completion(20_000_000_000).expect("simulation finished");
+    let m = sys
+        .run_to_completion(20_000_000_000)
+        .expect("simulation finished");
 
-    println!("execution time      {:>12} cycles ({:.3} ms)", m.cycles, m.seconds() * 1e3);
+    println!(
+        "execution time      {:>12} cycles ({:.3} ms)",
+        m.cycles,
+        m.seconds() * 1e3
+    );
     println!("compute bandwidth   {:>12.1} GVOPS", m.gvops());
     println!("data bandwidth      {:>12.2} GMR/s", m.gmrs());
     println!("GPU memory requests {:>12}", m.gpu.memory_requests());
     println!("DRAM accesses       {:>12}", m.dram_accesses());
     println!("DRAM row hit ratio  {:>12.1}%", m.row_hit_ratio() * 100.0);
     println!("cache stalls/request{:>12.3}", m.stalls_per_request());
-    println!("L1 load hit rate    {:>12.1}%", m.l1.load_hit_rate() * 100.0);
-    println!("L2 load hit rate    {:>12.1}%", m.l2.load_hit_rate() * 100.0);
+    println!(
+        "L1 load hit rate    {:>12.1}%",
+        m.l1.load_hit_rate() * 100.0
+    );
+    println!(
+        "L2 load hit rate    {:>12.1}%",
+        m.l2.load_hit_rate() * 100.0
+    );
 }

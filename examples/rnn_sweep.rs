@@ -7,15 +7,41 @@
 //! This example varies the hidden-layer size and the sequence length of
 //! an LSTM forward pass and reports how the Uncached/CacheR trade-off
 //! moves: bigger hidden layers shift the bottleneck from launch overhead
-//! and latency toward weight bandwidth, where caching earns more.
+//! and latency toward weight bandwidth, where caching earns more. Each
+//! size sweep is expressed as one `SweepSpec` grid and executed through
+//! the `miopt-harness` worker pool.
 //!
 //! ```text
-//! cargo run --release --example rnn_sweep
+//! cargo run --release -p miopt-harness --example rnn_sweep
 //! ```
 
-use miopt::runner::run_one;
+use miopt::runner::{RunResult, SweepSpec};
 use miopt::{CachePolicy, PolicyConfig, SystemConfig};
+use miopt_harness::sweep::{run_sweep, SweepOptions};
 use miopt_workloads::rnn::{rnn_with_config, RnnConfig};
+use miopt_workloads::Workload;
+use std::sync::Arc;
+
+/// Runs `workloads` under Uncached and CacheR through the pool and
+/// returns one `[Uncached, CacheR]` row per workload.
+fn sweep_two_policies(
+    cfg: &SystemConfig,
+    workloads: Vec<Workload>,
+    name: &str,
+) -> Vec<Vec<RunResult>> {
+    let spec = Arc::new(SweepSpec {
+        cfg: cfg.clone(),
+        workloads,
+        policies: vec![
+            PolicyConfig::of(CachePolicy::Uncached),
+            PolicyConfig::of(CachePolicy::CacheR),
+        ],
+        n_static: 2,
+    });
+    let run = run_sweep(&spec, name, &SweepOptions::default());
+    let results = run.results(&spec).expect("sweep jobs succeed");
+    spec.assemble_statics(&results)
+}
 
 fn main() {
     let cfg = SystemConfig::paper_table1();
@@ -25,19 +51,25 @@ fn main() {
         "{:>8} {:>9} {:>12} {:>12} {:>12} {:>10}",
         "hidden", "kernels", "footprint", "Uncached", "CacheR", "speedup"
     );
-    for hidden in [64u64, 128, 256, 512] {
-        let w = rnn_with_config(
-            "FwLSTM",
-            9,
-            &RnnConfig {
-                gates: 4,
-                hidden,
-                seq_len: 16,
-                backward: false,
-            },
-        );
-        let unc = run_one(&cfg, &w, PolicyConfig::of(CachePolicy::Uncached));
-        let r = run_one(&cfg, &w, PolicyConfig::of(CachePolicy::CacheR));
+    let hiddens = [64u64, 128, 256, 512];
+    let workloads: Vec<Workload> = hiddens
+        .iter()
+        .map(|&hidden| {
+            rnn_with_config(
+                "FwLSTM",
+                9,
+                &RnnConfig {
+                    gates: 4,
+                    hidden,
+                    seq_len: 16,
+                    backward: false,
+                },
+            )
+        })
+        .collect();
+    let rows = sweep_two_policies(&cfg, workloads.clone(), "example-rnn-hidden");
+    for ((hidden, w), row) in hiddens.iter().zip(&workloads).zip(&rows) {
+        let (unc, r) = (&row[0], &row[1]);
         println!(
             "{:>8} {:>9} {:>10}KB {:>12} {:>12} {:>9.3}x",
             hidden,
@@ -54,19 +86,25 @@ fn main() {
         "{:>8} {:>9} {:>12} {:>12} {:>10}",
         "seq", "kernels", "Uncached", "CacheR", "speedup"
     );
-    for seq_len in [4u32, 8, 16, 32] {
-        let w = rnn_with_config(
-            "FwLSTM",
-            9,
-            &RnnConfig {
-                gates: 4,
-                hidden: 128,
-                seq_len,
-                backward: false,
-            },
-        );
-        let unc = run_one(&cfg, &w, PolicyConfig::of(CachePolicy::Uncached));
-        let r = run_one(&cfg, &w, PolicyConfig::of(CachePolicy::CacheR));
+    let seqs = [4u32, 8, 16, 32];
+    let workloads: Vec<Workload> = seqs
+        .iter()
+        .map(|&seq_len| {
+            rnn_with_config(
+                "FwLSTM",
+                9,
+                &RnnConfig {
+                    gates: 4,
+                    hidden: 128,
+                    seq_len,
+                    backward: false,
+                },
+            )
+        })
+        .collect();
+    let rows = sweep_two_policies(&cfg, workloads.clone(), "example-rnn-seq");
+    for ((seq_len, w), row) in seqs.iter().zip(&workloads).zip(&rows) {
+        let (unc, r) = (&row[0], &row[1]);
         println!(
             "{:>8} {:>9} {:>12} {:>12} {:>9.3}x",
             seq_len,

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, runnable offline (no registry access: the
+# workspace has no external dependencies and `default-members` excludes
+# nothing that needs one).
+#
+#   scripts/ci.sh          # fmt + clippy + build + debug tests
+#   scripts/ci.sh --full   # additionally: release tests including the
+#                          # release-only full-suite determinism/golden
+#                          # tests and the non-default miopt-bench crate
+#
+# The debug path is the canonical tier-1 entry point:
+#   cargo build --release && cargo test -q
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+full=0
+[[ "${1:-}" == "--full" ]] && full=1
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (default members, all targets) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+if [[ $full -eq 1 ]]; then
+    echo "== cargo clippy -p miopt-bench =="
+    cargo clippy -p miopt-bench --all-targets -- -D warnings
+
+    echo "== cargo build -p miopt-bench (bins, benches) =="
+    cargo build --release -p miopt-bench --bins --benches
+
+    echo "== cargo test --release (full suite, including release-only tests) =="
+    cargo test -q --release -- --include-ignored
+fi
+
+echo "ci.sh: all checks passed"

@@ -16,7 +16,10 @@ fn every_workload_completes_under_every_static_policy() {
     // The big streaming workloads are slow even at quick scale on debug
     // builds; sample across categories instead of running all 17 x 3.
     let names = ["CM", "FwBN", "FwSoft", "BwPool", "FwGRU", "BwBN", "FwFc"];
-    for w in workloads.iter().filter(|w| names.contains(&w.name.as_str())) {
+    for w in workloads
+        .iter()
+        .filter(|w| names.contains(&w.name.as_str()))
+    {
         for p in CachePolicy::ALL {
             let r = run_one(&cfg(), w, PolicyConfig::of(p));
             assert!(r.metrics.cycles > 0, "{}/{p}", w.name);
@@ -45,7 +48,12 @@ fn gpu_request_counts_are_policy_independent() {
     let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
     let counts: Vec<u64> = CachePolicy::ALL
         .iter()
-        .map(|&p| run_one(&cfg(), &w, PolicyConfig::of(p)).metrics.gpu.memory_requests())
+        .map(|&p| {
+            run_one(&cfg(), &w, PolicyConfig::of(p))
+                .metrics
+                .gpu
+                .memory_requests()
+        })
         .collect();
     assert_eq!(counts[0], counts[1]);
     assert_eq!(counts[1], counts[2]);

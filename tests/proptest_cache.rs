@@ -2,6 +2,10 @@
 //! sequences and policies, the cache must answer every load exactly once,
 //! never lose a store, and keep its statistics consistent.
 
+// Compiled only with `--features proptest-tests` (requires the external
+// `proptest`/`rand` dev-dependencies, unavailable offline).
+#![cfg(feature = "proptest-tests")]
+
 use miopt_cache::{Blocked, CacheConfig, CacheUnit, LevelPolicy, Outcome, PredictorConfig, RowMap};
 use miopt_engine::{AccessKind, Cycle, LineAddr, MemReq, MemResp, Origin, Pc, ReqId, TimedQueue};
 use proptest::prelude::*;
@@ -19,8 +23,14 @@ fn req_strategy(lines: u64) -> impl Strategy<Value = Req> {
 }
 
 fn policy_strategy() -> impl Strategy<Value = LevelPolicy> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-        |(enabled, stores, ab, rinse, pcby)| LevelPolicy {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(enabled, stores, ab, rinse, pcby)| LevelPolicy {
             enabled,
             cache_loads: enabled,
             cache_stores: enabled && stores,
@@ -28,8 +38,7 @@ fn policy_strategy() -> impl Strategy<Value = LevelPolicy> {
             rinse: enabled && stores && rinse,
             pc_bypass: pcby.then(PredictorConfig::paper),
             row_map: (enabled && stores && rinse).then(|| RowMap::new(1, 2)),
-        },
-    )
+        })
 }
 
 /// Drives a request sequence through a cache with an "ideal memory" below
@@ -44,7 +53,11 @@ fn drive(policy: LevelPolicy, reqs: Vec<Req>) {
     let mut answered: HashMap<u64, u64> = HashMap::new();
     let mut loads_issued = 0u64;
 
-    let mut pending: std::collections::VecDeque<(u64, Req)> = reqs.into_iter().enumerate().map(|(i, r)| (i as u64, r)).collect();
+    let mut pending: std::collections::VecDeque<(u64, Req)> = reqs
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (i as u64, r))
+        .collect();
     let mut now = Cycle(0);
     let mut idle_cycles = 0;
     loop {
@@ -112,7 +125,11 @@ fn drive(policy: LevelPolicy, reqs: Vec<Req>) {
             *answered.entry(resp.id.0).or_default() += 1;
         }
 
-        let done = pending.is_empty() && memory.is_empty() && !cache.busy() && down.is_empty() && up.is_empty();
+        let done = pending.is_empty()
+            && memory.is_empty()
+            && !cache.busy()
+            && down.is_empty()
+            && up.is_empty();
         if done {
             idle_cycles += 1;
             if idle_cycles > 64 {

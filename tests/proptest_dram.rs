@@ -2,6 +2,10 @@
 //! drain completely, answer every read exactly once, and keep row-buffer
 //! accounting consistent.
 
+// Compiled only with `--features proptest-tests` (requires the external
+// `proptest`/`rand` dev-dependencies, unavailable offline).
+#![cfg(feature = "proptest-tests")]
+
 use miopt_dram::{Dram, DramConfig};
 use miopt_engine::{AccessKind, Cycle, LineAddr, MemReq, Origin, Pc, ReqId};
 use proptest::prelude::*;
@@ -50,7 +54,11 @@ fn drive(cfg: DramConfig, reqs: Vec<(u64, bool)>) {
     let s = dram.stats();
     assert_eq!(s.reads.get(), n_reads);
     assert_eq!(s.writes.get(), n_writes);
-    assert_eq!(s.row_hits.total(), n_reads + n_writes, "every burst classified");
+    assert_eq!(
+        s.row_hits.total(),
+        n_reads + n_writes,
+        "every burst classified"
+    );
     assert_eq!(
         s.row_hits.total() - s.row_hits.hits(),
         s.row_closed.get() + s.row_conflicts.get(),

@@ -2,6 +2,10 @@
 //! generated addresses stay inside their regions, and coalescing never
 //! produces more requests than active lanes.
 
+// Compiled only with `--features proptest-tests` (requires the external
+// `proptest`/`rand` dev-dependencies, unavailable offline).
+#![cfg(feature = "proptest-tests")]
+
 use miopt_engine::LINE_BYTES;
 use miopt_gpu::{coalesce, AccessCtx, AddrGen};
 use miopt_workloads::patterns::{LayerGen, PatternKind, PatternSpec, Region};

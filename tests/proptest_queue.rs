@@ -1,6 +1,10 @@
 //! Property-based tests on the engine's `TimedQueue`: FIFO order, latency
 //! respect, and conservation under arbitrary push/pop interleavings.
 
+// Compiled only with `--features proptest-tests` (requires the external
+// `proptest`/`rand` dev-dependencies, unavailable offline).
+#![cfg(feature = "proptest-tests")]
+
 use miopt_engine::{Cycle, TimedQueue};
 use proptest::prelude::*;
 

@@ -91,8 +91,7 @@ fn table1_uncontested_latencies() {
 
     // Per-load marginal latency between 8 and 40 iterations isolates the
     // steady-state round trip from startup/drain overheads.
-    let per_load =
-        |policy, fresh| (run(policy, 40, fresh) - run(policy, 8, fresh)) as f64 / 32.0;
+    let per_load = |policy, fresh| (run(policy, 40, fresh) - run(policy, 8, fresh)) as f64 / 32.0;
 
     let l1 = per_load(CachePolicy::CacheR, false); // hits in L1 after first load
     let mem = per_load(CachePolicy::Uncached, true); // fresh DRAM row every load
