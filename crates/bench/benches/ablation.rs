@@ -5,17 +5,20 @@
 //! a side effect.
 
 use miopt::runner::run_one;
-use miopt::{CachePolicy, OptimizationSet, PolicyConfig, SystemConfig};
+use miopt::{CachePolicy, OptimizationSet, PolicyConfig, SystemConfig, SystemConfigBuilder};
 use miopt_bench::timing::measure;
 use miopt_workloads::{by_name, SuiteConfig};
 
 fn main() {
     let bwbn = by_name(&SuiteConfig::quick(), "BwBN").unwrap();
     for mshr in [4usize, 8, 16] {
-        let mut cfg = SystemConfig::small_test();
-        cfg.l1.mshr_entries = mshr;
+        let cfg = SystemConfigBuilder::from_base(SystemConfig::small_test())
+            .map_l1(|l1| l1.mshr_entries = mshr)
+            .build()
+            .expect("ablation config is valid");
         measure(&format!("ablation_l1_mshr_depth/{mshr}"), 10, || {
-            let r = run_one(&cfg, &bwbn, PolicyConfig::of(CachePolicy::CacheR));
+            let r =
+                run_one(&cfg, &bwbn, PolicyConfig::of(CachePolicy::CacheR)).expect("run finishes");
             assert!(r.metrics.cycles > 0);
             r.metrics.cycles
         });
@@ -23,24 +26,27 @@ fn main() {
 
     let bwpool = by_name(&SuiteConfig::quick(), "BwPool").unwrap();
     for rows in [4usize, 16, 64] {
-        let mut cfg = SystemConfig::small_test();
-        cfg.l2.dbi_rows = rows;
-        let policy = PolicyConfig {
-            policy: CachePolicy::CacheRW,
-            opts: OptimizationSet::ab_cr(),
-        };
+        let cfg = SystemConfigBuilder::from_base(SystemConfig::small_test())
+            .map_l2(|l2| l2.dbi_rows = rows)
+            .build()
+            .expect("ablation config is valid");
+        let policy = PolicyConfig::new(CachePolicy::CacheRW, OptimizationSet::ab_cr())
+            .expect("CacheRW admits AB+CR");
         measure(&format!("ablation_dbi_rows/{rows}"), 10, || {
-            let r = run_one(&cfg, &bwpool, policy);
+            let r = run_one(&cfg, &bwpool, policy).expect("run finishes");
             assert!(r.metrics.cycles > 0);
             (r.metrics.cycles, r.metrics.row_hit_ratio())
         });
     }
 
     for width in [1u32, 2, 8] {
-        let mut cfg = SystemConfig::small_test();
-        cfg.l2.flush_width = width;
+        let cfg = SystemConfigBuilder::from_base(SystemConfig::small_test())
+            .map_l2(|l2| l2.flush_width = width)
+            .build()
+            .expect("ablation config is valid");
         measure(&format!("ablation_flush_width/{width}"), 10, || {
-            let r = run_one(&cfg, &bwbn, PolicyConfig::of(CachePolicy::CacheRW));
+            let r =
+                run_one(&cfg, &bwbn, PolicyConfig::of(CachePolicy::CacheRW)).expect("run finishes");
             r.metrics.cycles
         });
     }

@@ -38,19 +38,19 @@ fn main() {
 
     let w = by_name(&SuiteConfig::quick(), "BwBN").unwrap();
     measure("fig04_gvops_cacher_run", 10, || {
-        let r = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheR));
+        let r = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheR)).expect("run finishes");
         assert!(r.metrics.gvops() > 0.0);
         r
     });
     measure("fig05_gmrs_cacher_run", 10, || {
-        let r = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheR));
+        let r = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheR)).expect("run finishes");
         assert!(r.metrics.gmrs() > 0.0);
         r
     });
 
     let workloads = subset();
     measure("fig06_09_static_sweep_and_extract", 10, || {
-        let sweep = run_static_sweep(&cfg(), &workloads);
+        let sweep = run_static_sweep(&cfg(), &workloads).expect("sweep finishes");
         let f6 = fig6(&sweep);
         let f7 = fig7(&sweep);
         let f8 = fig8(&sweep);
@@ -73,9 +73,9 @@ fn main() {
     measure("fig10_13_ladder_and_extract", 10, || {
         let statics: Vec<RunResult> = CachePolicy::ALL
             .iter()
-            .map(|&p| run_one(&cfg(), &w, PolicyConfig::of(p)))
+            .map(|&p| run_one(&cfg(), &w, PolicyConfig::of(p)).expect("run finishes"))
             .collect();
-        let ladder = vec![run_ladder_with_statics(&cfg(), &w, statics)];
+        let ladder = vec![run_ladder_with_statics(&cfg(), &w, statics).expect("ladder finishes")];
         let f10 = fig10(&ladder);
         let f11 = fig11(&ladder);
         let f12 = fig12(&ladder);

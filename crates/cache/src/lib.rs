@@ -17,7 +17,7 @@
 //! per compute unit, or one slice of the shared L2). It is *passive*: the
 //! system loop drives it by calling [`CacheUnit::access`] for requests
 //! arriving from above and [`CacheUnit::fill`] for responses arriving from
-//! below, passing the adjacent [`TimedQueue`]s explicitly. A request that
+//! below, passing the adjacent [`TimedQueue`](miopt_engine::TimedQueue)s explicitly. A request that
 //! cannot be serviced this cycle returns a [`Blocked`] reason and the cache
 //! records one *cache stall* — the paper's Figure 8 metric ("any cycle in
 //! which a ready cache request is blocked from querying a cache").

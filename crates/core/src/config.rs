@@ -2,6 +2,47 @@ use miopt_cache::{CacheConfig, RowMap};
 use miopt_dram::DramConfig;
 use miopt_engine::util::log2;
 use miopt_gpu::CuConfig;
+use std::error::Error;
+use std::fmt;
+
+/// A typed validation error naming the configuration layer that rejected
+/// its parameters.
+///
+/// Produced by [`SystemConfig::validate`], [`SystemConfigBuilder::build`],
+/// [`crate::PolicyConfig::new`] and
+/// [`crate::runner::RunOptions::validate`], and carried into
+/// [`crate::runner::SimError::Config`] by the runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A system-level parameter (CU count, queue sizing, clock…) is
+    /// invalid.
+    System(String),
+    /// The L1 cache geometry is invalid (e.g. zero ways).
+    L1(String),
+    /// The L2 cache geometry is invalid.
+    L2(String),
+    /// The DRAM geometry is invalid.
+    Dram(String),
+    /// The cache-policy combination is inconsistent.
+    Policy(String),
+    /// The run options are invalid (e.g. a telemetry interval of 0).
+    Run(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::System(msg) => write!(f, "system config: {msg}"),
+            ConfigError::L1(msg) => write!(f, "l1 config: {msg}"),
+            ConfigError::L2(msg) => write!(f, "l2 config: {msg}"),
+            ConfigError::Dram(msg) => write!(f, "dram config: {msg}"),
+            ConfigError::Policy(msg) => write!(f, "policy config: {msg}"),
+            ConfigError::Run(msg) => write!(f, "run options: {msg}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 /// Full-system configuration (the paper's Table 1).
 ///
@@ -148,26 +189,49 @@ impl SystemConfig {
         ((line.0 >> log2(self.dram.lines_per_row)) as usize) % self.l2_slices
     }
 
+    /// A builder seeded from [`SystemConfig::paper_table1`] whose
+    /// [`SystemConfigBuilder::build`] validates the result, turning
+    /// inconsistent configurations into typed errors instead of panics
+    /// deep inside [`crate::ApuSystem::new`].
+    #[must_use]
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder::from_base(SystemConfig::paper_table1())
+    }
+
     /// Validates all component configurations.
     ///
     /// # Errors
     ///
-    /// Returns the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint, tagged with the layer that
+    /// rejected it.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.n_cus == 0 {
-            return Err("n_cus must be nonzero".to_string());
+            return Err(ConfigError::System("n_cus must be nonzero".to_string()));
         }
         if self.l2_slices == 0 {
-            return Err("l2_slices must be nonzero".to_string());
+            return Err(ConfigError::System("l2_slices must be nonzero".to_string()));
         }
-        self.l1.validate()?;
-        self.l2.validate()?;
-        self.dram.validate()?;
+        self.l1.validate().map_err(ConfigError::L1)?;
+        self.l2.validate().map_err(ConfigError::L2)?;
+        self.dram.validate().map_err(ConfigError::Dram)?;
         if self.queue_capacity == 0 {
-            return Err("queue_capacity must be nonzero".to_string());
+            return Err(ConfigError::System(
+                "queue_capacity must be nonzero".to_string(),
+            ));
+        }
+        // Undersized queues could deadlock fills behind merged misses.
+        if self.queue_capacity <= self.l1.mshr_merge_cap
+            || self.queue_capacity <= self.l2.mshr_merge_cap
+        {
+            return Err(ConfigError::System(format!(
+                "queue_capacity ({}) must exceed the L1/L2 MSHR merge caps ({}/{})",
+                self.queue_capacity, self.l1.mshr_merge_cap, self.l2.mshr_merge_cap
+            )));
         }
         if self.gpu_clock_hz <= 0.0 {
-            return Err("gpu_clock_hz must be positive".to_string());
+            return Err(ConfigError::System(
+                "gpu_clock_hz must be positive".to_string(),
+            ));
         }
         Ok(())
     }
@@ -182,6 +246,137 @@ impl SystemConfig {
 impl Default for SystemConfig {
     fn default() -> SystemConfig {
         SystemConfig::paper_table1()
+    }
+}
+
+/// A validating builder for [`SystemConfig`].
+///
+/// Starts from a known-good base (Table 1 via [`SystemConfig::builder`],
+/// or any config via [`SystemConfigBuilder::from_base`]), applies
+/// overrides, and checks every cross-field constraint in
+/// [`SystemConfigBuilder::build`] so misconfigurations surface as
+/// [`ConfigError`]s at construction time instead of panics at run time.
+///
+/// # Examples
+///
+/// ```
+/// use miopt::SystemConfig;
+///
+/// let cfg = SystemConfig::builder()
+///     .n_cus(32)
+///     .launch_overhead(1500)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.n_cus, 32);
+///
+/// // Inconsistent parameters are rejected with a typed error.
+/// assert!(SystemConfig::builder().queue_capacity(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Starts a builder from an existing configuration.
+    #[must_use]
+    pub fn from_base(cfg: SystemConfig) -> SystemConfigBuilder {
+        SystemConfigBuilder { cfg }
+    }
+
+    /// Sets the number of compute units.
+    #[must_use]
+    pub fn n_cus(mut self, n_cus: usize) -> SystemConfigBuilder {
+        self.cfg.n_cus = n_cus;
+        self
+    }
+
+    /// Sets the per-CU geometry.
+    #[must_use]
+    pub fn cu(mut self, cu: CuConfig) -> SystemConfigBuilder {
+        self.cfg.cu = cu;
+        self
+    }
+
+    /// Sets the per-CU L1 cache geometry.
+    #[must_use]
+    pub fn l1(mut self, l1: CacheConfig) -> SystemConfigBuilder {
+        self.cfg.l1 = l1;
+        self
+    }
+
+    /// Sets the number of L2 slices.
+    #[must_use]
+    pub fn l2_slices(mut self, l2_slices: usize) -> SystemConfigBuilder {
+        self.cfg.l2_slices = l2_slices;
+        self
+    }
+
+    /// Sets the per-slice L2 geometry.
+    #[must_use]
+    pub fn l2(mut self, l2: CacheConfig) -> SystemConfigBuilder {
+        self.cfg.l2 = l2;
+        self
+    }
+
+    /// Applies an in-place edit to the L1 geometry (ablation sweeps).
+    #[must_use]
+    pub fn map_l1(mut self, edit: impl FnOnce(&mut CacheConfig)) -> SystemConfigBuilder {
+        edit(&mut self.cfg.l1);
+        self
+    }
+
+    /// Applies an in-place edit to the L2 geometry (ablation sweeps).
+    #[must_use]
+    pub fn map_l2(mut self, edit: impl FnOnce(&mut CacheConfig)) -> SystemConfigBuilder {
+        edit(&mut self.cfg.l2);
+        self
+    }
+
+    /// Sets the DRAM geometry.
+    #[must_use]
+    pub fn dram(mut self, dram: DramConfig) -> SystemConfigBuilder {
+        self.cfg.dram = dram;
+        self
+    }
+
+    /// Sets the GPU clock in Hz.
+    #[must_use]
+    pub fn gpu_clock_hz(mut self, gpu_clock_hz: f64) -> SystemConfigBuilder {
+        self.cfg.gpu_clock_hz = gpu_clock_hz;
+        self
+    }
+
+    /// Sets the inter-stage queue capacity.
+    #[must_use]
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> SystemConfigBuilder {
+        self.cfg.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Sets the crossbar per-output budget.
+    #[must_use]
+    pub fn xbar_per_output(mut self, xbar_per_output: u32) -> SystemConfigBuilder {
+        self.cfg.xbar_per_output = xbar_per_output;
+        self
+    }
+
+    /// Sets the host-side launch overhead in cycles.
+    #[must_use]
+    pub fn launch_overhead(mut self, launch_overhead: u64) -> SystemConfigBuilder {
+        self.cfg.launch_overhead = launch_overhead;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint (see
+    /// [`SystemConfig::validate`]).
+    pub fn build(self) -> Result<SystemConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -206,6 +401,40 @@ mod tests {
     #[test]
     fn small_test_config_is_valid() {
         SystemConfig::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn builder_round_trips_the_base_and_applies_overrides() {
+        assert_eq!(
+            SystemConfig::builder().build().unwrap(),
+            SystemConfig::paper_table1()
+        );
+        let cfg = SystemConfigBuilder::from_base(SystemConfig::small_test())
+            .launch_overhead(7)
+            .map_l1(|l1| l1.mshr_entries = 2)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.launch_overhead, 7);
+        assert_eq!(cfg.l1.mshr_entries, 2);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_configs_with_typed_errors() {
+        assert!(matches!(
+            SystemConfig::builder().n_cus(0).build(),
+            Err(ConfigError::System(_))
+        ));
+        assert!(matches!(
+            SystemConfig::builder().map_l1(|l1| l1.ways = 0).build(),
+            Err(ConfigError::L1(_))
+        ));
+        assert!(matches!(
+            SystemConfig::builder().map_l2(|l2| l2.sets = 0).build(),
+            Err(ConfigError::L2(_))
+        ));
+        // A queue sized at or below the MSHR merge cap could deadlock.
+        let err = SystemConfig::builder().queue_capacity(4).build();
+        assert!(matches!(err, Err(ConfigError::System(ref m)) if m.contains("merge caps")));
     }
 
     #[test]

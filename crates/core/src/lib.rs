@@ -14,7 +14,14 @@
 //!   Section VII optimization ladder (`-AB`, `-CR`, `-PCby`).
 //! * [`ApuSystem`] — the wired system; run a workload, get [`Metrics`].
 //! * [`runner`] — figure-level sweeps: every workload × every policy, and
-//!   the optimization ladder against the static best/worst.
+//!   the optimization ladder against the static best/worst. Entry points
+//!   return `Result<_, `[`runner::SimError`]`>`; inconsistent
+//!   configurations are rejected up front as typed [`ConfigError`]s
+//!   (see [`SystemConfig::builder`] and [`PolicyConfig::new`]).
+//! * Telemetry — [`runner::RunOptions::telemetry_interval`] (or
+//!   [`ApuSystem::enable_telemetry`]) samples every component's counters
+//!   on a fixed cycle interval and records phase spans and events into a
+//!   deterministic `miopt_telemetry::TelemetryRun` time series.
 //!
 //! # Quickstart
 //!
@@ -47,7 +54,7 @@ mod policy;
 pub mod runner;
 mod system;
 
-pub use config::SystemConfig;
+pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
 pub use metrics::Metrics;
 pub use policy::{optimization_ladder, CachePolicy, OptimizationSet, PolicyConfig};
 pub use system::{ApuSystem, SimTimeoutError};

@@ -1,3 +1,4 @@
+use crate::config::ConfigError;
 use miopt_cache::{LevelPolicy, PredictorConfig, RowMap};
 use std::fmt;
 
@@ -103,6 +104,52 @@ impl PolicyConfig {
         }
     }
 
+    /// A validated policy-plus-optimizations configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Policy`] for combinations the paper's
+    /// mechanisms cannot express: any optimization on `Uncached` (there is
+    /// no cache to optimize) and cache rinsing outside `CacheRW` (only
+    /// write-caching produces the dirty L2 lines rinsing writes back).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use miopt::{CachePolicy, OptimizationSet, PolicyConfig};
+    ///
+    /// let p = PolicyConfig::new(CachePolicy::CacheRW, OptimizationSet::ab_cr()).unwrap();
+    /// assert_eq!(p.label(), "CacheRW-CR");
+    /// assert!(PolicyConfig::new(CachePolicy::Uncached, OptimizationSet::ab()).is_err());
+    /// ```
+    pub fn new(policy: CachePolicy, opts: OptimizationSet) -> Result<PolicyConfig, ConfigError> {
+        let config = PolicyConfig { policy, opts };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Checks this configuration against the constraints of
+    /// [`PolicyConfig::new`] (which literal-constructed configs skip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Policy`] for inconsistent combinations.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let any_opt = self.opts.allocation_bypass || self.opts.cache_rinsing || self.opts.pc_bypass;
+        if self.policy == CachePolicy::Uncached && any_opt {
+            return Err(ConfigError::Policy(
+                "Uncached admits no optimizations (all caches are disabled)".to_string(),
+            ));
+        }
+        if self.opts.cache_rinsing && self.policy != CachePolicy::CacheRW {
+            return Err(ConfigError::Policy(format!(
+                "cache rinsing requires CacheRW (no dirty L2 lines to rinse under {})",
+                self.policy
+            )));
+        }
+        Ok(())
+    }
+
     /// The paper's Figure 10 label for this configuration.
     #[must_use]
     pub fn label(&self) -> String {
@@ -162,20 +209,16 @@ impl fmt::Display for PolicyConfig {
 /// best/worst: `CacheRW-AB`, `CacheRW-CR`, `CacheRW-PCby`.
 #[must_use]
 pub fn optimization_ladder() -> Vec<PolicyConfig> {
-    vec![
-        PolicyConfig {
-            policy: CachePolicy::CacheRW,
-            opts: OptimizationSet::ab(),
-        },
-        PolicyConfig {
-            policy: CachePolicy::CacheRW,
-            opts: OptimizationSet::ab_cr(),
-        },
-        PolicyConfig {
-            policy: CachePolicy::CacheRW,
-            opts: OptimizationSet::ab_cr_pcby(),
-        },
+    [
+        OptimizationSet::ab(),
+        OptimizationSet::ab_cr(),
+        OptimizationSet::ab_cr_pcby(),
     ]
+    .into_iter()
+    .map(|opts| {
+        PolicyConfig::new(CachePolicy::CacheRW, opts).expect("ladder combinations are valid")
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -225,13 +268,40 @@ mod tests {
 
     #[test]
     fn rinse_policy_carries_row_map() {
-        let p = PolicyConfig {
-            policy: CachePolicy::CacheRW,
-            opts: OptimizationSet::ab_cr(),
-        };
+        let p = PolicyConfig::new(CachePolicy::CacheRW, OptimizationSet::ab_cr()).unwrap();
         let lp = p.l2_policy(RowMap::new(4, 5));
         assert!(lp.rinse);
         assert!(lp.row_map.is_some());
         lp.validate().unwrap();
+    }
+
+    #[test]
+    fn new_rejects_inconsistent_combinations() {
+        // Every optimization set is fine on CacheRW.
+        for opts in [
+            OptimizationSet::none(),
+            OptimizationSet::ab(),
+            OptimizationSet::ab_cr(),
+            OptimizationSet::ab_cr_pcby(),
+        ] {
+            assert!(PolicyConfig::new(CachePolicy::CacheRW, opts).is_ok());
+        }
+        // Uncached admits none of them.
+        for opts in [
+            OptimizationSet::ab(),
+            OptimizationSet::ab_cr(),
+            OptimizationSet::ab_cr_pcby(),
+        ] {
+            assert!(matches!(
+                PolicyConfig::new(CachePolicy::Uncached, opts),
+                Err(ConfigError::Policy(_))
+            ));
+        }
+        // Rinsing needs write-caching; plain AB or PC bypass do not.
+        assert!(PolicyConfig::new(CachePolicy::CacheR, OptimizationSet::ab()).is_ok());
+        assert!(matches!(
+            PolicyConfig::new(CachePolicy::CacheR, OptimizationSet::ab_cr()),
+            Err(ConfigError::Policy(_))
+        ));
     }
 }

@@ -4,11 +4,106 @@
 //! paper's figures; the `miopt-bench` crate formats them into the printed
 //! tables and Criterion benches.
 
+use crate::config::ConfigError;
 use crate::{optimization_ladder, ApuSystem, CachePolicy, Metrics, PolicyConfig, SystemConfig};
+use miopt_telemetry::TelemetryRun;
 use miopt_workloads::Workload;
+use std::error::Error;
+use std::fmt;
 
-/// Cycle budget for a single run before declaring a hang.
-const MAX_CYCLES: u64 = 20_000_000_000;
+/// Default cycle budget for a single run before declaring a hang.
+pub const DEFAULT_MAX_CYCLES: u64 = 20_000_000_000;
+
+/// Why a simulation run could not produce a result.
+///
+/// Returned by [`run_one`] / [`SweepSpec::run_job`] so executors (the
+/// `miopt-harness` pool, benches, examples) can report per-job failures
+/// instead of unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run exceeded its cycle budget — almost always a configuration
+    /// error (e.g. a deadlock-prone queue sizing), not a slow workload.
+    Timeout {
+        /// Workload name of the failed run.
+        workload: String,
+        /// Policy label of the failed run.
+        policy: String,
+        /// The exhausted budget.
+        max_cycles: u64,
+    },
+    /// The system, policy or run configuration was rejected up front.
+    Config(ConfigError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Timeout {
+                workload,
+                policy,
+                max_cycles,
+            } => write!(
+                f,
+                "{workload}/{policy}: simulation exceeded {max_cycles} cycles"
+            ),
+            SimError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Timeout { .. } => None,
+            SimError::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> SimError {
+        SimError::Config(e)
+    }
+}
+
+/// Per-run execution options: the cycle budget and optional telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Cycle budget before the run fails with [`SimError::Timeout`].
+    pub max_cycles: u64,
+    /// `Some(interval)` samples telemetry every `interval` cycles;
+    /// `None` (the default) runs with zero observation overhead.
+    pub telemetry_interval: Option<u64>,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            max_cycles: DEFAULT_MAX_CYCLES,
+            telemetry_interval: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Run`] for a zero cycle budget or a zero
+    /// telemetry interval.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_cycles == 0 {
+            return Err(ConfigError::Run("max_cycles must be nonzero".to_string()));
+        }
+        if self.telemetry_interval == Some(0) {
+            return Err(ConfigError::Run(
+                "telemetry interval must be at least 1 cycle".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// The result of one (workload, policy) simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,25 +114,61 @@ pub struct RunResult {
     pub policy: PolicyConfig,
     /// All collected statistics.
     pub metrics: Metrics,
+    /// The recorded time series, when the run was executed with
+    /// [`RunOptions::telemetry_interval`] set (cache hits and plain runs
+    /// carry `None`).
+    pub telemetry: Option<TelemetryRun>,
 }
 
-/// Runs one workload under one policy configuration.
+/// Runs one workload under one policy configuration with the default
+/// [`RunOptions`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation exceeds its internal cycle budget, which
-/// indicates a configuration error rather than a slow run.
-#[must_use]
-pub fn run_one(cfg: &SystemConfig, workload: &Workload, policy: PolicyConfig) -> RunResult {
+/// Returns [`SimError::Config`] if the configuration is inconsistent and
+/// [`SimError::Timeout`] if the run exceeds [`DEFAULT_MAX_CYCLES`].
+pub fn run_one(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    policy: PolicyConfig,
+) -> Result<RunResult, SimError> {
+    run_one_with(cfg, workload, policy, &RunOptions::default())
+}
+
+/// Runs one workload under one policy configuration with explicit
+/// [`RunOptions`] (cycle budget, telemetry).
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] if the system, policy or run options are
+/// inconsistent and [`SimError::Timeout`] if the run exceeds
+/// `opts.max_cycles`.
+pub fn run_one_with(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    policy: PolicyConfig,
+    opts: &RunOptions,
+) -> Result<RunResult, SimError> {
+    opts.validate()?;
+    cfg.validate()?;
+    policy.validate()?;
     let mut sys = ApuSystem::new(cfg.clone(), policy, workload);
+    if let Some(interval) = opts.telemetry_interval {
+        sys.enable_telemetry(interval);
+    }
     let metrics = sys
-        .run_to_completion(MAX_CYCLES)
-        .unwrap_or_else(|e| panic!("{}/{policy}: {e}", workload.name));
-    RunResult {
+        .run_to_completion(opts.max_cycles)
+        .map_err(|e| SimError::Timeout {
+            workload: workload.name.clone(),
+            policy: policy.label(),
+            max_cycles: e.max_cycles,
+        })?;
+    Ok(RunResult {
         workload: workload.name.clone(),
         policy,
         metrics,
-    }
+        telemetry: sys.take_telemetry(),
+    })
 }
 
 /// One independent unit of sweep work: simulate `workload` under
@@ -77,6 +208,8 @@ pub struct SweepSpec {
     /// How many leading entries of `policies` are the static policies
     /// (the Figures 6–9 columns); the rest form the optimization ladder.
     pub n_static: usize,
+    /// Execution options applied to every job of the grid.
+    pub run_opts: RunOptions,
 }
 
 impl SweepSpec {
@@ -91,6 +224,7 @@ impl SweepSpec {
                 .map(|&p| PolicyConfig::of(p))
                 .collect(),
             n_static: CachePolicy::ALL.len(),
+            run_opts: RunOptions::default(),
         }
     }
 
@@ -101,6 +235,14 @@ impl SweepSpec {
         let mut spec = SweepSpec::statics(cfg, workloads);
         spec.policies.extend(optimization_ladder());
         spec
+    }
+
+    /// Returns the spec with telemetry sampling enabled at `interval`
+    /// cycles for every job.
+    #[must_use]
+    pub fn with_telemetry(mut self, interval: u64) -> SweepSpec {
+        self.run_opts.telemetry_interval = Some(interval);
+        self
     }
 
     /// Every job of the grid, in deterministic workload-major order.
@@ -126,9 +268,18 @@ impl SweepSpec {
     }
 
     /// Runs one job to completion (the executor-side entry point).
-    #[must_use]
-    pub fn run_job(&self, job: &Job) -> RunResult {
-        run_one(&self.cfg, &self.workloads[job.workload], job.policy)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the configuration is inconsistent or the
+    /// job exceeds the spec's cycle budget.
+    pub fn run_job(&self, job: &Job) -> Result<RunResult, SimError> {
+        run_one_with(
+            &self.cfg,
+            &self.workloads[job.workload],
+            job.policy,
+            &self.run_opts,
+        )
     }
 
     /// A short human-readable label for a job (progress reporting).
@@ -193,11 +344,21 @@ impl SweepSpec {
 
 /// The Figure 6–9 sweep: every workload under each static policy
 /// (`Uncached`, `CacheR`, `CacheRW`), in that order per workload.
-#[must_use]
-pub fn run_static_sweep(cfg: &SystemConfig, workloads: &[Workload]) -> Vec<Vec<RunResult>> {
+///
+/// # Errors
+///
+/// Returns the first job's [`SimError`], if any.
+pub fn run_static_sweep(
+    cfg: &SystemConfig,
+    workloads: &[Workload],
+) -> Result<Vec<Vec<RunResult>>, SimError> {
     let spec = SweepSpec::statics(cfg.clone(), workloads.to_vec());
-    let results: Vec<RunResult> = spec.jobs().iter().map(|j| spec.run_job(j)).collect();
-    spec.assemble_statics(&results)
+    let results: Vec<RunResult> = spec
+        .jobs()
+        .iter()
+        .map(|j| spec.run_job(j))
+        .collect::<Result<_, _>>()?;
+    Ok(spec.assemble_statics(&results))
 }
 
 /// One workload's Figure 10–13 data: the three static policy runs (from
@@ -244,31 +405,44 @@ impl LadderResult {
 
 /// Runs the three ladder configurations for one workload, reusing already
 /// computed static results.
-#[must_use]
+///
+/// # Errors
+///
+/// Returns the first ladder job's [`SimError`], if any.
 pub fn run_ladder_with_statics(
     cfg: &SystemConfig,
     workload: &Workload,
     statics: Vec<RunResult>,
-) -> LadderResult {
+) -> Result<LadderResult, SimError> {
     assert_eq!(statics.len(), 3, "expect the three static policy runs");
     let ladder = optimization_ladder()
         .into_iter()
         .map(|p| run_one(cfg, workload, p))
-        .collect();
-    LadderResult {
+        .collect::<Result<_, _>>()?;
+    Ok(LadderResult {
         workload: workload.name.clone(),
         statics,
         ladder,
-    }
+    })
 }
 
 /// Runs the optimization ladder for each workload, deriving the static
 /// best/worst from a fresh static sweep.
-#[must_use]
-pub fn run_optimization_ladder(cfg: &SystemConfig, workloads: &[Workload]) -> Vec<LadderResult> {
+///
+/// # Errors
+///
+/// Returns the first job's [`SimError`], if any.
+pub fn run_optimization_ladder(
+    cfg: &SystemConfig,
+    workloads: &[Workload],
+) -> Result<Vec<LadderResult>, SimError> {
     let spec = SweepSpec::figures(cfg.clone(), workloads.to_vec());
-    let results: Vec<RunResult> = spec.jobs().iter().map(|j| spec.run_job(j)).collect();
-    spec.assemble_ladders(&results)
+    let results: Vec<RunResult> = spec
+        .jobs()
+        .iter()
+        .map(|j| spec.run_job(j))
+        .collect::<Result<_, _>>()?;
+    Ok(spec.assemble_ladders(&results))
 }
 
 /// Classifies a workload from its measured static-sweep results using the
@@ -311,7 +485,7 @@ mod tests {
     fn static_sweep_produces_three_runs_per_workload() {
         let cfg = SystemConfig::small_test();
         let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
-        let sweep = run_static_sweep(&cfg, &[w]);
+        let sweep = run_static_sweep(&cfg, &[w]).unwrap();
         assert_eq!(sweep.len(), 1);
         assert_eq!(sweep[0].len(), 3);
         let labels: Vec<String> = sweep[0].iter().map(|r| r.policy.label()).collect();
@@ -322,7 +496,7 @@ mod tests {
     fn ladder_orders_best_before_worst() {
         let cfg = SystemConfig::small_test();
         let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
-        let ladder = run_optimization_ladder(&cfg, &[w]);
+        let ladder = run_optimization_ladder(&cfg, &[w]).unwrap();
         assert_eq!(ladder.len(), 1);
         let l = &ladder[0];
         assert!(l.static_best().metrics.cycles <= l.static_worst().metrics.cycles);
@@ -335,7 +509,7 @@ mod tests {
     fn classify_follows_the_5_percent_rule() {
         let cfg = SystemConfig::small_test();
         let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
-        let sweep = run_static_sweep(&cfg, &[w]);
+        let sweep = run_static_sweep(&cfg, &[w]).unwrap();
         // FwSoft re-reads a tiny array: must not classify as throughput
         // sensitive.
         let c = classify(&sweep[0]);
@@ -375,10 +549,14 @@ mod tests {
         let cfg = SystemConfig::small_test();
         let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
         let spec = SweepSpec::figures(cfg.clone(), vec![w.clone()]);
-        let results: Vec<RunResult> = spec.jobs().iter().map(|j| spec.run_job(j)).collect();
+        let results: Vec<RunResult> = spec
+            .jobs()
+            .iter()
+            .map(|j| spec.run_job(j).expect("job runs"))
+            .collect();
         let statics = spec.assemble_statics(&results);
         let ladders = spec.assemble_ladders(&results);
-        let serial_statics = run_static_sweep(&cfg, std::slice::from_ref(&w));
+        let serial_statics = run_static_sweep(&cfg, std::slice::from_ref(&w)).unwrap();
         assert_eq!(statics.len(), 1);
         for (a, b) in statics[0].iter().zip(&serial_statics[0]) {
             assert_eq!(a.policy, b.policy);
@@ -410,8 +588,118 @@ mod tests {
                     CacheStats::default(),
                     1.6e9,
                 ),
+                telemetry: None,
             })
             .collect()
+    }
+
+    #[test]
+    fn timeout_returns_an_error_instead_of_panicking() {
+        let cfg = SystemConfig::small_test();
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let opts = RunOptions {
+            max_cycles: 10,
+            ..RunOptions::default()
+        };
+        let err = run_one_with(&cfg, &w, PolicyConfig::of(CachePolicy::CacheR), &opts)
+            .expect_err("10 cycles cannot finish a run");
+        assert_eq!(
+            err,
+            SimError::Timeout {
+                workload: "FwSoft".to_string(),
+                policy: "CacheR".to_string(),
+                max_cycles: 10,
+            }
+        );
+        assert!(err.to_string().contains("FwSoft/CacheR"));
+    }
+
+    #[test]
+    fn invalid_options_and_configs_surface_as_config_errors() {
+        let cfg = SystemConfig::small_test();
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let zero_interval = RunOptions {
+            telemetry_interval: Some(0),
+            ..RunOptions::default()
+        };
+        assert!(matches!(
+            run_one_with(
+                &cfg,
+                &w,
+                PolicyConfig::of(CachePolicy::CacheR),
+                &zero_interval
+            ),
+            Err(SimError::Config(crate::ConfigError::Run(_)))
+        ));
+        let mut bad = cfg.clone();
+        bad.n_cus = 0;
+        assert!(matches!(
+            run_one(&bad, &w, PolicyConfig::of(CachePolicy::CacheR)),
+            Err(SimError::Config(crate::ConfigError::System(_)))
+        ));
+    }
+
+    #[test]
+    fn telemetry_epoch_deltas_sum_to_the_final_counters() {
+        let cfg = SystemConfig::small_test();
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let opts = RunOptions {
+            telemetry_interval: Some(1000),
+            ..RunOptions::default()
+        };
+        let r = run_one_with(&cfg, &w, PolicyConfig::of(CachePolicy::CacheRW), &opts).unwrap();
+        let run = r.telemetry.expect("telemetry was enabled");
+        assert_eq!(run.interval, 1000);
+        assert!(run.epochs.len() > 1, "run spans several epochs");
+        // Epochs tile the run: contiguous, ending at the final cycle.
+        let mut expect_start = 0;
+        for e in &run.epochs {
+            assert_eq!(e.start_cycle, expect_start);
+            expect_start = e.end_cycle;
+        }
+        assert_eq!(expect_start, r.metrics.cycles);
+        // The summed deltas reconstruct every end-of-run counter.
+        for (name, total) in run.names.iter().zip(run.totals()) {
+            let expected = match name.split_once('.') {
+                Some(("gpu", f)) => lookup(&r.metrics.gpu.to_pairs(), f),
+                Some(("l1", f)) => lookup(&r.metrics.l1.to_pairs(), f),
+                Some(("l2", f)) => lookup(&r.metrics.l2.to_pairs(), f),
+                Some(("dram", f)) => lookup(&r.metrics.dram.to_pairs(), f),
+                _ => continue, // noc/queue counters are not in Metrics
+            };
+            assert_eq!(total, expected, "{name}");
+        }
+        // Phase spans tile the run and the first one is the launch.
+        assert_eq!(run.spans[0].name, "launch");
+        assert!(run.instants.iter().any(|i| i.name.starts_with("kernel:")));
+        let mut expect_start = 0;
+        for s in &run.spans {
+            assert_eq!(s.start_cycle, expect_start, "{}", s.name);
+            expect_start = s.end_cycle;
+        }
+        assert_eq!(expect_start, r.metrics.cycles);
+    }
+
+    fn lookup(pairs: &[(&'static str, u64)], field: &str) -> u64 {
+        pairs
+            .iter()
+            .find(|(n, _)| *n == field)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("unknown field {field}"))
+    }
+
+    #[test]
+    fn telemetry_off_and_on_simulate_identically() {
+        let cfg = SystemConfig::small_test();
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let p = PolicyConfig::of(CachePolicy::CacheRW);
+        let plain = run_one(&cfg, &w, p).unwrap();
+        let opts = RunOptions {
+            telemetry_interval: Some(500),
+            ..RunOptions::default()
+        };
+        let traced = run_one_with(&cfg, &w, p, &opts).unwrap();
+        assert_eq!(plain.metrics, traced.metrics);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use miopt_dram::Dram;
 use miopt_engine::{Cycle, MemReq, MemResp, TimedQueue};
 use miopt_gpu::{Gpu, KernelDesc};
 use miopt_noc::Crossbar;
+use miopt_telemetry::{Frame, Recorder, TelemetryRun};
 use miopt_workloads::Workload;
 use std::collections::VecDeque;
 use std::error::Error;
@@ -87,6 +88,9 @@ pub struct ApuSystem {
     now: Cycle,
     phase: Phase,
     launches: VecDeque<(Arc<KernelDesc>, u32)>,
+    /// Epoch sampler; `None` (the default) keeps [`ApuSystem::step`] on a
+    /// branch-only fast path with no recording overhead.
+    telemetry: Option<Box<Recorder>>,
 }
 
 impl ApuSystem {
@@ -94,16 +98,12 @@ impl ApuSystem {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid or queue capacities are
-    /// smaller than the MSHR merge caps (which could deadlock fills).
+    /// Panics if the configuration is invalid (see
+    /// [`SystemConfig::validate`]); use [`SystemConfig::builder`] or
+    /// [`crate::runner::run_one`] for non-panicking validation.
     #[must_use]
     pub fn new(cfg: SystemConfig, policy: PolicyConfig, workload: &Workload) -> ApuSystem {
         cfg.validate().expect("invalid system config");
-        assert!(
-            cfg.queue_capacity > cfg.l1.mshr_merge_cap
-                && cfg.queue_capacity > cfg.l2.mshr_merge_cap,
-            "queue capacity must exceed MSHR merge caps"
-        );
         let n = cfg.n_cus;
         let s = cfg.l2_slices;
         let row_map = cfg.row_map();
@@ -150,6 +150,82 @@ impl ApuSystem {
             },
             launches,
             cfg,
+            telemetry: None,
+        }
+    }
+
+    /// Turns on telemetry recording, sampling every counter in the system
+    /// every `interval` cycles. Must be called before stepping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero (validated front ends reject this via
+    /// [`crate::runner::RunOptions`] before reaching the system).
+    pub fn enable_telemetry(&mut self, interval: u64) {
+        let mut rec = Recorder::new(interval);
+        rec.enter_phase(Self::phase_label(self.phase), self.now.0);
+        self.telemetry = Some(Box::new(rec));
+    }
+
+    /// Whether telemetry recording is enabled.
+    #[must_use]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Finishes telemetry recording (flushing a final partial epoch up to
+    /// the current cycle) and returns the time series, or `None` if
+    /// telemetry was never enabled.
+    pub fn take_telemetry(&mut self) -> Option<TelemetryRun> {
+        let frame = self.telemetry.is_some().then(|| self.sample_frame());
+        self.telemetry.take().map(|mut rec| {
+            if let Some(frame) = frame {
+                rec.record_frame(self.now.0, frame);
+            }
+            rec.into_run(self.now.0)
+        })
+    }
+
+    /// Samples every component's cumulative counters into one frame, in
+    /// the fixed registry order (gpu, l1, l2, dram, noc, queues).
+    fn sample_frame(&self) -> Frame {
+        let mut frame = Frame::new();
+        frame.record("gpu", &self.gpu.stats());
+        let mut l1 = CacheStats::default();
+        for c in &self.l1s {
+            l1.merge(c.stats());
+        }
+        frame.record("l1", &l1);
+        let mut l2 = CacheStats::default();
+        for c in &self.l2s {
+            l2.merge(c.stats());
+        }
+        frame.record("l2", &l2);
+        frame.record("dram", self.dram.stats());
+        frame.record("noc.req", self.req_xbar.stats());
+        frame.record("noc.resp", self.resp_xbar.stats());
+        let pushed = |qs: &[TimedQueue<MemReq>]| qs.iter().map(TimedQueue::pushed).sum::<u64>();
+        let pushed_r = |qs: &[TimedQueue<MemResp>]| qs.iter().map(TimedQueue::pushed).sum::<u64>();
+        frame.record_value("queue.l1_in.pushed", pushed(&self.l1_in));
+        frame.record_value("queue.l1_down.pushed", pushed(&self.l1_down));
+        frame.record_value("queue.l2_in.pushed", pushed(&self.l2_in));
+        frame.record_value("queue.l2_down.pushed", pushed(&self.l2_down));
+        frame.record_value("queue.dram_resp.pushed", pushed_r(&self.dram_resp));
+        frame.record_value("queue.l2_up.pushed", pushed_r(&self.l2_up));
+        frame.record_value("queue.l1_fill_in.pushed", pushed_r(&self.l1_fill_in));
+        frame.record_value("queue.l1_up.pushed", pushed_r(&self.l1_up));
+        frame
+    }
+
+    /// Span name for a phase in the recorded trace.
+    fn phase_label(phase: Phase) -> &'static str {
+        match phase {
+            Phase::Launching { .. } => "launch",
+            Phase::Running => "run",
+            Phase::DrainKernel => "drain_kernel",
+            Phase::Flushing => "flush",
+            Phase::DrainFlush => "drain_flush",
+            Phase::Finished => "finished",
         }
     }
 
@@ -206,8 +282,36 @@ impl ApuSystem {
     pub fn step(&mut self) {
         let now = self.now;
         self.tick_memory(now);
+        if self.telemetry.is_none() {
+            // Fast path: identical to the pre-telemetry simulator — one
+            // branch per cycle, no sampling machinery in sight.
+            self.advance_phase(now);
+            self.now += 1;
+            return;
+        }
+        let before = self.phase;
         self.advance_phase(now);
+        let after = self.phase;
+        if before != after && after != Phase::Finished {
+            // The final phase's span stays open; `take_telemetry` closes
+            // it at the run's last cycle so spans tile `[0, cycles]`.
+            self.telemetry
+                .as_mut()
+                .expect("telemetry enabled")
+                .enter_phase(Self::phase_label(after), now.0);
+        }
         self.now += 1;
+        if self
+            .telemetry
+            .as_ref()
+            .is_some_and(|rec| rec.due(self.now.0))
+        {
+            let frame = self.sample_frame();
+            self.telemetry
+                .as_mut()
+                .expect("telemetry enabled")
+                .record_frame(self.now.0, frame);
+        }
     }
 
     /// Whether any request or response is anywhere in the hierarchy.
@@ -232,6 +336,9 @@ impl ApuSystem {
                 if now >= until {
                     match self.launches.pop_front() {
                         Some((desc, seq)) => {
+                            if let Some(rec) = self.telemetry.as_deref_mut() {
+                                rec.instant(format!("kernel:{}#{seq}", desc.name), now.0);
+                            }
                             self.gpu.start_kernel(desc, seq);
                             self.phase = Phase::Running;
                         }
@@ -274,6 +381,9 @@ impl ApuSystem {
                     }
                     for c in &mut self.l2s {
                         c.self_invalidate();
+                    }
+                    if let Some(rec) = self.telemetry.as_deref_mut() {
+                        rec.instant("self_invalidate", now.0);
                     }
                     self.phase = if self.launches.is_empty() {
                         Phase::Finished

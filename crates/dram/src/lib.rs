@@ -110,6 +110,12 @@ impl DramStats {
     }
 }
 
+impl miopt_telemetry::StatSnapshot for DramStats {
+    fn stat_pairs(&self) -> Vec<(&'static str, u64)> {
+        self.to_pairs()
+    }
+}
+
 /// The HBM2 memory system: a set of independently scheduled channels.
 #[derive(Debug)]
 pub struct Dram {

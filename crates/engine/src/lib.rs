@@ -37,5 +37,5 @@ pub mod util;
 
 pub use addr::{Addr, LineAddr, LINE_BYTES};
 pub use cycle::Cycle;
-pub use queue::TimedQueue;
+pub use queue::{PushFullError, TimedQueue};
 pub use req::{AccessKind, MemReq, MemResp, Origin, Pc, ReqId};

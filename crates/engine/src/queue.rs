@@ -46,6 +46,7 @@ pub struct TimedQueue<T> {
     capacity: usize,
     latency: u64,
     last_ready: Cycle,
+    pushed: u64,
 }
 
 impl<T> TimedQueue<T> {
@@ -63,6 +64,7 @@ impl<T> TimedQueue<T> {
             capacity,
             latency,
             last_ready: Cycle::ZERO,
+            pushed: 0,
         }
     }
 
@@ -78,6 +80,7 @@ impl<T> TimedQueue<T> {
         let ready = (now + self.latency).max(self.last_ready);
         self.last_ready = ready;
         self.items.push_back((ready, item));
+        self.pushed += 1;
         Ok(())
     }
 
@@ -133,6 +136,13 @@ impl<T> TimedQueue<T> {
     #[must_use]
     pub fn latency(&self) -> u64 {
         self.latency
+    }
+
+    /// Cumulative count of successful pushes over the queue's lifetime
+    /// (a monotonic traffic counter; telemetry samples it per epoch).
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.pushed
     }
 
     /// Iterates over queued items front to back, ignoring readiness.
@@ -197,6 +207,17 @@ mod tests {
         assert!(q.pop_ready(Cycle(109)).is_none());
         assert_eq!(q.pop_ready(Cycle(110)), Some('a'));
         assert_eq!(q.pop_ready(Cycle(110)), Some('b'));
+    }
+
+    #[test]
+    fn pushed_counts_only_accepted_items() {
+        let mut q = TimedQueue::new(1, 0);
+        q.push(Cycle(0), 1u32).unwrap();
+        let _ = q.push(Cycle(0), 2u32); // rejected: full
+        assert_eq!(q.pushed(), 1);
+        q.pop_ready(Cycle(0));
+        q.push(Cycle(1), 3u32).unwrap();
+        assert_eq!(q.pushed(), 2);
     }
 
     #[test]

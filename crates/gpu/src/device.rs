@@ -54,6 +54,12 @@ impl GpuStats {
     }
 }
 
+impl miopt_telemetry::StatSnapshot for GpuStats {
+    fn stat_pairs(&self) -> Vec<(&'static str, u64)> {
+        self.to_pairs()
+    }
+}
+
 /// State of the kernel currently being dispatched/executed.
 #[derive(Debug)]
 struct ActiveKernel {

@@ -1,20 +1,27 @@
 //! Persistent result caching keyed by experiment identity.
 //!
 //! A sweep job is fully determined by `(system config, workload, policy)`
-//! — the simulator is deterministic — so its [`Metrics`] can be reused
+//! — the simulator is deterministic — so its [`Metrics`](miopt::Metrics) can be reused
 //! across runs. The cache stores one JSON file per completed job under a
 //! cache directory (default `results/cache/`), named by an FNV-1a 64
 //! digest of:
 //!
-//! * the [`config_hash`](crate::provenance::config_hash) of the machine,
+//! * the [`config_hash`] of the machine,
 //! * the workload's [`stable_id`](miopt_workloads::Workload::stable_id),
 //! * the policy label,
-//! * the results [`SCHEMA_VERSION`](crate::results::SCHEMA_VERSION) and
+//! * the results [`SCHEMA_VERSION`] and
 //!   the global seed.
 //!
 //! Any change to machine parameters, workload geometry, policy, schema,
 //! or seed therefore misses the cache instead of resurrecting stale
-//! numbers. Corrupt or unreadable entries are treated as misses.
+//! numbers. Corrupt or unreadable entries are treated as misses. This is
+//! also the schema migration mechanism: the v1→v2 stat-name flattening
+//! bumped `SCHEMA_VERSION`, so every old entry simply misses and is
+//! re-simulated (stale files can be deleted at leisure).
+//!
+//! Cache entries store metrics only, never telemetry time series (those
+//! can be hundreds of epochs per run); telemetry-enabled sweeps bypass
+//! the cache entirely so every run records a full series.
 
 use crate::json::Json;
 use crate::provenance::{config_hash, GLOBAL_SEED};
@@ -89,6 +96,7 @@ impl ResultCache {
             workload,
             policy: job.policy,
             metrics,
+            telemetry: None,
         })
     }
 
@@ -159,7 +167,7 @@ mod tests {
         // Miss on empty cache.
         assert!(cache.load(&spec, &jobs[0]).is_none());
 
-        let fresh = spec.run_job(&jobs[0]);
+        let fresh = spec.run_job(&jobs[0]).expect("job runs");
         cache.store(&spec, &jobs[0], &fresh).unwrap();
         let hit = cache.load(&spec, &jobs[0]).expect("hit after store");
         assert_eq!(hit.metrics, fresh.metrics);

@@ -6,7 +6,7 @@
 //!     [--csv <dir>] [--table1] [--table2] [--fig4] ... [--fig13] [--all]
 //!     [--jobs N] [--serial] [--no-cache] [--cache-dir <dir>]
 //!     [--out <dir>] [--sweep-name <name>] [--timeout-secs N]
-//!     [--quiet] [--compare]
+//!     [--quiet] [--compare] [--telemetry[=interval]]
 //! ```
 //!
 //! With no figure selector, everything is regenerated (`--all`). The
@@ -29,6 +29,9 @@ const ALL_OUTPUTS: [&str; 12] = [
     "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
     "fig13",
 ];
+
+/// Sampling interval a bare `--telemetry` selects, in cycles.
+pub const DEFAULT_TELEMETRY_INTERVAL: u64 = 100_000;
 
 /// Parsed command-line options.
 pub struct CliArgs {
@@ -59,6 +62,9 @@ pub struct CliArgs {
     /// Run the sweep serially AND in parallel and verify byte-identical
     /// figures, reporting the speedup.
     pub compare: bool,
+    /// Telemetry sampling interval in cycles, when `--telemetry` was
+    /// given (`None` = telemetry off).
+    pub telemetry: Option<u64>,
 }
 
 /// Parses CLI arguments (everything after the program name).
@@ -83,6 +89,7 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> CliArgs {
         timeout: None,
         quiet: false,
         compare: false,
+        telemetry: None,
     };
     let mut args = args;
     while let Some(a) = args.next() {
@@ -120,6 +127,17 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> CliArgs {
             }
             "--quiet" => out.quiet = true,
             "--compare" => out.compare = true,
+            "--telemetry" => out.telemetry = Some(DEFAULT_TELEMETRY_INTERVAL),
+            s if s.starts_with("--telemetry=") => {
+                let interval: u64 = s["--telemetry=".len()..]
+                    .parse()
+                    .expect("--telemetry=N needs a cycle count");
+                assert!(
+                    interval > 0,
+                    "--telemetry interval must be at least 1 cycle"
+                );
+                out.telemetry = Some(interval);
+            }
             "--all" => out.selected.extend(ALL_OUTPUTS.map(String::from)),
             s if s.starts_with("--") && ALL_OUTPUTS.contains(&s.trim_start_matches("--")) => {
                 out.selected.insert(s.trim_start_matches("--").to_string());
@@ -225,7 +243,9 @@ fn figure_set(
 /// Runs the CLI. Returns the process exit code.
 #[must_use]
 pub fn run(args: &CliArgs) -> i32 {
-    let cfg = SystemConfig::paper_table1();
+    let cfg = SystemConfig::builder()
+        .build()
+        .expect("the paper's Table 1 configuration is self-consistent");
     let mut workloads = suite(&args.scale);
     if let Some(only) = &args.only {
         workloads.retain(|w| only.contains(&w.name.to_lowercase()));
@@ -248,11 +268,15 @@ pub fn run(args: &CliArgs) -> i32 {
 
     // One grid covers all selected figures: the static prefix feeds
     // figures 4-9 and the ladder suffix feeds 10-13.
-    let spec = Arc::new(if need_ladder {
+    let mut spec = if need_ladder {
         SweepSpec::figures(cfg, workloads)
     } else {
         SweepSpec::statics(cfg, workloads)
-    });
+    };
+    if let Some(interval) = args.telemetry {
+        spec = spec.with_telemetry(interval);
+    }
+    let spec = Arc::new(spec);
     let opts = SweepOptions {
         pool: PoolOptions {
             workers: args.jobs,
@@ -289,6 +313,24 @@ pub fn run(args: &CliArgs) -> i32 {
             return 1;
         }
     };
+
+    if args.telemetry.is_some() {
+        let dir = args.runs_dir.join(format!("{}-telemetry", args.sweep_name));
+        let mut written = 0usize;
+        for result in &results {
+            match crate::telemetry::write_files(&dir, result) {
+                Ok(Some(_)) => written += 1,
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!(
+                        "warning: could not write telemetry for {}: {e}",
+                        result.workload
+                    );
+                }
+            }
+        }
+        eprintln!("(wrote {written} telemetry series under {})", dir.display());
+    }
 
     let csv = args.csv_dir.as_deref();
     for (name, file, fig) in figure_set(&spec, &results, need_ladder) {
@@ -403,6 +445,22 @@ mod tests {
     #[test]
     fn serial_is_one_worker() {
         assert_eq!(parse(&["--serial"]).jobs, 1);
+    }
+
+    #[test]
+    fn telemetry_flag_parses_bare_and_with_interval() {
+        assert_eq!(parse(&[]).telemetry, None);
+        assert_eq!(
+            parse(&["--telemetry"]).telemetry,
+            Some(DEFAULT_TELEMETRY_INTERVAL)
+        );
+        assert_eq!(parse(&["--telemetry=2500"]).telemetry, Some(2500));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 cycle")]
+    fn zero_telemetry_interval_rejected() {
+        drop(parse(&["--telemetry=0"]));
     }
 
     #[test]

@@ -261,7 +261,7 @@ mod tests {
     fn tiny_sweep() -> Vec<Vec<RunResult>> {
         let cfg = SystemConfig::small_test();
         let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
-        run_static_sweep(&cfg, &[w])
+        run_static_sweep(&cfg, &[w]).expect("sweep finishes")
     }
 
     #[test]
@@ -298,9 +298,9 @@ mod tests {
         let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
         let statics: Vec<RunResult> = CachePolicy::ALL
             .iter()
-            .map(|&p| run_one(&cfg, &w, PolicyConfig::of(p)))
+            .map(|&p| run_one(&cfg, &w, PolicyConfig::of(p)).expect("run finishes"))
             .collect();
-        let ladder = vec![run_ladder_with_statics(&cfg, &w, statics)];
+        let ladder = vec![run_ladder_with_statics(&cfg, &w, statics).expect("ladder finishes")];
         for f in [
             fig10(&ladder),
             fig11(&ladder),

@@ -13,6 +13,8 @@
 //!   `results/runs/` ([`results`], [`provenance`]),
 //! * persistent result caching keyed by the experiment's identity hash
 //!   ([`cache`]),
+//! * phase-resolved telemetry exports — JSONL time series plus Chrome
+//!   `trace_event` JSON for chrome://tracing / Perfetto ([`telemetry`]),
 //! * the figure-extraction pipeline and the `miopt-harness` CLI that
 //!   regenerates every paper figure through the pool ([`figures`],
 //!   [`cli`]).
@@ -32,6 +34,7 @@ pub mod progress;
 pub mod provenance;
 pub mod results;
 pub mod sweep;
+pub mod telemetry;
 
 pub use cache::{CacheKey, ResultCache};
 pub use figures::FigureData;

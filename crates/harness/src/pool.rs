@@ -11,16 +11,20 @@
 //! * **Determinism.** Results are recorded into a slot per job id, never
 //!   in completion order, so any worker count (including 1) produces an
 //!   identical result vector; ready jobs are claimed lowest-id-first.
-//! * **Isolation.** A panicking simulation fails *its job* (the panic is
-//!   caught and recorded) and the sweep continues. With a wall-clock
-//!   timeout configured, each job runs on a dedicated thread; a job that
-//!   exceeds the deadline is abandoned (the thread is detached — `std`
-//!   threads cannot be killed — and the job reports [`JobError::TimedOut`]).
+//! * **Isolation.** A simulation that fails does so through
+//!   `Result` — cycle-budget exhaustion and config rejections arrive as
+//!   [`SimError`]s and fail *that job* ([`JobError::Sim`]); genuinely
+//!   unexpected panics are still caught and recorded
+//!   ([`JobError::Panicked`]) so the sweep continues either way. With a
+//!   wall-clock timeout configured, each job runs on a dedicated thread;
+//!   a job that exceeds the deadline is abandoned (the thread is
+//!   detached — `std` threads cannot be killed — and the job reports
+//!   [`JobError::TimedOut`]).
 //! * **Failure propagation.** A job whose dependency failed is not run;
 //!   it reports [`JobError::DepFailed`].
 
 use crate::progress::Progress;
-use miopt::runner::{Job, RunResult, SweepSpec};
+use miopt::runner::{Job, RunResult, SimError, SweepSpec};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -32,6 +36,9 @@ use std::time::{Duration, Instant};
 /// Why a job produced no result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobError {
+    /// The simulation returned an error (cycle-budget timeout or an
+    /// inconsistent configuration).
+    Sim(SimError),
     /// The simulation panicked; the payload is the panic message.
     Panicked(String),
     /// The simulation exceeded the configured wall-clock timeout.
@@ -43,6 +50,7 @@ pub enum JobError {
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            JobError::Sim(e) => write!(f, "{e}"),
             JobError::Panicked(msg) => write!(f, "panicked: {msg}"),
             JobError::TimedOut(t) => write!(f, "timed out after {:.1}s", t.as_secs_f64()),
             JobError::DepFailed(id) => write!(f, "dependency job {id} failed"),
@@ -280,16 +288,20 @@ fn record(dag: &Dag, jobs: &[Job], outcome: JobOutcome, progress: &Progress) {
     dag.wake.notify_all();
 }
 
-/// Runs one job with panic isolation, and wall-clock timeout isolation
-/// when configured.
+/// Runs one job. Expected failures (cycle-budget exhaustion, bad
+/// configs) flow through `run_job`'s `Result` as [`JobError::Sim`];
+/// `catch_unwind` remains only as a safety net for genuine bugs, and a
+/// wall-clock timeout isolates hung jobs when configured.
 fn execute(
     spec: &Arc<SweepSpec>,
     job: Job,
     timeout: Option<Duration>,
 ) -> Result<RunResult, JobError> {
     match timeout {
-        None => catch_unwind(AssertUnwindSafe(|| spec.run_job(&job)))
-            .map_err(|p| JobError::Panicked(panic_message(&p))),
+        None => match catch_unwind(AssertUnwindSafe(|| spec.run_job(&job))) {
+            Ok(result) => result.map_err(JobError::Sim),
+            Err(p) => Err(JobError::Panicked(panic_message(&p))),
+        },
         Some(limit) => {
             let (tx, rx) = mpsc::channel();
             let spec = Arc::clone(spec);
@@ -303,7 +315,7 @@ fn execute(
                 })
                 .expect("spawn job thread");
             match rx.recv_timeout(limit) {
-                Ok(Ok(result)) => Ok(result),
+                Ok(Ok(result)) => result.map_err(JobError::Sim),
                 Ok(Err(p)) => Err(JobError::Panicked(panic_message(&p))),
                 Err(mpsc::RecvTimeoutError::Timeout) => Err(JobError::TimedOut(limit)),
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -423,6 +435,33 @@ mod tests {
     }
 
     #[test]
+    fn sim_errors_propagate_through_the_pool_without_unwinding() {
+        // A 10-cycle budget fails every job with SimError::Timeout; the
+        // pool must surface it as JobError::Sim, not a caught panic.
+        let mut spec = Arc::unwrap_or_clone(spec_of(&["FwSoft"]));
+        spec.run_opts.max_cycles = 10;
+        let spec = Arc::new(spec);
+        let outcomes = run_dag(
+            &spec,
+            &[],
+            &NoCache,
+            &PoolOptions {
+                workers: 2,
+                ..PoolOptions::default()
+            },
+        );
+        assert_eq!(outcomes.len(), 3);
+        for o in &outcomes {
+            match &o.result {
+                Err(JobError::Sim(SimError::Timeout { max_cycles, .. })) => {
+                    assert_eq!(*max_cycles, 10);
+                }
+                other => panic!("expected a sim timeout, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn cache_hits_skip_simulation() {
         struct Canned(RunResult);
         impl ResultSource for Canned {
@@ -433,7 +472,7 @@ mod tests {
         }
         let spec = spec_of(&["FwSoft"]);
         let jobs = spec.jobs();
-        let canned = Canned(spec.run_job(&jobs[0]));
+        let canned = Canned(spec.run_job(&jobs[0]).expect("job runs"));
         let outcomes = run_dag(
             &spec,
             &[],

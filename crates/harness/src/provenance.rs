@@ -46,6 +46,9 @@ pub struct Provenance {
     pub seed: u64,
     /// Worker threads the sweep ran with (1 = serial).
     pub workers: usize,
+    /// Telemetry sampling interval in cycles, when telemetry was enabled
+    /// for the sweep (`None` = telemetry off).
+    pub telemetry_interval: Option<u64>,
     /// Milliseconds since the Unix epoch at sweep start.
     pub started_unix_ms: u64,
     /// Total sweep wall time in milliseconds.
@@ -65,6 +68,7 @@ impl Provenance {
             config_hash: config_hash(cfg),
             seed: GLOBAL_SEED,
             workers,
+            telemetry_interval: None,
             started_unix_ms: SystemTime::now()
                 .duration_since(UNIX_EPOCH)
                 .map_or(0, |d| d.as_millis() as u64),
@@ -82,6 +86,10 @@ impl Provenance {
             ("config_hash", Json::str(&self.config_hash)),
             ("seed", Json::U64(self.seed)),
             ("workers", Json::U64(self.workers as u64)),
+            (
+                "telemetry_interval",
+                self.telemetry_interval.map_or(Json::Null, Json::U64),
+            ),
             ("started_unix_ms", Json::U64(self.started_unix_ms)),
             ("elapsed_ms", Json::U64(self.elapsed_ms)),
         ])
@@ -129,8 +137,13 @@ mod tests {
     fn provenance_serializes_all_fields() {
         let mut p = Provenance::collect(&SystemConfig::small_test(), 4);
         p.elapsed_ms = 1234;
+        p.telemetry_interval = Some(50_000);
         let doc = p.to_json();
         assert_eq!(doc.get("workers").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            doc.get("telemetry_interval").and_then(Json::as_u64),
+            Some(50_000)
+        );
         assert_eq!(doc.get("elapsed_ms").and_then(Json::as_u64), Some(1234));
         assert_eq!(doc.get("seed").and_then(Json::as_u64), Some(GLOBAL_SEED));
         assert_eq!(

@@ -19,28 +19,43 @@ use std::path::Path;
 
 /// Version tag of the results/cache JSON schema. Bump on any change to
 /// the serialized layout; cached results from other versions are ignored.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version history:
+/// * **2** — counters flattened to the workspace-wide dotted stat-name
+///   registry (`l2.load_hits`, `dram.row_conflicts`, …) shared with
+///   telemetry. Because the cache key includes this constant, every v1
+///   cache entry misses and is transparently re-simulated; stale
+///   `results/cache/*.json` files can simply be deleted.
+/// * **1** — nested per-component objects (`{"dram": {"reads": …}}`).
+pub const SCHEMA_VERSION: u32 = 2;
 
-fn pairs_to_json(pairs: Vec<(&'static str, u64)>) -> Json {
-    Json::obj(pairs.into_iter().map(|(k, v)| (k, Json::U64(v))))
+/// Appends `pairs` under `scope` as flat `scope.name` keys.
+fn push_scoped(out: &mut Vec<(String, Json)>, scope: &str, pairs: Vec<(&'static str, u64)>) {
+    for (name, value) in pairs {
+        out.push((format!("{scope}.{name}"), Json::U64(value)));
+    }
 }
 
-fn json_field(obj: &Json, name: &str) -> impl FnMut(&str) -> Option<u64> {
-    let section = obj.get(name).cloned();
-    move |key| section.as_ref()?.get(key)?.as_u64()
+/// A `from_pairs` getter reading flat `scope.name` keys off `obj`.
+fn scoped_field<'a>(obj: &'a Json, scope: &'a str) -> impl FnMut(&str) -> Option<u64> + 'a {
+    move |key| obj.get(&format!("{scope}.{key}"))?.as_u64()
 }
 
-/// Serializes metrics to a JSON object.
+/// Serializes metrics to a flat JSON object keyed by the dotted
+/// stat-name registry (`gpu.valu_lane_ops`, `dram.row_conflicts`,
+/// `l1.load_hits`, `l2.store_allocs`, …) plus `cycles` and
+/// `gpu_clock_hz`.
 #[must_use]
 pub fn metrics_to_json(m: &Metrics) -> Json {
-    Json::obj([
-        ("cycles", Json::U64(m.cycles)),
-        ("gpu_clock_hz", Json::F64(m.gpu_clock_hz())),
-        ("gpu", pairs_to_json(m.gpu.to_pairs())),
-        ("dram", pairs_to_json(m.dram.to_pairs())),
-        ("l1", pairs_to_json(m.l1.to_pairs())),
-        ("l2", pairs_to_json(m.l2.to_pairs())),
-    ])
+    let mut pairs = vec![
+        ("cycles".to_string(), Json::U64(m.cycles)),
+        ("gpu_clock_hz".to_string(), Json::F64(m.gpu_clock_hz())),
+    ];
+    push_scoped(&mut pairs, "gpu", m.gpu.to_pairs());
+    push_scoped(&mut pairs, "dram", m.dram.to_pairs());
+    push_scoped(&mut pairs, "l1", m.l1.to_pairs());
+    push_scoped(&mut pairs, "l2", m.l2.to_pairs());
+    Json::Obj(pairs)
 }
 
 /// Rebuilds metrics from [`metrics_to_json`] output.
@@ -57,10 +72,10 @@ pub fn metrics_from_json(obj: &Json) -> Result<Metrics, String> {
         .get("gpu_clock_hz")
         .and_then(Json::as_f64)
         .ok_or("missing or invalid `gpu_clock_hz`")?;
-    let gpu = GpuStats::from_pairs(json_field(obj, "gpu"))?;
-    let dram = DramStats::from_pairs(json_field(obj, "dram"))?;
-    let l1 = CacheStats::from_pairs(json_field(obj, "l1"))?;
-    let l2 = CacheStats::from_pairs(json_field(obj, "l2"))?;
+    let gpu = GpuStats::from_pairs(scoped_field(obj, "gpu"))?;
+    let dram = DramStats::from_pairs(scoped_field(obj, "dram"))?;
+    let l1 = CacheStats::from_pairs(scoped_field(obj, "l1"))?;
+    let l2 = CacheStats::from_pairs(scoped_field(obj, "l2"))?;
     Ok(Metrics::from_parts(cycles, gpu, dram, l1, l2, clock))
 }
 
@@ -200,7 +215,8 @@ mod tests {
             &SystemConfig::small_test(),
             &w,
             PolicyConfig::of(CachePolicy::CacheRW),
-        );
+        )
+        .expect("run finishes");
         let doc = metrics_to_json(&r.metrics);
         let text = doc.to_pretty();
         let back = metrics_from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -220,12 +236,47 @@ mod tests {
             &SystemConfig::small_test(),
             &w,
             PolicyConfig::of(CachePolicy::Uncached),
-        );
+        )
+        .expect("run finishes");
         let mut doc = metrics_to_json(&r.metrics);
         if let Json::Obj(pairs) = &mut doc {
-            pairs.retain(|(k, _)| k != "dram");
+            pairs.retain(|(k, _)| k != "dram.row_conflicts");
         }
         let err = metrics_from_json(&doc).unwrap_err();
-        assert!(err.contains("dram"), "{err}");
+        assert!(err.contains("row_conflicts"), "{err}");
+    }
+
+    #[test]
+    fn serialized_keys_follow_the_dotted_registry() {
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let r = run_one(
+            &SystemConfig::small_test(),
+            &w,
+            PolicyConfig::of(CachePolicy::CacheR),
+        )
+        .expect("run finishes");
+        let doc = metrics_to_json(&r.metrics);
+        let Json::Obj(pairs) = &doc else {
+            panic!("metrics serialize to an object")
+        };
+        // Flat layout: every counter key is `scope.name`.
+        for (key, _) in pairs {
+            assert!(
+                key == "cycles"
+                    || key == "gpu_clock_hz"
+                    || ["gpu.", "dram.", "l1.", "l2."]
+                        .iter()
+                        .any(|scope| key.starts_with(scope)),
+                "unexpected key {key}"
+            );
+        }
+        for key in [
+            "gpu.valu_lane_ops",
+            "dram.row_conflicts",
+            "l1.load_hits",
+            "l2.load_hits",
+        ] {
+            assert!(doc.get(key).is_some(), "missing {key}");
+        }
     }
 }

@@ -75,12 +75,25 @@ impl ResultSource for CacheSource {
 }
 
 /// Runs every job of `spec` and assembles the report named `name`.
+///
+/// When the spec enables telemetry, the result cache is bypassed for the
+/// whole sweep: cached entries store metrics only, and serving a hit
+/// would silently drop that job's time series.
 #[must_use]
 pub fn run_sweep(spec: &Arc<SweepSpec>, name: &str, opts: &SweepOptions) -> SweepRun {
     let workers = opts.pool.effective_workers();
     let mut provenance = Provenance::collect(&spec.cfg, workers);
+    provenance.telemetry_interval = spec.run_opts.telemetry_interval;
+    let cache = if spec.run_opts.telemetry_interval.is_some() {
+        if opts.cache.is_some() {
+            eprintln!("note: telemetry enabled; bypassing the result cache so every job records a time series");
+        }
+        &None
+    } else {
+        &opts.cache
+    };
     let started = Instant::now();
-    let outcomes = match &opts.cache {
+    let outcomes = match cache {
         Some(cache) => {
             let source = CacheSource {
                 cache: cache.clone(),

@@ -1,0 +1,464 @@
+//! Telemetry exporters: JSONL time series and Chrome `trace_event` JSON.
+//!
+//! A [`TelemetryRun`] is plain in-memory data; this module turns it into
+//! the two on-disk formats the harness ships:
+//!
+//! * **JSONL** (`<workload>-<policy>.jsonl`) — one self-describing JSON
+//!   object per line: a `header` line carrying the schema version and the
+//!   stat-name registry, one `epoch` line per sampling interval with the
+//!   raw counter deltas plus derived rates (IPC, hit rates, stalls per
+//!   request, row-hit ratio, L2 bypass fraction), then `span` and
+//!   `instant` lines for phases and discrete events. Line-oriented so
+//!   `grep`/`jq -c` stream it without loading the whole series.
+//! * **Chrome trace** (`<workload>-<policy>.trace.json`) — the
+//!   `trace_event` format chrome://tracing and [Perfetto] load directly:
+//!   phases as complete (`"X"`) slices, discrete events as instants
+//!   (`"i"`), and per-epoch eviction/rinse/bypass/row-conflict deltas as
+//!   counter (`"C"`) tracks. Timestamps are microseconds of simulated
+//!   time (`cycle / (gpu_clock_hz / 1e6)`).
+//!
+//! Both serializers are pure functions of the run — floats use the JSON
+//! layer's shortest round-trip formatting — so exports are byte-identical
+//! across harness worker counts.
+//!
+//! [Perfetto]: https://ui.perfetto.dev
+
+use crate::json::Json;
+use crate::results::SCHEMA_VERSION;
+use miopt::runner::RunResult;
+use miopt_telemetry::{Epoch, TelemetryRun};
+use std::path::{Path, PathBuf};
+
+/// `0/0`-safe ratio: empty epochs report a rate of zero, not NaN (which
+/// JSON cannot represent anyway).
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Delta of counter `name` in `epoch`, or 0 if the registry lacks it
+/// (e.g. a future config without that component).
+fn delta(run: &TelemetryRun, epoch: &Epoch, name: &str) -> u64 {
+    run.index_of(name).map_or(0, |i| epoch.deltas[i])
+}
+
+/// Summed delta over several counters of `epoch`.
+fn delta_sum(run: &TelemetryRun, epoch: &Epoch, names: &[&str]) -> u64 {
+    names.iter().map(|n| delta(run, epoch, n)).sum()
+}
+
+/// The five per-cache stall counters under `scope`, summed.
+fn stall_delta(run: &TelemetryRun, epoch: &Epoch, scope: &str) -> u64 {
+    [
+        "stall_mshr",
+        "stall_set_busy",
+        "stall_merge",
+        "stall_out_queue",
+        "stall_port",
+    ]
+    .iter()
+    .map(|f| delta(run, epoch, &format!("{scope}.{f}")))
+    .sum()
+}
+
+/// The derived per-epoch rates appended to every JSONL `epoch` line.
+fn derived_rates(run: &TelemetryRun, epoch: &Epoch) -> Json {
+    let requests = delta_sum(run, epoch, &["gpu.line_loads", "gpu.line_stores"]);
+    let hit_rate = |scope: &str| {
+        ratio(
+            delta_sum(
+                run,
+                epoch,
+                &[
+                    &format!("{scope}.load_hits"),
+                    &format!("{scope}.store_hits"),
+                ],
+            ),
+            delta(run, epoch, &format!("{scope}.accesses")),
+        )
+    };
+    Json::obj([
+        (
+            "ipc",
+            Json::F64(ratio(
+                delta(run, epoch, "gpu.valu_lane_ops"),
+                epoch.cycles(),
+            )),
+        ),
+        ("l1_hit_rate", Json::F64(hit_rate("l1"))),
+        ("l2_hit_rate", Json::F64(hit_rate("l2"))),
+        (
+            "stalls_per_request",
+            Json::F64(ratio(
+                stall_delta(run, epoch, "l1") + stall_delta(run, epoch, "l2"),
+                requests,
+            )),
+        ),
+        (
+            "row_hit_ratio",
+            Json::F64(ratio(
+                delta(run, epoch, "dram.row_hits_hits"),
+                delta(run, epoch, "dram.row_hits_total"),
+            )),
+        ),
+        (
+            "l2_bypass_fraction",
+            Json::F64(ratio(
+                delta_sum(run, epoch, &["l2.load_bypasses", "l2.store_bypasses"]),
+                delta(run, epoch, "l2.accesses"),
+            )),
+        ),
+    ])
+}
+
+/// Serializes a run as JSONL: one compact JSON object per line.
+#[must_use]
+pub fn to_jsonl(run: &TelemetryRun, workload: &str, policy: &str, gpu_clock_hz: f64) -> String {
+    let mut lines = Vec::with_capacity(1 + run.epochs.len() + run.spans.len() + run.instants.len());
+    lines.push(
+        Json::obj([
+            ("type", Json::str("header")),
+            ("schema_version", Json::U64(u64::from(SCHEMA_VERSION))),
+            ("workload", Json::str(workload)),
+            ("policy", Json::str(policy)),
+            ("interval", Json::U64(run.interval)),
+            ("gpu_clock_hz", Json::F64(gpu_clock_hz)),
+            (
+                "names",
+                Json::Arr(run.names.iter().map(Json::str).collect()),
+            ),
+        ])
+        .to_compact(),
+    );
+    for epoch in &run.epochs {
+        let deltas = run
+            .names
+            .iter()
+            .zip(&epoch.deltas)
+            .map(|(name, &d)| (name.clone(), Json::U64(d)))
+            .collect();
+        lines.push(
+            Json::obj([
+                ("type", Json::str("epoch")),
+                ("start_cycle", Json::U64(epoch.start_cycle)),
+                ("end_cycle", Json::U64(epoch.end_cycle)),
+                ("deltas", Json::Obj(deltas)),
+                ("derived", derived_rates(run, epoch)),
+            ])
+            .to_compact(),
+        );
+    }
+    for span in &run.spans {
+        lines.push(
+            Json::obj([
+                ("type", Json::str("span")),
+                ("name", Json::str(&span.name)),
+                ("start_cycle", Json::U64(span.start_cycle)),
+                ("end_cycle", Json::U64(span.end_cycle)),
+            ])
+            .to_compact(),
+        );
+    }
+    for instant in &run.instants {
+        lines.push(
+            Json::obj([
+                ("type", Json::str("instant")),
+                ("name", Json::str(&instant.name)),
+                ("cycle", Json::U64(instant.cycle)),
+            ])
+            .to_compact(),
+        );
+    }
+    lines.push(String::new()); // trailing newline
+    lines.join("\n")
+}
+
+/// Serializes a run in Chrome `trace_event` JSON (load in
+/// chrome://tracing or <https://ui.perfetto.dev>).
+#[must_use]
+pub fn to_chrome_trace(
+    run: &TelemetryRun,
+    workload: &str,
+    policy: &str,
+    gpu_clock_hz: f64,
+) -> String {
+    // Microseconds of simulated time per cycle.
+    let us = |cycle: u64| Json::F64(cycle as f64 / (gpu_clock_hz / 1e6));
+    let mut events = Vec::new();
+    events.push(Json::obj([
+        ("name", Json::str("process_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::U64(0)),
+        ("tid", Json::U64(0)),
+        (
+            "args",
+            Json::obj([("name", Json::str(format!("{workload}/{policy}")))]),
+        ),
+    ]));
+    events.push(Json::obj([
+        ("name", Json::str("thread_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::U64(0)),
+        ("tid", Json::U64(0)),
+        ("args", Json::obj([("name", Json::str("phases"))])),
+    ]));
+    for span in &run.spans {
+        events.push(Json::obj([
+            ("name", Json::str(&span.name)),
+            ("cat", Json::str("phase")),
+            ("ph", Json::str("X")),
+            ("ts", us(span.start_cycle)),
+            (
+                "dur",
+                Json::F64((span.end_cycle - span.start_cycle) as f64 / (gpu_clock_hz / 1e6)),
+            ),
+            ("pid", Json::U64(0)),
+            ("tid", Json::U64(0)),
+        ]));
+    }
+    for instant in &run.instants {
+        events.push(Json::obj([
+            ("name", Json::str(&instant.name)),
+            ("cat", Json::str("event")),
+            ("ph", Json::str("i")),
+            ("ts", us(instant.cycle)),
+            ("pid", Json::U64(0)),
+            ("tid", Json::U64(0)),
+            ("s", Json::str("p")),
+        ]));
+    }
+    // Counter tracks: one sample per epoch, stamped at the epoch's end
+    // (the cycle the deltas were measured at).
+    for epoch in &run.epochs {
+        let sample = |name: &str, args: Vec<(String, Json)>| {
+            Json::obj([
+                ("name", Json::str(name)),
+                ("cat", Json::str("counter")),
+                ("ph", Json::str("C")),
+                ("ts", us(epoch.end_cycle)),
+                ("pid", Json::U64(0)),
+                ("args", Json::Obj(args)),
+            ])
+        };
+        events.push(sample(
+            "l2 events / epoch",
+            vec![
+                (
+                    "evictions".to_string(),
+                    Json::U64(delta_sum(
+                        run,
+                        epoch,
+                        &["l2.evictions_clean", "l2.writebacks"],
+                    )),
+                ),
+                (
+                    "rinses".to_string(),
+                    Json::U64(delta(run, epoch, "l2.rinse_writebacks")),
+                ),
+                (
+                    "bypasses".to_string(),
+                    Json::U64(delta_sum(
+                        run,
+                        epoch,
+                        &["l2.load_bypasses", "l2.store_bypasses"],
+                    )),
+                ),
+                (
+                    "predictor_bypasses".to_string(),
+                    Json::U64(delta(run, epoch, "l2.predictor_bypasses")),
+                ),
+            ],
+        ));
+        events.push(sample(
+            "dram row conflicts / epoch",
+            vec![(
+                "row_conflicts".to_string(),
+                Json::U64(delta(run, epoch, "dram.row_conflicts")),
+            )],
+        ));
+    }
+    Json::obj([
+        ("displayTimeUnit", Json::str("ms")),
+        ("traceEvents", Json::Arr(events)),
+    ])
+    .to_pretty()
+}
+
+/// The file stem both exports of one job share: `<workload>-<policy>`,
+/// with path-hostile characters replaced.
+#[must_use]
+pub fn file_stem(workload: &str, policy: &str) -> String {
+    format!("{workload}-{policy}")
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes both exports of `result` under `dir` and returns the two paths
+/// (`.jsonl`, `.trace.json`), or `None` when the run carried no
+/// telemetry (telemetry off, or a cache hit).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_files(dir: &Path, result: &RunResult) -> std::io::Result<Option<(PathBuf, PathBuf)>> {
+    let Some(run) = &result.telemetry else {
+        return Ok(None);
+    };
+    std::fs::create_dir_all(dir)?;
+    let policy = result.policy.label();
+    let clock = result.metrics.gpu_clock_hz();
+    let stem = file_stem(&result.workload, &policy);
+    let jsonl_path = dir.join(format!("{stem}.jsonl"));
+    let trace_path = dir.join(format!("{stem}.trace.json"));
+    std::fs::write(&jsonl_path, to_jsonl(run, &result.workload, &policy, clock))?;
+    std::fs::write(
+        &trace_path,
+        to_chrome_trace(run, &result.workload, &policy, clock),
+    )?;
+    Ok(Some((jsonl_path, trace_path)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miopt_telemetry::{EventInstant, Span};
+
+    fn sample_run() -> TelemetryRun {
+        TelemetryRun {
+            interval: 100,
+            names: vec![
+                "gpu.valu_lane_ops".into(),
+                "gpu.line_loads".into(),
+                "gpu.line_stores".into(),
+                "l1.accesses".into(),
+                "l1.load_hits".into(),
+                "l1.store_hits".into(),
+                "l2.accesses".into(),
+                "l2.load_hits".into(),
+                "l2.store_hits".into(),
+                "l2.load_bypasses".into(),
+                "l2.store_bypasses".into(),
+                "dram.row_hits_hits".into(),
+                "dram.row_hits_total".into(),
+                "dram.row_conflicts".into(),
+            ],
+            epochs: vec![
+                Epoch {
+                    start_cycle: 0,
+                    end_cycle: 100,
+                    deltas: vec![640, 10, 6, 16, 8, 3, 8, 4, 0, 2, 0, 3, 4, 1],
+                },
+                Epoch {
+                    start_cycle: 100,
+                    end_cycle: 150,
+                    deltas: vec![0; 14],
+                },
+            ],
+            spans: vec![Span {
+                name: "run".into(),
+                start_cycle: 0,
+                end_cycle: 150,
+            }],
+            instants: vec![EventInstant {
+                name: "kernel:gemm#0".into(),
+                cycle: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_derived_rates() {
+        let text = to_jsonl(&sample_run(), "FwSoft", "CacheRW", 1.6e9);
+        let lines: Vec<&str> = text.lines().collect();
+        // header + 2 epochs + 1 span + 1 instant.
+        assert_eq!(lines.len(), 5);
+        let header = Json::parse(lines[0]).unwrap();
+        assert_eq!(header.get("type").and_then(Json::as_str), Some("header"));
+        assert_eq!(header.get("interval").and_then(Json::as_u64), Some(100));
+        let epoch = Json::parse(lines[1]).unwrap();
+        let derived = epoch.get("derived").unwrap();
+        assert_eq!(derived.get("ipc").and_then(Json::as_f64), Some(6.4));
+        assert_eq!(
+            derived.get("l1_hit_rate").and_then(Json::as_f64),
+            Some(11.0 / 16.0)
+        );
+        assert_eq!(
+            derived.get("l2_bypass_fraction").and_then(Json::as_f64),
+            Some(0.25)
+        );
+        assert_eq!(
+            derived.get("row_hit_ratio").and_then(Json::as_f64),
+            Some(0.75)
+        );
+        // The empty epoch's rates degrade to zero, never NaN.
+        let empty = Json::parse(lines[2]).unwrap();
+        assert_eq!(
+            empty
+                .get("derived")
+                .and_then(|d| d.get("ipc"))
+                .and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            Json::parse(lines[3])
+                .unwrap()
+                .get("type")
+                .and_then(Json::as_str),
+            Some("span")
+        );
+        assert_eq!(
+            Json::parse(lines[4])
+                .unwrap()
+                .get("name")
+                .and_then(Json::as_str),
+            Some("kernel:gemm#0")
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_trace_event_json() {
+        let text = to_chrome_trace(&sample_run(), "FwSoft", "CacheRW", 1.6e9);
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 2 metadata + 1 span + 1 instant + 2 epochs × 2 counter tracks.
+        assert_eq!(events.len(), 8);
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .unwrap();
+        // 150 cycles at 1.6 GHz = 93.75 ns = 0.09375 µs.
+        assert_eq!(span.get("dur").and_then(Json::as_f64), Some(0.09375));
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("C")));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let run = sample_run();
+        assert_eq!(
+            to_jsonl(&run, "w", "p", 1.6e9),
+            to_jsonl(&run.clone(), "w", "p", 1.6e9)
+        );
+        assert_eq!(
+            to_chrome_trace(&run, "w", "p", 1.6e9),
+            to_chrome_trace(&run.clone(), "w", "p", 1.6e9)
+        );
+    }
+
+    #[test]
+    fn file_stems_are_path_safe() {
+        assert_eq!(file_stem("FwSoft", "CacheRW-PCby"), "FwSoft-CacheRW-PCby");
+        assert_eq!(file_stem("a/b c", "p"), "a_b_c-p");
+    }
+}

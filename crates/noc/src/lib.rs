@@ -36,13 +36,28 @@ use miopt_engine::stats::Counter;
 use miopt_engine::{Cycle, TimedQueue};
 
 /// Statistics of one crossbar.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CrossbarStats {
     /// Messages transferred.
     pub moved: Counter,
     /// Input-head observations that could not move (output full or its
     /// per-cycle budget spent).
     pub blocked: Counter,
+}
+
+impl CrossbarStats {
+    /// All counters as stable `(name, value)` pairs, following the
+    /// workspace-wide `to_pairs` stat-name convention.
+    #[must_use]
+    pub fn to_pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![("moved", self.moved.get()), ("blocked", self.blocked.get())]
+    }
+}
+
+impl miopt_telemetry::StatSnapshot for CrossbarStats {
+    fn stat_pairs(&self) -> Vec<(&'static str, u64)> {
+        self.to_pairs()
+    }
 }
 
 /// An input-queued crossbar between `TimedQueue`s.

@@ -1,0 +1,473 @@
+//! Deterministic, phase-resolved telemetry for the `miopt` simulator.
+//!
+//! End-of-run [`Metrics`] answer *what* a cache policy did to a workload;
+//! this crate answers *when*. It provides three pieces:
+//!
+//! * [`StatSnapshot`] — a trait implemented by every per-component stats
+//!   struct (cache, DRAM, GPU, NoC) exposing its counters as
+//!   `(&'static str, u64)` pairs. Combined with a scope prefix this
+//!   yields one flat, dotted stat-name registry (`l2.load_hits`,
+//!   `dram.row_conflicts`, …) shared by telemetry, the results schema
+//!   and the result cache.
+//! * [`Recorder`] — an epoch sampler. The simulator assembles a
+//!   [`Frame`] of all counters every `interval` cycles; the recorder
+//!   turns consecutive frames into per-epoch *deltas* and also records
+//!   phase [`Span`]s (launch / run / flush …) and discrete
+//!   [`EventInstant`]s (kernel launches, self-invalidations).
+//! * [`TelemetryRun`] — the finished, immutable time series handed back
+//!   to callers and serialized by `miopt-harness` as JSONL and Chrome
+//!   `trace_event` JSON.
+//!
+//! Everything here is plain data and integer arithmetic: recording the
+//! same simulation twice — on any number of harness workers — produces
+//! byte-identical output.
+//!
+//! [`Metrics`]: https://docs.rs/miopt
+//!
+//! # Examples
+//!
+//! ```
+//! use miopt_telemetry::{Frame, Recorder};
+//!
+//! let mut rec = Recorder::new(100);
+//! rec.enter_phase("run", 0);
+//!
+//! let mut f = Frame::new();
+//! f.record_value("gpu.valu_lane_ops", 640);
+//! rec.record_frame(100, f);
+//!
+//! let mut f = Frame::new();
+//! f.record_value("gpu.valu_lane_ops", 1000);
+//! rec.record_frame(200, f);
+//!
+//! let run = rec.into_run(200);
+//! assert_eq!(run.epochs.len(), 2);
+//! assert_eq!(run.delta(0, "gpu.valu_lane_ops"), Some(640));
+//! assert_eq!(run.delta(1, "gpu.valu_lane_ops"), Some(360));
+//! assert_eq!(run.total_of("gpu.valu_lane_ops"), Some(1000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// The engine crate anchors the workspace's `Cycle` conventions; telemetry
+// deliberately depends on nothing else so every component crate can
+// implement `StatSnapshot` without forming a dependency cycle.
+pub use miopt_engine::Cycle;
+
+/// A component whose statistics can be sampled into a telemetry frame.
+///
+/// Implementations return every cumulative counter of the component as
+/// `(name, value)` pairs. Names are bare (no scope prefix — the caller
+/// supplies one via [`Frame::record`]), `snake_case`, and **stable**: the
+/// pair list must have the same names in the same order on every call,
+/// because the first recorded frame fixes the registry for the whole run.
+pub trait StatSnapshot {
+    /// Returns all counters as `(bare_name, cumulative_value)` pairs.
+    fn stat_pairs(&self) -> Vec<(&'static str, u64)>;
+}
+
+/// One point-in-time sample of every registered counter.
+///
+/// A frame is assembled by the simulator (scope by scope) and then handed
+/// to [`Recorder::record_frame`], which differences it against the
+/// previous frame to produce an [`Epoch`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Frame {
+    names: Vec<String>,
+    values: Vec<u64>,
+}
+
+impl Frame {
+    /// Creates an empty frame.
+    pub fn new() -> Frame {
+        Frame::default()
+    }
+
+    /// Appends every counter of `stats` under `scope` (as `scope.name`).
+    pub fn record(&mut self, scope: &str, stats: &dyn StatSnapshot) {
+        for (name, value) in stats.stat_pairs() {
+            self.names.push(format!("{scope}.{name}"));
+            self.values.push(value);
+        }
+    }
+
+    /// Appends a single pre-scoped counter.
+    pub fn record_value(&mut self, name: impl Into<String>, value: u64) {
+        self.names.push(name.into());
+        self.values.push(value);
+    }
+
+    /// Number of counters recorded so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the frame holds no counters.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Per-interval counter deltas between two consecutive frames.
+///
+/// `deltas[i]` is the increase of the counter named
+/// `TelemetryRun::names[i]` over `[start_cycle, end_cycle)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Epoch {
+    /// First cycle covered by this epoch (inclusive).
+    pub start_cycle: u64,
+    /// Last cycle covered by this epoch (exclusive).
+    pub end_cycle: u64,
+    /// Counter increases over the epoch, indexed like `TelemetryRun::names`.
+    pub deltas: Vec<u64>,
+}
+
+impl Epoch {
+    /// Number of cycles the epoch covers.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+}
+
+/// A named half-open interval of cycles — one simulator phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Phase name (`launch`, `run`, `drain_kernel`, `flush`, …).
+    pub name: String,
+    /// Cycle the phase was entered.
+    pub start_cycle: u64,
+    /// Cycle the phase was left.
+    pub end_cycle: u64,
+}
+
+/// A discrete event pinned to a single cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventInstant {
+    /// Event name (`kernel:gemm#3`, `self_invalidate`, …).
+    pub name: String,
+    /// Cycle at which the event fired.
+    pub cycle: u64,
+}
+
+/// The finished time series of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryRun {
+    /// Sampling interval in cycles the run was recorded with.
+    pub interval: u64,
+    /// The stat-name registry: dotted names, fixed by the first frame.
+    pub names: Vec<String>,
+    /// Per-interval counter deltas, in cycle order.
+    pub epochs: Vec<Epoch>,
+    /// Simulator phases, in cycle order.
+    pub spans: Vec<Span>,
+    /// Discrete events, in cycle order.
+    pub instants: Vec<EventInstant>,
+}
+
+impl TelemetryRun {
+    /// Index of `name` in the registry, if registered.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Delta of counter `name` in epoch `epoch`.
+    pub fn delta(&self, epoch: usize, name: &str) -> Option<u64> {
+        let idx = self.index_of(name)?;
+        self.epochs.get(epoch).map(|e| e.deltas[idx])
+    }
+
+    /// Sum of every epoch's deltas — the cumulative counter values at the
+    /// end of the run, indexed like [`TelemetryRun::names`].
+    pub fn totals(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.names.len()];
+        for epoch in &self.epochs {
+            for (total, delta) in totals.iter_mut().zip(&epoch.deltas) {
+                *total += delta;
+            }
+        }
+        totals
+    }
+
+    /// Cumulative end-of-run value of counter `name`.
+    pub fn total_of(&self, name: &str) -> Option<u64> {
+        let idx = self.index_of(name)?;
+        Some(self.totals()[idx])
+    }
+}
+
+/// Collects frames, phases and instants during a run.
+///
+/// The recorder is deliberately passive: the *simulator* decides when a
+/// sample is due (via [`Recorder::due`]) and what goes into the frame, so
+/// recording never perturbs simulated behaviour.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    interval: u64,
+    names: Vec<String>,
+    prev: Vec<u64>,
+    epochs: Vec<Epoch>,
+    epoch_start: u64,
+    spans: Vec<Span>,
+    open_span: Option<(String, u64)>,
+    instants: Vec<EventInstant>,
+}
+
+impl Recorder {
+    /// Creates a recorder sampling every `interval` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero; validated front ends (`RunOptions`
+    /// in `miopt`) reject that before constructing a recorder.
+    pub fn new(interval: u64) -> Recorder {
+        assert!(interval > 0, "telemetry interval must be at least 1 cycle");
+        Recorder {
+            interval,
+            names: Vec::new(),
+            prev: Vec::new(),
+            epochs: Vec::new(),
+            epoch_start: 0,
+            spans: Vec::new(),
+            open_span: None,
+            instants: Vec::new(),
+        }
+    }
+
+    /// The sampling interval in cycles.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Whether a frame should be recorded at `cycle`.
+    pub fn due(&self, cycle: u64) -> bool {
+        cycle > 0 && cycle.is_multiple_of(self.interval)
+    }
+
+    /// Closes the epoch ending at `end_cycle` with the counters in
+    /// `frame`.
+    ///
+    /// The first frame fixes the stat-name registry; every later frame
+    /// must present the same names in the same order. Frames that do not
+    /// advance the clock past the previous sample are ignored (this lets
+    /// callers unconditionally flush a final frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame's registry diverges from the first frame's, or
+    /// if any counter decreased — both indicate simulator bugs, not user
+    /// error.
+    pub fn record_frame(&mut self, end_cycle: u64, frame: Frame) {
+        if end_cycle <= self.epoch_start {
+            return;
+        }
+        if self.epochs.is_empty() && self.names.is_empty() {
+            self.prev = vec![0; frame.names.len()];
+            self.names = frame.names;
+        } else {
+            assert_eq!(
+                self.names, frame.names,
+                "telemetry frame registry changed mid-run"
+            );
+        }
+        let deltas: Vec<u64> = frame
+            .values
+            .iter()
+            .zip(&self.prev)
+            .zip(&self.names)
+            .map(|((&now, &before), name)| {
+                now.checked_sub(before)
+                    .unwrap_or_else(|| panic!("counter {name} decreased ({before} -> {now})"))
+            })
+            .collect();
+        self.epochs.push(Epoch {
+            start_cycle: self.epoch_start,
+            end_cycle,
+            deltas,
+        });
+        self.prev = frame.values;
+        self.epoch_start = end_cycle;
+    }
+
+    /// Ends the open phase (if any) and starts phase `name` at `cycle`.
+    pub fn enter_phase(&mut self, name: &str, cycle: u64) {
+        self.end_phase(cycle);
+        self.open_span = Some((name.to_string(), cycle));
+    }
+
+    /// Ends the open phase (if any) at `cycle` without starting another.
+    ///
+    /// Zero-length phases (entered and left in the same cycle) are
+    /// dropped rather than recorded.
+    pub fn end_phase(&mut self, cycle: u64) {
+        if let Some((name, start_cycle)) = self.open_span.take() {
+            if cycle > start_cycle {
+                self.spans.push(Span {
+                    name,
+                    start_cycle,
+                    end_cycle: cycle,
+                });
+            }
+        }
+    }
+
+    /// Records a discrete event at `cycle`.
+    pub fn instant(&mut self, name: impl Into<String>, cycle: u64) {
+        self.instants.push(EventInstant {
+            name: name.into(),
+            cycle,
+        });
+    }
+
+    /// Finishes recording at `end_cycle` and returns the immutable run.
+    ///
+    /// Any still-open phase is closed at `end_cycle`. The caller is
+    /// expected to have flushed a final frame first (via
+    /// [`Recorder::record_frame`], which ignores zero-width flushes).
+    pub fn into_run(mut self, end_cycle: u64) -> TelemetryRun {
+        self.end_phase(end_cycle);
+        TelemetryRun {
+            interval: self.interval,
+            names: self.names,
+            epochs: self.epochs,
+            spans: self.spans,
+            instants: self.instants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Two(u64, u64);
+
+    impl StatSnapshot for Two {
+        fn stat_pairs(&self) -> Vec<(&'static str, u64)> {
+            vec![("alpha", self.0), ("beta", self.1)]
+        }
+    }
+
+    fn frame(alpha: u64, beta: u64) -> Frame {
+        let mut f = Frame::new();
+        f.record("t", &Two(alpha, beta));
+        f
+    }
+
+    #[test]
+    fn frames_scope_names_and_difference_into_epochs() {
+        let mut rec = Recorder::new(10);
+        rec.record_frame(10, frame(3, 100));
+        rec.record_frame(20, frame(5, 100));
+        let run = rec.into_run(20);
+        assert_eq!(run.names, vec!["t.alpha", "t.beta"]);
+        assert_eq!(run.epochs.len(), 2);
+        assert_eq!(run.epochs[0].deltas, vec![3, 100]);
+        assert_eq!(run.epochs[1].deltas, vec![2, 0]);
+        assert_eq!(run.epochs[0].start_cycle, 0);
+        assert_eq!(run.epochs[1].end_cycle, 20);
+    }
+
+    #[test]
+    fn totals_reconstruct_final_counter_values() {
+        let mut rec = Recorder::new(10);
+        rec.record_frame(10, frame(3, 7));
+        rec.record_frame(20, frame(4, 19));
+        rec.record_frame(27, frame(9, 19)); // partial final epoch
+        let run = rec.into_run(27);
+        assert_eq!(run.totals(), vec![9, 19]);
+        assert_eq!(run.total_of("t.beta"), Some(19));
+        assert_eq!(run.total_of("t.gamma"), None);
+        assert_eq!(run.epochs.last().unwrap().cycles(), 7);
+    }
+
+    #[test]
+    fn zero_width_final_flush_is_ignored() {
+        let mut rec = Recorder::new(10);
+        rec.record_frame(10, frame(1, 1));
+        rec.record_frame(10, frame(1, 1)); // flush lands on a sample cycle
+        let run = rec.into_run(10);
+        assert_eq!(run.epochs.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registry changed")]
+    fn registry_mismatch_panics() {
+        let mut rec = Recorder::new(10);
+        rec.record_frame(10, frame(1, 1));
+        let mut other = Frame::new();
+        other.record_value("t.alpha", 2);
+        rec.record_frame(20, other);
+    }
+
+    #[test]
+    #[should_panic(expected = "decreased")]
+    fn non_monotonic_counter_panics() {
+        let mut rec = Recorder::new(10);
+        rec.record_frame(10, frame(5, 5));
+        rec.record_frame(20, frame(4, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 cycle")]
+    fn zero_interval_is_rejected() {
+        let _ = Recorder::new(0);
+    }
+
+    #[test]
+    fn due_fires_on_multiples_of_the_interval_only() {
+        let rec = Recorder::new(100);
+        assert!(!rec.due(0));
+        assert!(!rec.due(99));
+        assert!(rec.due(100));
+        assert!(rec.due(200));
+        assert!(!rec.due(201));
+    }
+
+    #[test]
+    fn phases_close_on_transition_and_at_run_end() {
+        let mut rec = Recorder::new(10);
+        rec.enter_phase("launch", 0);
+        rec.enter_phase("run", 4);
+        rec.instant("kernel:k0#0", 4);
+        rec.enter_phase("flush", 30);
+        let run = rec.into_run(42);
+        assert_eq!(
+            run.spans,
+            vec![
+                Span {
+                    name: "launch".into(),
+                    start_cycle: 0,
+                    end_cycle: 4
+                },
+                Span {
+                    name: "run".into(),
+                    start_cycle: 4,
+                    end_cycle: 30
+                },
+                Span {
+                    name: "flush".into(),
+                    start_cycle: 30,
+                    end_cycle: 42
+                },
+            ]
+        );
+        assert_eq!(
+            run.instants,
+            vec![EventInstant {
+                name: "kernel:k0#0".into(),
+                cycle: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn zero_length_phases_are_dropped() {
+        let mut rec = Recorder::new(10);
+        rec.enter_phase("launch", 5);
+        rec.enter_phase("run", 5);
+        let run = rec.into_run(9);
+        assert_eq!(run.spans.len(), 1);
+        assert_eq!(run.spans[0].name, "run");
+    }
+}

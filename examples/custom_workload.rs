@@ -73,7 +73,7 @@ fn main() {
     let cfg = SystemConfig::paper_table1();
     println!("custom attention kernel under each static policy:");
     for p in CachePolicy::ALL {
-        let r = run_one(&cfg, &workload, PolicyConfig::of(p));
+        let r = run_one(&cfg, &workload, PolicyConfig::of(p)).expect("run finishes");
         println!(
             "{:9} cycles={:>10} DRAM={:>9} L2 hit rate={:>5.1}% row hit={:>5.1}%",
             p.to_string(),

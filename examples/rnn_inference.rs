@@ -28,8 +28,8 @@ fn main() {
 
     for name in ["FwLSTM", "FwGRU", "FwBwLSTM", "FwBwGRU"] {
         let w = by_name(&scale, name).expect("suite workload");
-        let unc = run_one(&cfg, &w, PolicyConfig::of(CachePolicy::Uncached));
-        let r = run_one(&cfg, &w, PolicyConfig::of(CachePolicy::CacheR));
+        let unc = run_one(&cfg, &w, PolicyConfig::of(CachePolicy::Uncached)).expect("run finishes");
+        let r = run_one(&cfg, &w, PolicyConfig::of(CachePolicy::CacheR)).expect("run finishes");
         println!(
             "{:10} {:>8} {:>12} {:>12} {:>9.3}x {:>9.1}%",
             name,
@@ -46,10 +46,12 @@ fn main() {
     // matters.
     println!("\nlaunch-overhead sensitivity (FwLSTM, CacheR):");
     for overhead in [500u64, 3000, 10000] {
-        let mut cfg = SystemConfig::paper_table1();
-        cfg.launch_overhead = overhead;
+        let cfg = SystemConfig::builder()
+            .launch_overhead(overhead)
+            .build()
+            .expect("sensitivity config is valid");
         let w = by_name(&scale, "FwLSTM").expect("suite workload");
-        let r = run_one(&cfg, &w, PolicyConfig::of(CachePolicy::CacheR));
+        let r = run_one(&cfg, &w, PolicyConfig::of(CachePolicy::CacheR)).expect("run finishes");
         println!(
             "  launch overhead {:>6} cycles -> total {:>12} cycles",
             overhead, r.metrics.cycles

@@ -15,7 +15,7 @@
 //! cargo run --release -p miopt-harness --example rnn_sweep
 //! ```
 
-use miopt::runner::{RunResult, SweepSpec};
+use miopt::runner::{RunOptions, RunResult, SweepSpec};
 use miopt::{CachePolicy, PolicyConfig, SystemConfig};
 use miopt_harness::sweep::{run_sweep, SweepOptions};
 use miopt_workloads::rnn::{rnn_with_config, RnnConfig};
@@ -37,6 +37,7 @@ fn sweep_two_policies(
             PolicyConfig::of(CachePolicy::CacheR),
         ],
         n_static: 2,
+        run_opts: RunOptions::default(),
     });
     let run = run_sweep(&spec, name, &SweepOptions::default());
     let results = run.results(&spec).expect("sweep jobs succeed");

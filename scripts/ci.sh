@@ -29,6 +29,22 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== cargo doc --no-deps (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "== telemetry smoke run =="
+# One tiny sweep with telemetry on: the CLI must emit a non-empty JSONL
+# series and Chrome trace per job.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release -q -p miopt-harness -- \
+    --scale quick --only FwSoft --fig6 --no-cache --quiet \
+    --telemetry=20000 --out "$smoke_dir" --sweep-name smoke >/dev/null
+test -s "$smoke_dir/smoke-telemetry/FwSoft-Uncached.jsonl"
+test -s "$smoke_dir/smoke-telemetry/FwSoft-Uncached.trace.json"
+test -s "$smoke_dir/smoke-telemetry/FwSoft-CacheRW.jsonl"
+echo "telemetry smoke run ok"
+
 if [[ $full -eq 1 ]]; then
     echo "== cargo clippy -p miopt-bench =="
     cargo clippy -p miopt-bench --all-targets -- -D warnings

@@ -2,7 +2,7 @@
 //! small test system, checking the invariants that hold regardless of
 //! calibration.
 
-use miopt::runner::{run_one, run_static_sweep};
+use miopt::runner::{run_one, run_one_with, run_static_sweep, RunOptions, SimError};
 use miopt::{CachePolicy, PolicyConfig, SystemConfig};
 use miopt_workloads::{by_name, suite, SuiteConfig};
 
@@ -21,7 +21,7 @@ fn every_workload_completes_under_every_static_policy() {
         .filter(|w| names.contains(&w.name.as_str()))
     {
         for p in CachePolicy::ALL {
-            let r = run_one(&cfg(), w, PolicyConfig::of(p));
+            let r = run_one(&cfg(), w, PolicyConfig::of(p)).expect("run finishes");
             assert!(r.metrics.cycles > 0, "{}/{p}", w.name);
             assert!(
                 r.metrics.gpu.retired_wavefronts > 0,
@@ -33,10 +33,29 @@ fn every_workload_completes_under_every_static_policy() {
 }
 
 #[test]
+fn exhausted_cycle_budgets_are_errors_not_panics() {
+    // The public entry points must never panic on a timeout: a 10-cycle
+    // budget cannot finish any workload, and the failure surfaces as a
+    // typed `SimError` carrying the run's identity.
+    let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+    let opts = RunOptions {
+        max_cycles: 10,
+        ..RunOptions::default()
+    };
+    let err = run_one_with(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheR), &opts)
+        .expect_err("a 10-cycle budget must be exhausted");
+    match &err {
+        SimError::Timeout { max_cycles, .. } => assert_eq!(*max_cycles, 10),
+        other => panic!("expected a timeout, got {other}"),
+    }
+    assert!(err.to_string().contains("FwSoft/CacheR"), "{err}");
+}
+
+#[test]
 fn uncached_never_counts_cache_stalls() {
     for name in ["FwSoft", "BwBN", "FwGRU"] {
         let w = by_name(&SuiteConfig::quick(), name).unwrap();
-        let r = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::Uncached));
+        let r = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::Uncached)).expect("run finishes");
         assert_eq!(r.metrics.cache_stalls(), 0, "{name}");
     }
 }
@@ -50,6 +69,7 @@ fn gpu_request_counts_are_policy_independent() {
         .iter()
         .map(|&p| {
             run_one(&cfg(), &w, PolicyConfig::of(p))
+                .expect("run finishes")
                 .metrics
                 .gpu
                 .memory_requests()
@@ -64,7 +84,7 @@ fn dram_accesses_never_exceed_gpu_requests_plus_writebacks() {
     for name in ["FwSoft", "BwBN", "FwFc"] {
         let w = by_name(&SuiteConfig::quick(), name).unwrap();
         for p in CachePolicy::ALL {
-            let r = run_one(&cfg(), &w, PolicyConfig::of(p));
+            let r = run_one(&cfg(), &w, PolicyConfig::of(p)).expect("run finishes");
             let m = &r.metrics;
             let upper = m.gpu.memory_requests()
                 + m.l2.writebacks.get()
@@ -83,8 +103,9 @@ fn dram_accesses_never_exceed_gpu_requests_plus_writebacks() {
 fn reuse_workloads_cut_dram_traffic_with_caching() {
     for name in ["FwSoft", "BwBN", "FwFc"] {
         let w = by_name(&SuiteConfig::quick(), name).unwrap();
-        let unc = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::Uncached));
-        let r = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheR));
+        let unc =
+            run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::Uncached)).expect("run finishes");
+        let r = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheR)).expect("run finishes");
         assert!(
             (r.metrics.dram_accesses() as f64) < 0.9 * unc.metrics.dram_accesses() as f64,
             "{name}: CacheR {} vs Uncached {}",
@@ -98,29 +119,19 @@ fn reuse_workloads_cut_dram_traffic_with_caching() {
 fn optimized_configs_complete_and_bound_stalls() {
     use miopt::OptimizationSet;
     let w = by_name(&SuiteConfig::quick(), "BwBN").unwrap();
-    let plain = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheRW));
-    let ab = run_one(
-        &cfg(),
-        &w,
-        PolicyConfig {
-            policy: CachePolicy::CacheRW,
-            opts: OptimizationSet::ab(),
-        },
-    );
+    let plain = run_one(&cfg(), &w, PolicyConfig::of(CachePolicy::CacheRW)).expect("run finishes");
+    let ab_policy =
+        PolicyConfig::new(CachePolicy::CacheRW, OptimizationSet::ab()).expect("CacheRW admits AB");
+    let ab = run_one(&cfg(), &w, ab_policy).expect("run finishes");
     // Allocation bypass exists to remove set-busy stalls.
     assert!(
         ab.metrics.l1.stall_set_busy.get() + ab.metrics.l2.stall_set_busy.get()
             <= plain.metrics.l1.stall_set_busy.get() + plain.metrics.l2.stall_set_busy.get(),
         "AB must not increase allocation blocking"
     );
-    let pcby = run_one(
-        &cfg(),
-        &w,
-        PolicyConfig {
-            policy: CachePolicy::CacheRW,
-            opts: OptimizationSet::ab_cr_pcby(),
-        },
-    );
+    let pcby_policy = PolicyConfig::new(CachePolicy::CacheRW, OptimizationSet::ab_cr_pcby())
+        .expect("CacheRW admits AB+CR+PCby");
+    let pcby = run_one(&cfg(), &w, pcby_policy).expect("run finishes");
     assert!(pcby.metrics.cycles > 0);
 }
 
@@ -132,22 +143,12 @@ fn rinsing_never_loses_dirty_data() {
     // data, so DRAM writes are at least those of plain CacheRW-AB and the
     // rinse writebacks are accounted.
     let w = by_name(&SuiteConfig::quick(), "BwPool").unwrap();
-    let ab = run_one(
-        &cfg(),
-        &w,
-        PolicyConfig {
-            policy: CachePolicy::CacheRW,
-            opts: OptimizationSet::ab(),
-        },
-    );
-    let cr = run_one(
-        &cfg(),
-        &w,
-        PolicyConfig {
-            policy: CachePolicy::CacheRW,
-            opts: OptimizationSet::ab_cr(),
-        },
-    );
+    let ab_policy =
+        PolicyConfig::new(CachePolicy::CacheRW, OptimizationSet::ab()).expect("CacheRW admits AB");
+    let ab = run_one(&cfg(), &w, ab_policy).expect("run finishes");
+    let cr_policy = PolicyConfig::new(CachePolicy::CacheRW, OptimizationSet::ab_cr())
+        .expect("CacheRW admits AB+CR");
+    let cr = run_one(&cfg(), &w, cr_policy).expect("run finishes");
     assert!(
         cr.metrics.dram.writes.get() >= ab.metrics.dram.writes.get(),
         "eager writeback cannot reduce total writes: cr {} vs ab {}",
@@ -160,8 +161,8 @@ fn rinsing_never_loses_dirty_data() {
 #[test]
 fn static_sweep_is_reproducible() {
     let w = by_name(&SuiteConfig::quick(), "FwGRU").unwrap();
-    let a = run_static_sweep(&cfg(), std::slice::from_ref(&w));
-    let b = run_static_sweep(&cfg(), std::slice::from_ref(&w));
+    let a = run_static_sweep(&cfg(), std::slice::from_ref(&w)).expect("sweep finishes");
+    let b = run_static_sweep(&cfg(), std::slice::from_ref(&w)).expect("sweep finishes");
     for (x, y) in a[0].iter().zip(b[0].iter()) {
         assert_eq!(x.metrics.cycles, y.metrics.cycles);
         assert_eq!(x.metrics.dram_accesses(), y.metrics.dram_accesses());
