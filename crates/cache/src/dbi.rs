@@ -1,4 +1,5 @@
 use crate::RowMap;
+use miopt_engine::sentinel::{InvariantViolation, Sentinel};
 use miopt_engine::LineAddr;
 use std::collections::{HashMap, VecDeque};
 
@@ -114,6 +115,49 @@ impl DirtyBlockIndex {
     pub fn clear(&mut self) {
         self.rows.clear();
         self.order.clear();
+    }
+
+    /// Every tracked dirty block, in unspecified order; callers needing
+    /// determinism must sort.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.rows.values().flatten().copied()
+    }
+}
+
+impl Sentinel for DirtyBlockIndex {
+    fn check_invariants(&self, component: &str, out: &mut Vec<InvariantViolation>) {
+        if self.rows.len() > self.capacity {
+            out.push(InvariantViolation {
+                component: component.to_string(),
+                invariant: "dbi_row_capacity",
+                detail: format!(
+                    "{} tracked rows > capacity {}",
+                    self.rows.len(),
+                    self.capacity
+                ),
+            });
+        }
+        // The FIFO eviction order must index exactly the tracked rows.
+        if self.order.len() != self.rows.len()
+            || self.order.iter().any(|k| !self.rows.contains_key(k))
+        {
+            out.push(InvariantViolation {
+                component: component.to_string(),
+                invariant: "dbi_order_index",
+                detail: format!(
+                    "eviction order tracks {} rows but the index holds {}",
+                    self.order.len(),
+                    self.rows.len()
+                ),
+            });
+        }
+        if self.rows.values().any(Vec::is_empty) {
+            out.push(InvariantViolation {
+                component: component.to_string(),
+                invariant: "dbi_empty_row",
+                detail: "a tracked row has no dirty blocks".to_string(),
+            });
+        }
     }
 }
 

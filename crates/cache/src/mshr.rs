@@ -116,6 +116,37 @@ impl MshrTable {
     pub(crate) fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Configured entry capacity (sentinel checks).
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Configured merge-list capacity (sentinel checks).
+    pub(crate) fn merge_cap(&self) -> usize {
+        self.merge_cap
+    }
+
+    /// Iterates over outstanding entries in unspecified order; callers
+    /// needing determinism must sort by line.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&LineAddr, &MshrEntry)> {
+        self.entries.iter()
+    }
+
+    /// Fault-injection hook: inserts a phantom entry whose primary id will
+    /// never be answered by a fill, modeling a leaked MSHR. Sentinel
+    /// validation only.
+    pub(crate) fn inject_phantom(&mut self, req: MemReq, allocating: bool) {
+        self.entries.insert(
+            req.line,
+            MshrEntry {
+                primary: req.id,
+                waiters: vec![req],
+                allocates: allocating,
+                reserved: None,
+            },
+        );
+    }
 }
 
 #[cfg(test)]

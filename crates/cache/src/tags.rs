@@ -267,6 +267,16 @@ impl TagArray {
             .filter(|l| l.state == LineState::Busy)
             .count()
     }
+
+    /// Iterates over `(set, way, line)` for every live entry, in set/way
+    /// order (sentinel cross-checks against the MSHR table and DBI).
+    pub(crate) fn iter_live(&self) -> impl Iterator<Item = (usize, usize, &Line)> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| self.is_live(l))
+            .map(|(i, l)| (i / self.ways, i % self.ways, l))
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@ use crate::mshr::{MshrReject, MshrTable};
 use crate::predictor::PcPredictor;
 use crate::stats::CacheStats;
 use crate::tags::{LineState, TagArray, Victim};
+use miopt_engine::sentinel::{InvariantViolation, Sentinel};
 use miopt_engine::{Cycle, LineAddr, MemReq, MemResp, ReqId, TimedQueue};
 
 /// What the cache did with an accepted request.
@@ -790,6 +791,174 @@ impl CacheUnit {
     pub fn outstanding_misses(&self) -> usize {
         self.mshr.len()
     }
+
+    /// One human-readable description per outstanding MSHR entry, sorted by
+    /// line address (stall diagnostics).
+    #[must_use]
+    pub fn mshr_snapshot(&self) -> Vec<String> {
+        let mut entries: Vec<_> = self.mshr.iter().collect();
+        entries.sort_by_key(|(line, _)| line.0);
+        entries
+            .into_iter()
+            .map(|(line, e)| {
+                format!(
+                    "{} primary {:?} waiters {} allocates {}",
+                    line,
+                    e.primary,
+                    e.waiters.len(),
+                    e.allocates
+                )
+            })
+            .collect()
+    }
+
+    /// Fault-injection hook: leaks a phantom MSHR entry for `line` whose
+    /// primary id no fill will ever match.
+    ///
+    /// With `allocating = true` the entry claims to allocate but reserves
+    /// no way, which the sentinel's `mshr_reservation` invariant flags
+    /// immediately. With `allocating = false` the entry is structurally
+    /// plausible but permanently outstanding, so it wedges the end-of-kernel
+    /// drain and exercises the forward-progress watchdog instead.
+    ///
+    /// Exists solely to validate the sentinel; never called by the
+    /// simulator itself.
+    pub fn inject_mshr_leak(&mut self, line: LineAddr, allocating: bool) {
+        let req = MemReq {
+            id: ReqId(u64::MAX),
+            line,
+            is_store: false,
+            kind: miopt_engine::AccessKind::Cached,
+            pc: miopt_engine::Pc(0),
+            origin: miopt_engine::Origin::Internal,
+            issue_cycle: Cycle::ZERO,
+        };
+        self.mshr.inject_phantom(req, allocating);
+    }
+}
+
+impl Sentinel for CacheUnit {
+    fn check_invariants(&self, component: &str, out: &mut Vec<InvariantViolation>) {
+        // MSHR occupancy and per-entry structure.
+        if self.mshr.len() > self.mshr.capacity() {
+            out.push(InvariantViolation {
+                component: component.to_string(),
+                invariant: "mshr_occupancy",
+                detail: format!(
+                    "{} outstanding entries > capacity {}",
+                    self.mshr.len(),
+                    self.mshr.capacity()
+                ),
+            });
+        }
+        let mut entries: Vec<_> = self.mshr.iter().collect();
+        entries.sort_by_key(|(line, _)| line.0);
+        for (line, e) in entries {
+            if e.waiters.len() > self.mshr.merge_cap() {
+                out.push(InvariantViolation {
+                    component: component.to_string(),
+                    invariant: "mshr_merge_occupancy",
+                    detail: format!(
+                        "line {line}: {} waiters > merge cap {}",
+                        e.waiters.len(),
+                        self.mshr.merge_cap()
+                    ),
+                });
+            }
+            if e.waiters.first().map(|w| w.id) != Some(e.primary)
+                || e.waiters.iter().any(|w| w.line != *line)
+            {
+                out.push(InvariantViolation {
+                    component: component.to_string(),
+                    invariant: "mshr_primary",
+                    detail: format!(
+                        "line {line}: waiter list does not start with primary {:?} \
+                         or mixes lines",
+                        e.primary
+                    ),
+                });
+            }
+            if e.allocates {
+                match e.reserved {
+                    None => out.push(InvariantViolation {
+                        component: component.to_string(),
+                        invariant: "mshr_reservation",
+                        detail: format!("line {line}: allocating entry reserves no way"),
+                    }),
+                    Some((set, way)) => {
+                        let l = self.tags.line(set, way);
+                        if l.state != LineState::Busy || l.line != *line {
+                            out.push(InvariantViolation {
+                                component: component.to_string(),
+                                invariant: "mshr_reservation",
+                                detail: format!(
+                                    "line {line}: reserved way ({set},{way}) holds \
+                                     {:?} {}",
+                                    l.state, l.line
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Every busy tag line must be owned by exactly the allocating MSHR
+        // entry that reserved it — a busy line with no entry is a lost fill.
+        for (set, way, l) in self.tags.iter_live() {
+            if l.state != LineState::Busy {
+                continue;
+            }
+            let owned = self
+                .mshr
+                .get(l.line)
+                .is_some_and(|e| e.allocates && e.reserved == Some((set, way)));
+            if !owned {
+                out.push(InvariantViolation {
+                    component: component.to_string(),
+                    invariant: "busy_line_tracking",
+                    detail: format!(
+                        "busy line {} at ({set},{way}) has no owning MSHR entry",
+                        l.line
+                    ),
+                });
+            }
+        }
+
+        // DBI: internal structure, plus every tracked block must really be
+        // a resident dirty line (tracking is conservative by design — dirty
+        // lines may be untracked after capacity overflow, but never the
+        // reverse).
+        if let Some(dbi) = self.dbi.as_ref() {
+            dbi.check_invariants(&format!("{component}.dbi"), out);
+            let mut blocks: Vec<_> = dbi.iter_blocks().collect();
+            blocks.sort();
+            for b in blocks {
+                let resident_dirty = self.tags.probe(b).is_some_and(|(s, w)| {
+                    let l = self.tags.line(s, w);
+                    l.state == LineState::Valid && l.dirty
+                });
+                if !resident_dirty {
+                    out.push(InvariantViolation {
+                        component: format!("{component}.dbi"),
+                        invariant: "dbi_dirty_tracking",
+                        detail: format!("tracked block {b} is not a resident dirty line"),
+                    });
+                }
+            }
+        }
+
+        if self.replay.len() > REPLAY_CAPACITY {
+            out.push(InvariantViolation {
+                component: component.to_string(),
+                invariant: "replay_occupancy",
+                detail: format!(
+                    "{} parked replays > capacity {REPLAY_CAPACITY}",
+                    self.replay.len()
+                ),
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1261,6 +1430,73 @@ mod tests {
         c.service(Cycle(0), &mut input, &mut down, &mut up);
         assert_eq!(input.len(), 1, "request stays queued");
         assert!(!c.busy());
+    }
+
+    #[test]
+    fn sentinel_is_quiet_on_a_healthy_cache() {
+        let mut p = LevelPolicy::cache_loads_and_stores();
+        p.rinse = true;
+        p.row_map = Some(RowMap::new(0, 2));
+        let mut c = cache(p);
+        let (mut down, mut up) = queues();
+        let mut out = Vec::new();
+        for i in 0..12u64 {
+            let _ = c.access(Cycle(i), load(i, i * 3, 7), &mut down, &mut up);
+            let _ = c.access(Cycle(i), store(100 + i, i * 5, 9), &mut down, &mut up);
+            while let Some(fwd) = down.pop_ready(Cycle(i)) {
+                if fwd.wants_response() {
+                    let _ = c.fill(Cycle(i), MemResp::for_req(&fwd), &mut up);
+                }
+            }
+            while up.pop_ready(Cycle(i)).is_some() {}
+            c.check_invariants("l2[0]", &mut out);
+            assert!(out.is_empty(), "violations at cycle {i}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn leaked_allocating_mshr_entry_is_caught_and_named() {
+        let mut c = cache(LevelPolicy::cache_loads_only());
+        c.inject_mshr_leak(LineAddr(8), true);
+        let mut out = Vec::new();
+        c.check_invariants("l1[3]", &mut out);
+        assert_eq!(out.len(), 1, "violations: {out:?}");
+        assert_eq!(out[0].component, "l1[3]");
+        assert_eq!(out[0].invariant, "mshr_reservation");
+        assert!(out[0].detail.contains("reserves no way"));
+    }
+
+    #[test]
+    fn leaked_bypass_mshr_entry_wedges_but_passes_structural_checks() {
+        let mut c = cache(LevelPolicy::cache_loads_only());
+        c.inject_mshr_leak(LineAddr(8), false);
+        let mut out = Vec::new();
+        c.check_invariants("l1[0]", &mut out);
+        assert!(out.is_empty(), "structurally plausible leak: {out:?}");
+        assert!(c.busy(), "the leak must wedge the drain");
+        assert_eq!(c.mshr_snapshot().len(), 1);
+        assert!(c.mshr_snapshot()[0].contains("line 0x8"));
+    }
+
+    #[test]
+    fn dbi_cross_check_catches_phantom_dirty_tracking() {
+        let mut p = LevelPolicy::cache_loads_and_stores();
+        p.rinse = true;
+        p.row_map = Some(RowMap::new(0, 2));
+        let mut c = cache(p);
+        let (mut down, mut up) = queues();
+        c.access(Cycle(0), store(1, 8, 9), &mut down, &mut up)
+            .unwrap();
+        let mut out = Vec::new();
+        c.check_invariants("l2[0]", &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        // Track a block that is not resident dirty: the forward cross-check
+        // must flag it.
+        c.dbi.as_mut().unwrap().insert(LineAddr(100));
+        c.check_invariants("l2[0]", &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].invariant, "dbi_dirty_tracking");
+        assert_eq!(out[0].component, "l2[0].dbi");
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //!   [`ApuSystem::enable_telemetry`]) samples every component's counters
 //!   on a fixed cycle interval and records phase spans and events into a
 //!   deterministic `miopt_telemetry::TelemetryRun` time series.
+//! * Sentinel — [`runner::RunOptions::check_invariants`] (or
+//!   [`ApuSystem::enable_sentinel`]) sweeps every component's
+//!   conservation invariants on a cadence and watches for forward
+//!   progress; a stuck or inconsistent run halts with a structured
+//!   [`StallDiagnostic`] instead of burning its whole cycle budget.
+//!   Debug builds always run checked.
 //!
 //! # Quickstart
 //!
@@ -57,4 +63,4 @@ mod system;
 pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
 pub use metrics::Metrics;
 pub use policy::{optimization_ladder, CachePolicy, OptimizationSet, PolicyConfig};
-pub use system::{ApuSystem, SimTimeoutError};
+pub use system::{ApuSystem, SimTimeoutError, StallDiagnostic, StallReason};

@@ -5,6 +5,7 @@
 //! tables and Criterion benches.
 
 use crate::config::ConfigError;
+use crate::system::{StallDiagnostic, StallReason};
 use crate::{optimization_ladder, ApuSystem, CachePolicy, Metrics, PolicyConfig, SystemConfig};
 use miopt_telemetry::TelemetryRun;
 use miopt_workloads::Workload;
@@ -21,8 +22,10 @@ pub const DEFAULT_MAX_CYCLES: u64 = 20_000_000_000;
 /// instead of unwinding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
-    /// The run exceeded its cycle budget — almost always a configuration
-    /// error (e.g. a deadlock-prone queue sizing), not a slow workload.
+    /// The run exceeded its cycle budget, or — with invariant checking
+    /// enabled — the watchdog declared it wedged. Almost always a
+    /// configuration error (e.g. a deadlock-prone queue sizing), not a
+    /// slow workload.
     Timeout {
         /// Workload name of the failed run.
         workload: String,
@@ -30,6 +33,19 @@ pub enum SimError {
         policy: String,
         /// The exhausted budget.
         max_cycles: u64,
+        /// What the halted system looked like.
+        diagnostic: Box<StallDiagnostic>,
+    },
+    /// An invariant check failed mid-run: the simulator itself (not the
+    /// configuration) is in an inconsistent state. Only produced with
+    /// invariant checking enabled.
+    Halted {
+        /// Workload name of the failed run.
+        workload: String,
+        /// Policy label of the failed run.
+        policy: String,
+        /// The violations found and the state around them.
+        diagnostic: Box<StallDiagnostic>,
     },
     /// The system, policy or run configuration was rejected up front.
     Config(ConfigError),
@@ -42,10 +58,33 @@ impl fmt::Display for SimError {
                 workload,
                 policy,
                 max_cycles,
-            } => write!(
-                f,
-                "{workload}/{policy}: simulation exceeded {max_cycles} cycles"
-            ),
+                diagnostic,
+            } => match diagnostic.reason {
+                StallReason::NoForwardProgress => write!(
+                    f,
+                    "{workload}/{policy}: no forward progress since cycle {}",
+                    diagnostic.cycle
+                ),
+                _ => write!(
+                    f,
+                    "{workload}/{policy}: simulation exceeded {max_cycles} cycles"
+                ),
+            },
+            SimError::Halted {
+                workload,
+                policy,
+                diagnostic,
+            } => {
+                write!(
+                    f,
+                    "{workload}/{policy}: invariant violation at cycle {}",
+                    diagnostic.cycle
+                )?;
+                if let Some(v) = diagnostic.violations.first() {
+                    write!(f, " ({v})")?;
+                }
+                Ok(())
+            }
             SimError::Config(e) => write!(f, "{e}"),
         }
     }
@@ -54,7 +93,7 @@ impl fmt::Display for SimError {
 impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            SimError::Timeout { .. } => None,
+            SimError::Timeout { .. } | SimError::Halted { .. } => None,
             SimError::Config(e) => Some(e),
         }
     }
@@ -66,7 +105,8 @@ impl From<ConfigError> for SimError {
     }
 }
 
-/// Per-run execution options: the cycle budget and optional telemetry.
+/// Per-run execution options: the cycle budget, optional telemetry, and
+/// optional invariant checking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOptions {
     /// Cycle budget before the run fails with [`SimError::Timeout`].
@@ -74,6 +114,11 @@ pub struct RunOptions {
     /// `Some(interval)` samples telemetry every `interval` cycles;
     /// `None` (the default) runs with zero observation overhead.
     pub telemetry_interval: Option<u64>,
+    /// Runs with the sentinel enabled: periodic invariant sweeps plus the
+    /// forward-progress watchdog ([`ApuSystem::enable_sentinel`]).
+    /// `false` (the default) costs nothing in release builds; debug
+    /// builds check regardless.
+    pub check_invariants: bool,
 }
 
 impl Default for RunOptions {
@@ -81,6 +126,7 @@ impl Default for RunOptions {
         RunOptions {
             max_cycles: DEFAULT_MAX_CYCLES,
             telemetry_interval: None,
+            check_invariants: false,
         }
     }
 }
@@ -156,13 +202,28 @@ pub fn run_one_with(
     if let Some(interval) = opts.telemetry_interval {
         sys.enable_telemetry(interval);
     }
-    let metrics = sys
-        .run_to_completion(opts.max_cycles)
-        .map_err(|e| SimError::Timeout {
-            workload: workload.name.clone(),
-            policy: policy.label(),
-            max_cycles: e.max_cycles,
-        })?;
+    if opts.check_invariants {
+        sys.enable_sentinel(
+            ApuSystem::DEFAULT_CHECK_INTERVAL,
+            ApuSystem::DEFAULT_WATCHDOG,
+        );
+    }
+    let metrics = sys.run_to_completion(opts.max_cycles).map_err(|e| {
+        if e.diagnostic.reason == StallReason::InvariantViolation {
+            SimError::Halted {
+                workload: workload.name.clone(),
+                policy: policy.label(),
+                diagnostic: e.diagnostic,
+            }
+        } else {
+            SimError::Timeout {
+                workload: workload.name.clone(),
+                policy: policy.label(),
+                max_cycles: e.max_cycles,
+                diagnostic: e.diagnostic,
+            }
+        }
+    })?;
     Ok(RunResult {
         workload: workload.name.clone(),
         policy,
@@ -190,6 +251,18 @@ pub struct Job {
     pub policy: PolicyConfig,
 }
 
+/// A deliberate executor-level fault to inject into one job of a sweep,
+/// for testing executor robustness (the `miopt-harness` pool's panic and
+/// timeout paths). Production sweeps carry none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobFault {
+    /// [`SweepSpec::run_job`] panics when asked to run this job id.
+    Panic(usize),
+    /// [`SweepSpec::run_job`] never returns for this job id (sleeps
+    /// forever); only a job timeout can reap it.
+    Hang(usize),
+}
+
 /// A declarative description of a (workload × policy) experiment grid.
 ///
 /// The job list is workload-major and policy-minor, matching the serial
@@ -210,6 +283,9 @@ pub struct SweepSpec {
     pub n_static: usize,
     /// Execution options applied to every job of the grid.
     pub run_opts: RunOptions,
+    /// Deliberate executor-level faults ([`JobFault`]) for robustness
+    /// tests; empty (the default) for every real sweep.
+    pub faults: Vec<JobFault>,
 }
 
 impl SweepSpec {
@@ -225,6 +301,7 @@ impl SweepSpec {
                 .collect(),
             n_static: CachePolicy::ALL.len(),
             run_opts: RunOptions::default(),
+            faults: Vec::new(),
         }
     }
 
@@ -242,6 +319,15 @@ impl SweepSpec {
     #[must_use]
     pub fn with_telemetry(mut self, interval: u64) -> SweepSpec {
         self.run_opts.telemetry_interval = Some(interval);
+        self
+    }
+
+    /// Returns the spec with sentinel invariant checking and the
+    /// forward-progress watchdog enabled for every job (the CLI's
+    /// `--check-invariants`).
+    #[must_use]
+    pub fn with_invariant_checks(mut self) -> SweepSpec {
+        self.run_opts.check_invariants = true;
         self
     }
 
@@ -273,7 +359,23 @@ impl SweepSpec {
     ///
     /// Returns [`SimError`] if the configuration is inconsistent or the
     /// job exceeds the spec's cycle budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics (or hangs) when the spec carries a matching injected
+    /// [`JobFault`] — robustness tests only.
     pub fn run_job(&self, job: &Job) -> Result<RunResult, SimError> {
+        for fault in &self.faults {
+            match *fault {
+                JobFault::Panic(id) if id == job.id => {
+                    panic!("injected fault: job {id} panics")
+                }
+                JobFault::Hang(id) if id == job.id => loop {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                },
+                _ => {}
+            }
+        }
         run_one_with(
             &self.cfg,
             &self.workloads[job.workload],
@@ -603,14 +705,22 @@ mod tests {
         };
         let err = run_one_with(&cfg, &w, PolicyConfig::of(CachePolicy::CacheR), &opts)
             .expect_err("10 cycles cannot finish a run");
-        assert_eq!(
-            err,
+        match &err {
             SimError::Timeout {
-                workload: "FwSoft".to_string(),
-                policy: "CacheR".to_string(),
-                max_cycles: 10,
+                workload,
+                policy,
+                max_cycles,
+                diagnostic,
+            } => {
+                assert_eq!(workload, "FwSoft");
+                assert_eq!(policy, "CacheR");
+                assert_eq!(*max_cycles, 10);
+                assert_eq!(diagnostic.reason, StallReason::CycleBudget);
+                assert_eq!(diagnostic.cycle, 10);
+                assert_eq!(diagnostic.phase, "launch");
             }
-        );
+            other => panic!("expected timeout, got {other:?}"),
+        }
         assert!(err.to_string().contains("FwSoft/CacheR"));
     }
 

@@ -1,7 +1,8 @@
 use crate::{Metrics, PolicyConfig, SystemConfig};
 use miopt_cache::{CacheStats, CacheUnit};
 use miopt_dram::Dram;
-use miopt_engine::{Cycle, MemReq, MemResp, TimedQueue};
+use miopt_engine::sentinel::{InvariantViolation, Sentinel};
+use miopt_engine::{Cycle, LineAddr, MemReq, MemResp, TimedQueue};
 use miopt_gpu::{Gpu, KernelDesc};
 use miopt_noc::Crossbar;
 use miopt_telemetry::{Frame, Recorder, TelemetryRun};
@@ -11,22 +12,158 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-/// Returned by [`ApuSystem::run_to_completion`] when the cycle budget is
-/// exhausted — almost always a configuration error (e.g. a queue sized
-/// below the MSHR merge cap).
+/// Why a run halted without completing (see [`StallDiagnostic`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// The configured cycle budget ran out while the system was still
+    /// making (possibly glacial) progress.
+    CycleBudget,
+    /// The sentinel watchdog saw no retirement, queue movement, or DRAM
+    /// activity for its full window: the system is wedged.
+    NoForwardProgress,
+    /// A component's conservation invariant was violated (see
+    /// [`StallDiagnostic::violations`]).
+    InvariantViolation,
+}
+
+impl fmt::Display for StallReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StallReason::CycleBudget => "cycle budget exhausted",
+            StallReason::NoForwardProgress => "no forward progress",
+            StallReason::InvariantViolation => "invariant violation",
+        })
+    }
+}
+
+/// A structured snapshot of a stuck simulation, captured at the moment a
+/// run fails: where every in-flight request is, which invariants (if any)
+/// are broken, and what the wavefronts are waiting on.
+///
+/// Attached to [`SimTimeoutError`]; the harness serializes it into the
+/// sweep report so a wedged overnight run is diagnosable from the JSON
+/// alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallDiagnostic {
+    /// The cycle at which the run halted.
+    pub cycle: u64,
+    /// The phase label at halt time (`launch`, `run`, `drain_kernel`, …).
+    pub phase: &'static str,
+    /// Why the run halted.
+    pub reason: StallReason,
+    /// The oldest request still sitting in a hierarchy queue (by issue
+    /// cycle), with the queue that holds it. `None` when all queues are
+    /// empty (the wedge is inside a component, e.g. a leaked MSHR).
+    pub oldest_request: Option<String>,
+    /// Occupancy of every nonempty queue, in registry order.
+    pub queues: Vec<(String, usize)>,
+    /// Outstanding MSHR entries per cache that has any, in registry
+    /// order (each entry formatted by `CacheUnit::mshr_snapshot`).
+    pub mshrs: Vec<(String, Vec<String>)>,
+    /// Per-CU wavefront state: `cu[i]: N resident, M loads outstanding,
+    /// K accesses unissued` for every CU with resident wavefronts.
+    pub wavefronts: Vec<String>,
+    /// Every invariant violation found at halt time (empty unless
+    /// [`StallReason::InvariantViolation`], or the stall uncovered one).
+    pub violations: Vec<InvariantViolation>,
+}
+
+impl fmt::Display for StallDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "stall at cycle {} (phase {}): {}",
+            self.cycle, self.phase, self.reason
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  violation: {v}")?;
+        }
+        if let Some(req) = &self.oldest_request {
+            writeln!(f, "  oldest request: {req}")?;
+        }
+        for (name, occ) in &self.queues {
+            writeln!(f, "  queue {name}: {occ} occupied")?;
+        }
+        for (name, entries) in &self.mshrs {
+            writeln!(f, "  mshr {name}: {}", entries.join("; "))?;
+        }
+        for w in &self.wavefronts {
+            writeln!(f, "  {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Returned by [`ApuSystem::run_to_completion`] when the run halts before
+/// completion: the cycle budget ran out, the sentinel watchdog detected a
+/// wedge, or an invariant check failed. Carries a [`StallDiagnostic`]
+/// describing the halted system.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimTimeoutError {
-    /// The budget that was exceeded.
+    /// The cycle budget of the halted run.
     pub max_cycles: u64,
+    /// What the halted system looked like.
+    pub diagnostic: Box<StallDiagnostic>,
 }
 
 impl fmt::Display for SimTimeoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "simulation exceeded {} cycles", self.max_cycles)
+        match self.diagnostic.reason {
+            StallReason::CycleBudget => {
+                write!(f, "simulation exceeded {} cycles", self.max_cycles)
+            }
+            reason => write!(
+                f,
+                "simulation halted at cycle {}: {reason}",
+                self.diagnostic.cycle
+            ),
+        }
     }
 }
 
 impl Error for SimTimeoutError {}
+
+/// Sentinel bookkeeping: invariant-check cadence and the forward-progress
+/// watchdog. Lives behind an `Option<Box<_>>` so release runs without
+/// `--check-invariants` pay nothing (the same idiom as telemetry).
+#[derive(Debug)]
+struct SentinelState {
+    /// Cycles between invariant sweeps (and watchdog fingerprints).
+    check_interval: u64,
+    /// Declare a wedge after this many cycles without progress
+    /// (0 disables the watchdog).
+    watchdog_cycles: u64,
+    /// Next cycle at which to run a check.
+    next_check: u64,
+    /// Progress fingerprint at the last check.
+    last_fingerprint: u64,
+    /// Cycle since which the fingerprint has not changed.
+    stable_since: u64,
+}
+
+impl SentinelState {
+    /// Default cadence: sweep invariants every 4096 cycles; call the run
+    /// wedged after one million cycles with no counter movement (far
+    /// beyond any legitimate quiet window — the longest is a full DRAM
+    /// queue draining, tens of cycles per entry).
+    const DEFAULT_CHECK_INTERVAL: u64 = 4096;
+    /// Default watchdog window, in cycles.
+    const DEFAULT_WATCHDOG: u64 = 1_000_000;
+
+    fn new(check_interval: u64, watchdog_cycles: u64) -> SentinelState {
+        assert!(
+            check_interval > 0,
+            "sentinel check interval must be nonzero"
+        );
+        SentinelState {
+            check_interval,
+            watchdog_cycles,
+            next_check: check_interval,
+            last_fingerprint: 0,
+            stable_since: 0,
+        }
+    }
+}
 
 /// Where the system is in the kernel-boundary protocol (paper Section
 /// III): launch → run → drain → release flush → drain → self-invalidate →
@@ -91,9 +228,19 @@ pub struct ApuSystem {
     /// Epoch sampler; `None` (the default) keeps [`ApuSystem::step`] on a
     /// branch-only fast path with no recording overhead.
     telemetry: Option<Box<Recorder>>,
+    /// Invariant checker and watchdog; `None` in release builds unless
+    /// explicitly enabled, `Some` in debug builds always.
+    sentinel: Option<Box<SentinelState>>,
 }
 
 impl ApuSystem {
+    /// Default invariant-sweep cadence for [`ApuSystem::enable_sentinel`]
+    /// (cycles between sweeps).
+    pub const DEFAULT_CHECK_INTERVAL: u64 = SentinelState::DEFAULT_CHECK_INTERVAL;
+    /// Default watchdog window for [`ApuSystem::enable_sentinel`]
+    /// (cycles without progress before declaring a wedge).
+    pub const DEFAULT_WATCHDOG: u64 = SentinelState::DEFAULT_WATCHDOG;
+
     /// Builds a system ready to execute `workload` under `policy`.
     ///
     /// # Panics
@@ -151,6 +298,14 @@ impl ApuSystem {
             launches,
             cfg,
             telemetry: None,
+            // Debug (and therefore CI-test) builds always run checked;
+            // release runs opt in via `enable_sentinel`.
+            sentinel: cfg!(debug_assertions).then(|| {
+                Box::new(SentinelState::new(
+                    SentinelState::DEFAULT_CHECK_INTERVAL,
+                    SentinelState::DEFAULT_WATCHDOG,
+                ))
+            }),
         }
     }
 
@@ -229,6 +384,251 @@ impl ApuSystem {
         }
     }
 
+    /// Turns on invariant checking and the forward-progress watchdog for
+    /// [`ApuSystem::run_to_completion`]: invariants are swept every
+    /// `check_interval` cycles, and a run with no counter movement for
+    /// `watchdog_cycles` cycles halts with
+    /// [`StallReason::NoForwardProgress`] (`watchdog_cycles == 0`
+    /// disables the watchdog). Debug builds run with both enabled at
+    /// default cadence from construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_interval` is zero.
+    pub fn enable_sentinel(&mut self, check_interval: u64, watchdog_cycles: u64) {
+        self.sentinel = Some(Box::new(SentinelState::new(
+            check_interval,
+            watchdog_cycles,
+        )));
+    }
+
+    /// Whether invariant checking is active (always true in debug
+    /// builds).
+    #[must_use]
+    pub fn sentinel_enabled(&self) -> bool {
+        self.sentinel.is_some()
+    }
+
+    /// Sweeps every component's conservation invariants right now and
+    /// returns the violations found (empty on a healthy system). Works
+    /// whether or not the sentinel is enabled; enabling only adds the
+    /// periodic sweep inside [`ApuSystem::run_to_completion`].
+    #[must_use]
+    pub fn check_invariants_now(&self) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        self.gpu.check_invariants("gpu", &mut out);
+        for (i, c) in self.l1s.iter().enumerate() {
+            c.check_invariants(&format!("l1[{i}]"), &mut out);
+        }
+        for (s, c) in self.l2s.iter().enumerate() {
+            c.check_invariants(&format!("l2[{s}]"), &mut out);
+        }
+        self.dram.check_invariants("dram", &mut out);
+        self.req_xbar.check_invariants("noc.req", &mut out);
+        self.resp_xbar.check_invariants("noc.resp", &mut out);
+        let mut queues = |name: &str, qs: &[TimedQueue<MemReq>]| {
+            for (i, q) in qs.iter().enumerate() {
+                q.check_invariants(&format!("queue.{name}[{i}]"), &mut out);
+            }
+        };
+        queues("l1_in", &self.l1_in);
+        queues("l1_down", &self.l1_down);
+        queues("l2_in", &self.l2_in);
+        queues("l2_down", &self.l2_down);
+        let mut resp_queues = |name: &str, qs: &[TimedQueue<MemResp>]| {
+            for (i, q) in qs.iter().enumerate() {
+                q.check_invariants(&format!("queue.{name}[{i}]"), &mut out);
+            }
+        };
+        resp_queues("dram_resp", &self.dram_resp);
+        resp_queues("l2_up", &self.l2_up);
+        resp_queues("l1_fill_in", &self.l1_fill_in);
+        resp_queues("l1_up", &self.l1_up);
+        // System-level: the DRAM response holdover is bounded by
+        // construction (`tick_memory` stage 2 stops filling at 4).
+        if self.resp_holdover.len() > 4 {
+            out.push(InvariantViolation {
+                component: "system".to_string(),
+                invariant: "holdover_bound",
+                detail: format!("{} held-over responses > bound 4", self.resp_holdover.len()),
+            });
+        }
+        out
+    }
+
+    /// A fingerprint of every progress-indicating counter: if two
+    /// successive fingerprints match, nothing retired, moved through a
+    /// queue, or touched DRAM in between.
+    fn progress_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.launches.len() as u64);
+        mix(match self.phase {
+            Phase::Launching { .. } => 0,
+            Phase::Running => 1,
+            Phase::DrainKernel => 2,
+            Phase::Flushing => 3,
+            Phase::DrainFlush => 4,
+            Phase::Finished => 5,
+        });
+        for (name, value) in self.gpu.stats().to_pairs() {
+            mix(name.len() as u64);
+            mix(value);
+        }
+        for (name, value) in self.dram.stats().to_pairs() {
+            mix(name.len() as u64);
+            mix(value);
+        }
+        for c in self.l1s.iter().chain(&self.l2s) {
+            for (name, value) in c.stats().to_pairs() {
+                mix(name.len() as u64);
+                mix(value);
+            }
+        }
+        for q in self.l1_in.iter().chain(&self.l1_down) {
+            mix(q.pushed());
+        }
+        for q in self.l2_in.iter().chain(&self.l2_down) {
+            mix(q.pushed());
+        }
+        for q in self
+            .dram_resp
+            .iter()
+            .chain(&self.l2_up)
+            .chain(&self.l1_fill_in)
+            .chain(&self.l1_up)
+        {
+            mix(q.pushed());
+        }
+        h
+    }
+
+    /// Runs the due sentinel checks after a step; returns why the run
+    /// must halt, if it must.
+    fn sentinel_poll(&mut self) -> Option<StallReason> {
+        let (interval, watchdog, next_check) = {
+            let s = self.sentinel.as_deref()?;
+            (s.check_interval, s.watchdog_cycles, s.next_check)
+        };
+        if self.now.0 < next_check {
+            return None;
+        }
+        if !self.check_invariants_now().is_empty() {
+            return Some(StallReason::InvariantViolation);
+        }
+        let fingerprint = self.progress_fingerprint();
+        // The launch phase idles by design (host-side overhead), so it is
+        // exempt from the watchdog; every other phase moves counters.
+        let launching = matches!(self.phase, Phase::Launching { .. });
+        let now = self.now.0;
+        let s = self.sentinel.as_deref_mut().expect("sentinel enabled");
+        s.next_check = now + interval;
+        if fingerprint != s.last_fingerprint || launching {
+            s.last_fingerprint = fingerprint;
+            s.stable_since = now;
+            return None;
+        }
+        (watchdog > 0 && now - s.stable_since >= watchdog).then_some(StallReason::NoForwardProgress)
+    }
+
+    /// Captures the halted system into a [`SimTimeoutError`].
+    fn stall_error(&mut self, max_cycles: u64, reason: StallReason) -> SimTimeoutError {
+        let mut queues = Vec::new();
+        let mut oldest: Option<(Cycle, String)> = None;
+        {
+            let mut req_queues = |name: &str, qs: &[TimedQueue<MemReq>]| {
+                for (i, q) in qs.iter().enumerate() {
+                    if q.is_empty() {
+                        continue;
+                    }
+                    queues.push((format!("queue.{name}[{i}]"), q.len()));
+                    for (_, req) in q.iter_timed() {
+                        if oldest.as_ref().is_none_or(|(c, _)| req.issue_cycle < *c) {
+                            oldest = Some((req.issue_cycle, format!("queue.{name}[{i}]: {req:?}")));
+                        }
+                    }
+                }
+            };
+            req_queues("l1_in", &self.l1_in);
+            req_queues("l1_down", &self.l1_down);
+            req_queues("l2_in", &self.l2_in);
+            req_queues("l2_down", &self.l2_down);
+        }
+        let mut resp_queues = |name: &str, qs: &[TimedQueue<MemResp>]| {
+            for (i, q) in qs.iter().enumerate() {
+                if !q.is_empty() {
+                    queues.push((format!("queue.{name}[{i}]"), q.len()));
+                }
+            }
+        };
+        resp_queues("dram_resp", &self.dram_resp);
+        resp_queues("l2_up", &self.l2_up);
+        resp_queues("l1_fill_in", &self.l1_fill_in);
+        resp_queues("l1_up", &self.l1_up);
+        let mut mshrs = Vec::new();
+        for (i, c) in self.l1s.iter().enumerate() {
+            let snap = c.mshr_snapshot();
+            if !snap.is_empty() {
+                mshrs.push((format!("l1[{i}]"), snap));
+            }
+        }
+        for (s, c) in self.l2s.iter().enumerate() {
+            let snap = c.mshr_snapshot();
+            if !snap.is_empty() {
+                mshrs.push((format!("l2[{s}]"), snap));
+            }
+        }
+        let wavefronts = self
+            .gpu
+            .wavefront_summary()
+            .into_iter()
+            .map(|(cu, active, loads, pending)| {
+                format!(
+                    "cu[{cu}]: {active} resident, {loads} loads outstanding, \
+                     {pending} accesses unissued"
+                )
+            })
+            .collect();
+        let diagnostic = Box::new(StallDiagnostic {
+            cycle: self.now.0,
+            phase: Self::phase_label(self.phase),
+            reason,
+            oldest_request: oldest.map(|(_, s)| s),
+            queues,
+            mshrs,
+            wavefronts,
+            violations: self.check_invariants_now(),
+        });
+        if let Some(rec) = self.telemetry.as_deref_mut() {
+            rec.instant(format!("sentinel:{reason}"), self.now.0);
+        }
+        SimTimeoutError {
+            max_cycles,
+            diagnostic,
+        }
+    }
+
+    /// Fault-injection hook (sentinel validation only): leaks a phantom
+    /// MSHR entry in CU `cu`'s L1. With `allocating == true` the entry is
+    /// structurally malformed and trips the `mshr_reservation` invariant
+    /// at the next sweep; with `false` it is structurally plausible but
+    /// never completes, wedging the drain for the watchdog to catch.
+    pub fn inject_l1_mshr_leak(&mut self, cu: usize, line: LineAddr, allocating: bool) {
+        self.l1s[cu].inject_mshr_leak(line, allocating);
+    }
+
+    /// Fault-injection hook (sentinel validation only): drops one
+    /// flow-control credit from CU `cu`'s L1 input queue, tripping the
+    /// `credit_conservation` invariant at the next sweep.
+    pub fn inject_queue_credit_loss(&mut self, cu: usize) {
+        self.l1_in[cu].inject_credit_loss();
+    }
+
     /// The current simulated cycle.
     #[must_use]
     pub fn now(&self) -> Cycle {
@@ -246,13 +646,34 @@ impl ApuSystem {
     /// # Errors
     ///
     /// Returns [`SimTimeoutError`] if the system has not finished within
-    /// `max_cycles`.
+    /// `max_cycles`, or — with the sentinel enabled — as soon as an
+    /// invariant check fails or the watchdog detects a wedge. The error
+    /// carries a [`StallDiagnostic`] either way.
     pub fn run_to_completion(&mut self, max_cycles: u64) -> Result<Metrics, SimTimeoutError> {
+        if self.sentinel.is_none() {
+            // Unchecked path: one budget compare per cycle, exactly the
+            // pre-sentinel loop. Diagnostics are only built on failure.
+            while !self.is_done() {
+                if self.now.0 >= max_cycles {
+                    return Err(self.stall_error(max_cycles, StallReason::CycleBudget));
+                }
+                self.step();
+            }
+            return Ok(self.metrics());
+        }
         while !self.is_done() {
             if self.now.0 >= max_cycles {
-                return Err(SimTimeoutError { max_cycles });
+                return Err(self.stall_error(max_cycles, StallReason::CycleBudget));
             }
             self.step();
+            if let Some(reason) = self.sentinel_poll() {
+                return Err(self.stall_error(max_cycles, reason));
+            }
+        }
+        // Final sweep at completion: quiescence invariants (every issued
+        // request retired, MSHRs empty, queues drained) must hold.
+        if !self.check_invariants_now().is_empty() {
+            return Err(self.stall_error(max_cycles, StallReason::InvariantViolation));
         }
         Ok(self.metrics())
     }
@@ -583,6 +1004,94 @@ mod tests {
         // 150 launches, each at least the launch overhead apart.
         assert!(m.cycles > 150 * SystemConfig::small_test().launch_overhead);
         assert!(m.l2.self_invalidations.get() > 0 || m.l2.flush_writebacks.get() > 0);
+    }
+
+    #[test]
+    fn checked_run_with_tight_cadence_completes_quietly() {
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let mut sys = ApuSystem::new(
+            SystemConfig::small_test(),
+            PolicyConfig::of(CachePolicy::CacheRW),
+            &w,
+        );
+        sys.enable_sentinel(64, 50_000);
+        assert!(sys.sentinel_enabled());
+        let m = sys.run_to_completion(200_000_000).expect("healthy run");
+        assert!(m.cycles > 0);
+        assert!(sys.check_invariants_now().is_empty());
+    }
+
+    #[test]
+    fn sentinel_catches_an_injected_credit_loss() {
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let mut sys = ApuSystem::new(
+            SystemConfig::small_test(),
+            PolicyConfig::of(CachePolicy::CacheR),
+            &w,
+        );
+        sys.inject_queue_credit_loss(1);
+        let vs = sys.check_invariants_now();
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].component, "queue.l1_in[1]");
+        assert_eq!(vs[0].invariant, "credit_conservation");
+        sys.enable_sentinel(64, 0);
+        let err = sys.run_to_completion(200_000_000).expect_err("must halt");
+        assert_eq!(err.diagnostic.reason, StallReason::InvariantViolation);
+        assert!(err
+            .diagnostic
+            .violations
+            .iter()
+            .any(|v| v.component == "queue.l1_in[1]" && v.invariant == "credit_conservation"));
+    }
+
+    #[test]
+    fn sentinel_catches_a_leaked_allocating_mshr_entry() {
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let mut sys = ApuSystem::new(
+            SystemConfig::small_test(),
+            PolicyConfig::of(CachePolicy::CacheR),
+            &w,
+        );
+        sys.inject_l1_mshr_leak(2, miopt_engine::LineAddr(8), true);
+        sys.enable_sentinel(64, 0);
+        let err = sys.run_to_completion(200_000_000).expect_err("must halt");
+        assert_eq!(err.diagnostic.reason, StallReason::InvariantViolation);
+        let v = err
+            .diagnostic
+            .violations
+            .iter()
+            .find(|v| v.invariant == "mshr_reservation")
+            .expect("reservation violation");
+        assert_eq!(v.component, "l1[2]");
+        assert!(err.diagnostic.cycle < 200, "caught at the first sweep");
+    }
+
+    #[test]
+    fn watchdog_reports_a_wedged_drain_with_mshr_contents() {
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let mut sys = ApuSystem::new(
+            SystemConfig::small_test(),
+            PolicyConfig::of(CachePolicy::CacheR),
+            &w,
+        );
+        // A structurally plausible leak: no invariant trips, but the
+        // hierarchy never drains, so only the watchdog can catch it.
+        sys.inject_l1_mshr_leak(0, miopt_engine::LineAddr(8), false);
+        sys.enable_sentinel(64, 5_000);
+        let err = sys.run_to_completion(200_000_000).expect_err("must wedge");
+        assert_eq!(err.diagnostic.reason, StallReason::NoForwardProgress);
+        assert!(err.diagnostic.violations.is_empty(), "plausible leak");
+        let (comp, entries) = err
+            .diagnostic
+            .mshrs
+            .iter()
+            .find(|(c, _)| c == "l1[0]")
+            .expect("leaked MSHR in the diagnostic");
+        assert_eq!(comp, "l1[0]");
+        assert!(entries[0].contains("line 0x8"), "{entries:?}");
+        assert!(err.to_string().contains("halted"));
+        // The budget was nowhere near exhausted: the watchdog fired first.
+        assert!(err.diagnostic.cycle < 200_000_000);
     }
 
     #[test]

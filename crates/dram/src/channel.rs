@@ -1,6 +1,7 @@
 use crate::bank::{Bank, RowOutcome};
 use crate::map::DramLoc;
 use crate::{DramConfig, DramStats};
+use miopt_engine::sentinel::{InvariantViolation, Sentinel};
 use miopt_engine::{Cycle, MemReq, MemResp};
 use std::collections::VecDeque;
 
@@ -189,6 +190,52 @@ impl Channel {
                 self.responses.pop_front().map(|(_, r)| r)
             }
             _ => None,
+        }
+    }
+}
+
+impl Sentinel for Channel {
+    fn check_invariants(&self, component: &str, out: &mut Vec<InvariantViolation>) {
+        if self.queue.len() > self.cfg.queue_capacity {
+            out.push(InvariantViolation {
+                component: component.to_string(),
+                invariant: "dram_queue_occupancy",
+                detail: format!(
+                    "{} queued requests > capacity {}",
+                    self.queue.len(),
+                    self.cfg.queue_capacity
+                ),
+            });
+        }
+        // Every read taken into service must still be accounted for by an
+        // undelivered response: a drift here means a response was created
+        // or consumed without balancing the in-service counter.
+        if self.in_service != self.responses.len() {
+            out.push(InvariantViolation {
+                component: component.to_string(),
+                invariant: "response_accounting",
+                detail: format!(
+                    "{} reads in service but {} undelivered responses",
+                    self.in_service,
+                    self.responses.len()
+                ),
+            });
+        }
+        let mut disordered = false;
+        let mut prev: Option<Cycle> = None;
+        for (ready, _) in &self.responses {
+            if prev.is_some_and(|p| p > *ready) {
+                disordered = true;
+                break;
+            }
+            prev = Some(*ready);
+        }
+        if disordered {
+            out.push(InvariantViolation {
+                component: component.to_string(),
+                invariant: "response_ordering",
+                detail: "response readiness times are not monotonic".to_string(),
+            });
         }
     }
 }

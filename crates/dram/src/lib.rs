@@ -43,6 +43,7 @@ pub use config::DramConfig;
 pub use map::{AddressMap, DramLoc};
 
 use channel::Channel;
+use miopt_engine::sentinel::{InvariantViolation, Sentinel};
 use miopt_engine::stats::{Counter, Ratio};
 use miopt_engine::{Cycle, MemReq, MemResp};
 
@@ -194,6 +195,14 @@ impl Dram {
     }
 }
 
+impl Sentinel for Dram {
+    fn check_invariants(&self, component: &str, out: &mut Vec<InvariantViolation>) {
+        for (i, ch) in self.channels.iter().enumerate() {
+            ch.check_invariants(&format!("{component}.ch[{i}]"), out);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +236,20 @@ mod tests {
             assert!(guard < 1_000_000, "dram did not drain");
         }
         now
+    }
+
+    #[test]
+    fn sentinel_stays_quiet_through_a_full_drain() {
+        let mut dram = Dram::new(DramConfig::hbm2_paper());
+        for i in 0..8 {
+            dram.push(Cycle(0), read(i, i * 3)).unwrap();
+        }
+        let mut out = Vec::new();
+        dram.check_invariants("dram", &mut out);
+        assert!(out.is_empty(), "violations before drain: {out:?}");
+        run_until_idle(&mut dram, Cycle(0), |_, _| {});
+        dram.check_invariants("dram", &mut out);
+        assert!(out.is_empty(), "violations after drain: {out:?}");
     }
 
     #[test]

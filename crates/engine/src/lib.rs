@@ -12,6 +12,8 @@
 //!   every pipeline stage and wire in the system.
 //! * Deterministic pseudo-random number generation ([`rng::SplitMix64`]).
 //! * Small statistics helpers ([`stats`]).
+//! * The [`Sentinel`] trait and [`InvariantViolation`] type used by every
+//!   component to self-audit its conservation invariants.
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@ mod cycle;
 mod queue;
 mod req;
 pub mod rng;
+pub mod sentinel;
 pub mod stats;
 pub mod util;
 
@@ -39,3 +42,4 @@ pub use addr::{Addr, LineAddr, LINE_BYTES};
 pub use cycle::Cycle;
 pub use queue::{PushFullError, TimedQueue};
 pub use req::{AccessKind, MemReq, MemResp, Origin, Pc, ReqId};
+pub use sentinel::{InvariantViolation, Sentinel};

@@ -1,3 +1,4 @@
+use crate::sentinel::{InvariantViolation, Sentinel};
 use crate::Cycle;
 use std::collections::VecDeque;
 use std::error::Error;
@@ -47,6 +48,10 @@ pub struct TimedQueue<T> {
     latency: u64,
     last_ready: Cycle,
     pushed: u64,
+    /// Flow-control credits deliberately destroyed by
+    /// [`inject_credit_loss`](TimedQueue::inject_credit_loss). Always zero
+    /// outside fault-injection tests; the sentinel flags any nonzero value.
+    lost_credits: usize,
 }
 
 impl<T> TimedQueue<T> {
@@ -65,7 +70,14 @@ impl<T> TimedQueue<T> {
             latency,
             last_ready: Cycle::ZERO,
             pushed: 0,
+            lost_credits: 0,
         }
+    }
+
+    /// The capacity currently usable for pushes: the configured capacity
+    /// minus any credits destroyed by fault injection.
+    fn effective_capacity(&self) -> usize {
+        self.capacity.saturating_sub(self.lost_credits)
     }
 
     /// Enqueues `item` at time `now`.
@@ -74,7 +86,7 @@ impl<T> TimedQueue<T> {
     ///
     /// Returns [`PushFullError`] carrying `item` back if the queue is full.
     pub fn push(&mut self, now: Cycle, item: T) -> Result<(), PushFullError<T>> {
-        if self.items.len() >= self.capacity {
+        if self.items.len() >= self.effective_capacity() {
             return Err(PushFullError(item));
         }
         let ready = (now + self.latency).max(self.last_ready);
@@ -87,13 +99,13 @@ impl<T> TimedQueue<T> {
     /// Whether a push at time `now` would succeed.
     #[must_use]
     pub fn can_push(&self) -> bool {
-        self.items.len() < self.capacity
+        self.items.len() < self.effective_capacity()
     }
 
     /// How many more items can be pushed before the queue is full.
     #[must_use]
     pub fn free_slots(&self) -> usize {
-        self.capacity - self.items.len()
+        self.effective_capacity().saturating_sub(self.items.len())
     }
 
     /// The front item, if it has traversed the queue by `now`.
@@ -153,6 +165,52 @@ impl<T> TimedQueue<T> {
     /// Drains every item regardless of readiness (used at end-of-run).
     pub fn drain_all(&mut self) -> impl Iterator<Item = T> + '_ {
         self.items.drain(..).map(|(_, item)| item)
+    }
+
+    /// Iterates over queued `(ready_cycle, item)` pairs front to back
+    /// (used by stall diagnostics to find the oldest in-flight item).
+    pub fn iter_timed(&self) -> impl Iterator<Item = (Cycle, &T)> {
+        self.items.iter().map(|(ready, item)| (*ready, item))
+    }
+
+    /// Fault-injection hook: permanently destroys one flow-control credit,
+    /// shrinking the queue's usable capacity by one.
+    ///
+    /// This models a credit-return bug in a flow-controlled link. It exists
+    /// solely to validate the sentinel: the
+    /// [`credit_conservation`](Sentinel::check_invariants) invariant must
+    /// flag the queue on the next check. Never called by the simulator
+    /// itself.
+    pub fn inject_credit_loss(&mut self) {
+        self.lost_credits += 1;
+    }
+}
+
+impl<T> Sentinel for TimedQueue<T> {
+    fn check_invariants(&self, component: &str, out: &mut Vec<InvariantViolation>) {
+        if self.lost_credits != 0 {
+            out.push(InvariantViolation {
+                component: component.to_string(),
+                invariant: "credit_conservation",
+                detail: format!(
+                    "{} flow-control credit(s) lost: usable capacity {} < configured {}",
+                    self.lost_credits,
+                    self.effective_capacity(),
+                    self.capacity
+                ),
+            });
+        }
+        if self.items.len() > self.capacity {
+            out.push(InvariantViolation {
+                component: component.to_string(),
+                invariant: "queue_occupancy",
+                detail: format!(
+                    "{} items enqueued > capacity {}",
+                    self.items.len(),
+                    self.capacity
+                ),
+            });
+        }
     }
 }
 
@@ -234,5 +292,37 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_panics() {
         let _ = TimedQueue::<u32>::new(0, 1);
+    }
+
+    #[test]
+    fn healthy_queue_reports_no_violations() {
+        let mut q = TimedQueue::new(2, 0);
+        q.push(Cycle(0), 1u32).unwrap();
+        let mut out = Vec::new();
+        q.check_invariants("queue.test", &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn credit_loss_shrinks_capacity_and_trips_the_sentinel() {
+        let mut q = TimedQueue::new(2, 0);
+        q.inject_credit_loss();
+        assert_eq!(q.free_slots(), 1);
+        q.push(Cycle(0), 1u32).unwrap();
+        assert!(!q.can_push(), "lost credit must shrink usable capacity");
+        let mut out = Vec::new();
+        q.check_invariants("queue.l1_in[0]", &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].component, "queue.l1_in[0]");
+        assert_eq!(out[0].invariant, "credit_conservation");
+        assert!(out[0].detail.contains("1 flow-control credit"));
+    }
+
+    #[test]
+    fn iter_timed_exposes_ready_cycles() {
+        let mut q = TimedQueue::new(4, 10);
+        q.push(Cycle(5), 'a').unwrap();
+        let timed: Vec<_> = q.iter_timed().collect();
+        assert_eq!(timed, vec![(Cycle(15), &'a')]);
     }
 }

@@ -1,0 +1,67 @@
+//! Conservation-invariant checking for simulator components.
+//!
+//! Every stateful component of the memory system implements [`Sentinel`]:
+//! a read-only self-audit that appends one [`InvariantViolation`] per
+//! broken conservation law (occupancy within capacity, credits balanced,
+//! bookkeeping indices consistent with the structures they index). The
+//! system model walks its component tree at a configurable cadence and
+//! aggregates the violations; a healthy simulation reports none, ever.
+//!
+//! Checks are pure observations — they never mutate state and never
+//! allocate unless a violation is found — so running them cannot perturb
+//! a deterministic simulation.
+
+use std::fmt;
+
+/// One broken invariant, attributed to the component that broke it.
+///
+/// `component` is a hierarchical path assigned by the caller (for example
+/// `"l1[3]"` or `"queue.l2_down[0]"`), so a diagnostic names the exact
+/// instance, not just the type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Hierarchical instance path, e.g. `"l1[3].mshr"`.
+    pub component: String,
+    /// Short stable name of the invariant that failed.
+    pub invariant: &'static str,
+    /// Human-readable evidence: the observed vs. expected state.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: invariant `{}` violated: {}",
+            self.component, self.invariant, self.detail
+        )
+    }
+}
+
+/// A component that can audit its own conservation invariants.
+///
+/// Implementations push one violation per broken invariant onto `out`
+/// (pushing nothing when healthy) under the caller-supplied instance path
+/// `component`. Checks must be read-only and side-effect free.
+pub trait Sentinel {
+    /// Appends a violation to `out` for every invariant currently broken.
+    fn check_invariants(&self, component: &str, out: &mut Vec<InvariantViolation>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display_names_component_and_invariant() {
+        let v = InvariantViolation {
+            component: "l1[2]".to_string(),
+            invariant: "mshr_occupancy",
+            detail: "9 entries > capacity 8".to_string(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("l1[2]"));
+        assert!(s.contains("mshr_occupancy"));
+        assert!(s.contains("9 entries"));
+    }
+}

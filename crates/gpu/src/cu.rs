@@ -1,5 +1,6 @@
 use crate::program::KernelDesc;
 use crate::wavefront::{Wavefront, WfState};
+use miopt_engine::sentinel::{InvariantViolation, Sentinel};
 use miopt_engine::{AccessKind, Cycle, MemReq, Origin, ReqId, TimedQueue};
 use std::sync::Arc;
 
@@ -137,6 +138,20 @@ impl Cu {
         self.retired_wavefronts
     }
 
+    /// Outstanding work across resident wavefronts, for stall diagnostics:
+    /// `(resident wavefronts, load responses awaited, coalesced accesses
+    /// not yet issued)`.
+    #[must_use]
+    pub fn outstanding_ops(&self) -> (usize, u64, usize) {
+        let mut loads = 0u64;
+        let mut pending = 0usize;
+        for wf in self.slots.iter().flatten() {
+            loads += u64::from(wf.outstanding_loads());
+            pending += wf.pending.len();
+        }
+        (self.active_wavefronts(), loads, pending)
+    }
+
     /// Places the wavefronts of one work-group onto this CU.
     ///
     /// # Panics
@@ -243,6 +258,48 @@ impl Cu {
         }
     }
 
+    pub(crate) fn check_masks(&self, component: &str, out: &mut Vec<InvariantViolation>) {
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let occ = self.occ_mask & (1 << idx) != 0;
+            let pend = self.pending_mask & (1 << idx) != 0;
+            if occ != slot.is_some() {
+                out.push(InvariantViolation {
+                    component: component.to_string(),
+                    invariant: "occupancy_mask",
+                    detail: format!(
+                        "slot {idx}: occ_mask says {occ} but slot is {}",
+                        if slot.is_some() { "occupied" } else { "empty" }
+                    ),
+                });
+            }
+            let has_pending = slot.as_ref().is_some_and(|wf| !wf.pending.is_empty());
+            if pend != has_pending {
+                out.push(InvariantViolation {
+                    component: component.to_string(),
+                    invariant: "pending_mask",
+                    detail: format!(
+                        "slot {idx}: pending_mask says {pend} but wavefront has {} \
+                         unissued coalesced accesses",
+                        slot.as_ref().map_or(0, |wf| wf.pending.len())
+                    ),
+                });
+            }
+            // A wavefront with no work left must have been retired on the
+            // spot (its slot freed and the retirement counter bumped); a
+            // resident one means a retirement was lost.
+            let should_have_retired = slot.as_ref().is_some_and(|wf| {
+                wf.is_done() && wf.pending.is_empty() && wf.outstanding_loads() == 0
+            });
+            if should_have_retired {
+                out.push(InvariantViolation {
+                    component: component.to_string(),
+                    invariant: "retirement_exactness",
+                    detail: format!("slot {idx}: finished wavefront was never retired"),
+                });
+            }
+        }
+    }
+
     fn issue_simds(&mut self, now: Cycle) {
         let per = self.cfg.wf_slots_per_simd;
         for s in 0..self.cfg.simds {
@@ -277,6 +334,12 @@ impl Cu {
                 }
             }
         }
+    }
+}
+
+impl Sentinel for Cu {
+    fn check_invariants(&self, component: &str, out: &mut Vec<InvariantViolation>) {
+        self.check_masks(component, out);
     }
 }
 

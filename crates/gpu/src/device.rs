@@ -1,5 +1,6 @@
 use crate::cu::{Cu, CuConfig};
 use crate::program::KernelDesc;
+use miopt_engine::sentinel::{InvariantViolation, Sentinel};
 use miopt_engine::{Cycle, MemReq, MemResp, Origin, TimedQueue};
 use std::sync::Arc;
 
@@ -242,6 +243,48 @@ impl Gpu {
     pub fn kernels_run(&self) -> u64 {
         self.kernels_run
     }
+
+    /// Per-CU outstanding work for stall diagnostics: one
+    /// `(cu, resident wavefronts, loads awaited, unissued accesses)` entry
+    /// per CU that still has resident wavefronts.
+    #[must_use]
+    pub fn wavefront_summary(&self) -> Vec<(usize, usize, u64, usize)> {
+        self.cus
+            .iter()
+            .enumerate()
+            .filter(|(_, cu)| cu.active_wavefronts() > 0)
+            .map(|(i, cu)| {
+                let (active, loads, pending) = cu.outstanding_ops();
+                (i, active, loads, pending)
+            })
+            .collect()
+    }
+}
+
+impl Sentinel for Gpu {
+    fn check_invariants(&self, component: &str, out: &mut Vec<InvariantViolation>) {
+        for (i, cu) in self.cus.iter().enumerate() {
+            cu.check_invariants(&format!("{component}.cu[{i}]"), out);
+        }
+        // At kernel end every wavefront has retired, so no CU may still
+        // hold residents or awaited responses ("outstanding-op counts hit
+        // zero at kernel end").
+        if self.kernel_done() {
+            for (i, cu) in self.cus.iter().enumerate() {
+                let (active, loads, pending) = cu.outstanding_ops();
+                if active != 0 || loads != 0 || pending != 0 {
+                    out.push(InvariantViolation {
+                        component: format!("{component}.cu[{i}]"),
+                        invariant: "kernel_end_quiescence",
+                        detail: format!(
+                            "kernel done but CU holds {active} wavefront(s), \
+                             {loads} awaited load(s), {pending} unissued access(es)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -342,6 +385,34 @@ mod tests {
         let gpu = Gpu::new(1, CuConfig::tiny_test());
         assert!(gpu.kernel_done());
         assert_eq!(gpu.stats(), GpuStats::default());
+    }
+
+    #[test]
+    fn sentinel_stays_quiet_through_kernel_and_retirement() {
+        let mut gpu = Gpu::new(2, CuConfig::tiny_test());
+        gpu.start_kernel(stream_kernel(6, 1, 2), 0);
+        let mut l1_ins: Vec<TimedQueue<MemReq>> = (0..gpu.cu_count())
+            .map(|_| TimedQueue::new(64, 0))
+            .collect();
+        let mut now = Cycle(0);
+        let mut out = Vec::new();
+        while !gpu.kernel_done() {
+            gpu.tick(now, &mut l1_ins);
+            for q in &mut l1_ins {
+                while let Some(req) = q.pop_ready(now) {
+                    if req.wants_response() {
+                        gpu.on_response(MemResp::for_req(&req));
+                    }
+                }
+            }
+            gpu.check_invariants("gpu", &mut out);
+            assert!(out.is_empty(), "violations at cycle {now:?}: {out:?}");
+            now += 1;
+            assert!(now.0 < 10_000);
+        }
+        gpu.check_invariants("gpu", &mut out);
+        assert!(out.is_empty(), "violations after kernel end: {out:?}");
+        assert!(gpu.wavefront_summary().is_empty());
     }
 
     #[test]

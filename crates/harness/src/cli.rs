@@ -7,6 +7,8 @@
 //!     [--jobs N] [--serial] [--no-cache] [--cache-dir <dir>]
 //!     [--out <dir>] [--sweep-name <name>] [--timeout-secs N]
 //!     [--quiet] [--compare] [--telemetry[=interval]]
+//!     [--check-invariants] [--fail-fast] [--retries N]
+//!     [--no-journal] [--resume <run-id>]
 //! ```
 //!
 //! With no figure selector, everything is regenerated (`--all`). The
@@ -15,8 +17,8 @@
 
 use crate::cache::ResultCache;
 use crate::figures::{fig10, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, FigureData};
-use crate::pool::PoolOptions;
-use crate::sweep::{run_sweep, SweepOptions};
+use crate::pool::{PoolOptions, RetryPolicy};
+use crate::sweep::{run_sweep, run_sweep_journaled, JournalOptions, SweepOptions, SweepRun};
 use miopt::runner::SweepSpec;
 use miopt::SystemConfig;
 use miopt_workloads::{suite, SuiteConfig, Workload};
@@ -65,6 +67,18 @@ pub struct CliArgs {
     /// Telemetry sampling interval in cycles, when `--telemetry` was
     /// given (`None` = telemetry off).
     pub telemetry: Option<u64>,
+    /// Enable sentinel invariant checking and the forward-progress
+    /// watchdog for every job.
+    pub check_invariants: bool,
+    /// Cancel queued jobs after the first failure.
+    pub fail_fast: bool,
+    /// Extra attempts for timed-out/panicked jobs (0 = no retries).
+    pub retries: usize,
+    /// Disable the write-ahead journal (journaling is on by default for
+    /// non-telemetry sweeps).
+    pub no_journal: bool,
+    /// Resume the named interrupted run instead of starting fresh.
+    pub resume: Option<String>,
 }
 
 /// Parses CLI arguments (everything after the program name).
@@ -90,6 +104,11 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> CliArgs {
         quiet: false,
         compare: false,
         telemetry: None,
+        check_invariants: false,
+        fail_fast: false,
+        retries: 0,
+        no_journal: false,
+        resume: None,
     };
     let mut args = args;
     while let Some(a) = args.next() {
@@ -127,6 +146,15 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> CliArgs {
             }
             "--quiet" => out.quiet = true,
             "--compare" => out.compare = true,
+            "--check-invariants" => out.check_invariants = true,
+            "--fail-fast" => out.fail_fast = true,
+            "--retries" => {
+                out.retries = value("--retries")
+                    .parse()
+                    .expect("--retries needs a number");
+            }
+            "--no-journal" => out.no_journal = true,
+            "--resume" => out.resume = Some(value("--resume")),
             "--telemetry" => out.telemetry = Some(DEFAULT_TELEMETRY_INTERVAL),
             s if s.starts_with("--telemetry=") => {
                 let interval: u64 = s["--telemetry=".len()..]
@@ -150,6 +178,10 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> CliArgs {
     }
     if out.sweep_name.is_empty() {
         out.sweep_name = format!("figures-{}", out.scale_name);
+    }
+    if let Some(id) = &out.resume {
+        // The run id names both the journal and the report.
+        out.sweep_name.clone_from(id);
     }
     out
 }
@@ -276,15 +308,28 @@ pub fn run(args: &CliArgs) -> i32 {
     if let Some(interval) = args.telemetry {
         spec = spec.with_telemetry(interval);
     }
+    if args.check_invariants {
+        spec = spec.with_invariant_checks();
+    }
     let spec = Arc::new(spec);
     let opts = SweepOptions {
         pool: PoolOptions {
             workers: args.jobs,
             job_timeout: args.timeout,
             progress: !args.quiet,
+            retry: RetryPolicy {
+                max_attempts: args.retries + 1,
+                ..RetryPolicy::default()
+            },
+            fail_fast: args.fail_fast,
         },
         cache: (!args.no_cache).then(|| ResultCache::new(&args.cache_dir)),
     };
+    if args.resume.is_some() && args.telemetry.is_some() {
+        eprintln!("error: --resume cannot be combined with --telemetry (telemetry sweeps are not journaled)");
+        return 1;
+    }
+    let journaled = args.telemetry.is_none() && !args.no_journal;
 
     eprintln!(
         "running sweep: {} workloads x {} policies = {} jobs on {} worker(s) ...",
@@ -294,12 +339,34 @@ pub fn run(args: &CliArgs) -> i32 {
         opts.pool.effective_workers(),
     );
     let t0 = Instant::now();
-    let run = run_sweep(&spec, &args.sweep_name, &opts);
+    let run: SweepRun = if journaled {
+        let journal = JournalOptions {
+            dir: args.runs_dir.clone(),
+            resume: args.resume.is_some(),
+        };
+        eprintln!(
+            "run id: {} (resume an interrupted sweep with --resume {})",
+            args.sweep_name, args.sweep_name
+        );
+        match run_sweep_journaled(&spec, &args.sweep_name, &opts, &journal) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        }
+    } else {
+        run_sweep(&spec, &args.sweep_name, &opts)
+    };
     let parallel_elapsed = t0.elapsed();
     eprintln!("sweep done in {:.1}s", parallel_elapsed.as_secs_f64());
 
     match run.report.write_under(&args.runs_dir) {
-        Ok(path) => eprintln!("(wrote {})", path.display()),
+        Ok(path) => {
+            eprintln!("(wrote {})", path.display());
+            // The final report is durable; drop the write-ahead state.
+            run.remove_journal_state();
+        }
         Err(e) => eprintln!("warning: could not write sweep report: {e}"),
     }
 
@@ -467,5 +534,35 @@ mod tests {
     #[should_panic(expected = "unexpected argument")]
     fn unknown_positional_rejected() {
         drop(parse(&["fig6"]));
+    }
+
+    #[test]
+    fn robustness_flags_parse() {
+        let a = parse(&[
+            "--check-invariants",
+            "--fail-fast",
+            "--retries",
+            "2",
+            "--no-journal",
+        ]);
+        assert!(a.check_invariants);
+        assert!(a.fail_fast);
+        assert_eq!(a.retries, 2);
+        assert!(a.no_journal);
+        assert!(a.resume.is_none());
+        let d = parse(&[]);
+        assert!(!d.check_invariants && !d.fail_fast && !d.no_journal);
+        assert_eq!(d.retries, 0);
+    }
+
+    #[test]
+    fn resume_names_the_run() {
+        let a = parse(&["--resume", "figures-quick"]);
+        assert_eq!(a.resume.as_deref(), Some("figures-quick"));
+        assert_eq!(a.sweep_name, "figures-quick");
+        // An explicit --sweep-name is overridden by the resume id: the
+        // journal lives under the original run's name.
+        let b = parse(&["--sweep-name", "other", "--resume", "orig"]);
+        assert_eq!(b.sweep_name, "orig");
     }
 }

@@ -1,0 +1,309 @@
+//! Crash-resilient sweeps: a write-ahead job journal and partial
+//! reports.
+//!
+//! A journaled sweep appends one JSON line per completed job to
+//! `results/runs/<name>.journal.jsonl` *before* the sweep finishes, so a
+//! sweep killed mid-flight (OOM killer, Ctrl-C, a power cut) leaves a
+//! durable record of everything already computed. Re-running with
+//! `miopt-harness --resume <name>` replays the journaled outcomes —
+//! successes *and* failures — without re-simulating them, runs only the
+//! missing jobs, and produces a final report identical to an
+//! uninterrupted run modulo timing fields.
+//!
+//! Layout of the journal file:
+//!
+//! * Line 1 — a header object: `{"journal": <name>, "schema_version": …,
+//!   "fingerprint": <sweep fingerprint>, "jobs": <total job count>}`.
+//! * Lines 2.. — one compact [`JobRecord`] per completed job, in
+//!   completion order (job ids make the order irrelevant on replay).
+//!
+//! The [`sweep_fingerprint`] ties a journal to the exact sweep that
+//! wrote it: the machine config, the job grid (workload identities and
+//! policy labels), the run options, and any injected faults. Resuming
+//! with different CLI flags (a different `--scale`, an added policy, a
+//! changed cycle budget) is refused rather than silently mixing results
+//! from two different experiments.
+//!
+//! Alongside the journal, the sweep rewrites
+//! `results/runs/<name>.partial.json` (write-then-rename, so readers
+//! never observe a torn file) after every job. This is the
+//! graceful-interruption story: the simulator forbids `unsafe` and links
+//! no signal-handling crate, so instead of intercepting Ctrl-C the
+//! harness makes sure a current partial report *already* exists at every
+//! instant one could arrive. Both files are removed once the final
+//! report is safely on disk.
+
+use crate::json::Json;
+use crate::provenance::config_hash;
+use crate::results::{JobRecord, SCHEMA_VERSION};
+use miopt::runner::SweepSpec;
+use miopt_engine::util::Fnv1a;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Version tag of the journal file layout.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// The journal path for a sweep named `name` under `runs_dir`.
+#[must_use]
+pub fn journal_path(runs_dir: &Path, name: &str) -> PathBuf {
+    runs_dir.join(format!("{name}.journal.jsonl"))
+}
+
+/// The partial-report path for a sweep named `name` under `runs_dir`.
+#[must_use]
+pub fn partial_path(runs_dir: &Path, name: &str) -> PathBuf {
+    runs_dir.join(format!("{name}.partial.json"))
+}
+
+/// Fingerprint binding a journal to one exact sweep: the machine
+/// config, results schema, job grid (stable workload ids × policy
+/// labels), run options, and injected faults. Any difference means the
+/// journaled outcomes are not interchangeable with the new sweep's.
+#[must_use]
+pub fn sweep_fingerprint(spec: &SweepSpec) -> String {
+    let mut h = Fnv1a::new();
+    h.write(config_hash(&spec.cfg).as_bytes());
+    h.write_u64(u64::from(SCHEMA_VERSION));
+    h.write_u64(u64::from(JOURNAL_VERSION));
+    let jobs = spec.jobs();
+    h.write_u64(jobs.len() as u64);
+    for job in &jobs {
+        h.write(spec.workloads[job.workload].stable_id().as_bytes());
+        h.write(job.policy.label().as_bytes());
+    }
+    h.write(format!("{:?}", spec.run_opts).as_bytes());
+    h.write(format!("{:?}", spec.faults).as_bytes());
+    format!("{:016x}", h.finish())
+}
+
+/// An append-only journal writer. Each appended record is flushed
+/// immediately so a `SIGKILL` loses at most the in-flight line.
+pub struct JournalWriter {
+    file: Mutex<File>,
+}
+
+impl JournalWriter {
+    /// Creates (truncating any previous journal of the same name) the
+    /// journal for `spec` and writes the header line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(runs_dir: &Path, name: &str, spec: &SweepSpec) -> std::io::Result<JournalWriter> {
+        std::fs::create_dir_all(runs_dir)?;
+        let mut file = File::create(journal_path(runs_dir, name))?;
+        let header = Json::obj([
+            ("journal", Json::str(name)),
+            ("schema_version", Json::U64(u64::from(SCHEMA_VERSION))),
+            ("journal_version", Json::U64(u64::from(JOURNAL_VERSION))),
+            ("fingerprint", Json::str(sweep_fingerprint(spec))),
+            ("jobs", Json::U64(spec.jobs().len() as u64)),
+        ]);
+        writeln!(file, "{}", header.to_compact())?;
+        file.flush()?;
+        Ok(JournalWriter {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Reopens an existing journal for appending (resume).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append_to(runs_dir: &Path, name: &str) -> std::io::Result<JournalWriter> {
+        let file = File::options()
+            .append(true)
+            .open(journal_path(runs_dir, name))?;
+        Ok(JournalWriter {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends one job record and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another writer panicked while holding the lock.
+    pub fn append(&self, record: &JobRecord) -> std::io::Result<()> {
+        let mut file = self.file.lock().expect("journal lock");
+        writeln!(file, "{}", record.to_json_line())?;
+        file.flush()
+    }
+}
+
+/// A journal loaded for resume: the records of every job that completed
+/// before the previous run died.
+#[derive(Debug)]
+pub struct Journal {
+    /// Journaled records, in the order they completed.
+    pub entries: Vec<JobRecord>,
+}
+
+impl Journal {
+    /// Loads `<runs_dir>/<name>.journal.jsonl` and validates that it
+    /// belongs to `spec` (same fingerprint) before trusting any entry.
+    /// Truncated trailing lines (the in-flight write at kill time) are
+    /// tolerated and dropped; a malformed header or fingerprint mismatch
+    /// is a hard error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the journal is missing, unreadable,
+    /// malformed, or was written by a different sweep.
+    pub fn load(runs_dir: &Path, name: &str, spec: &SweepSpec) -> Result<Journal, String> {
+        let path = journal_path(runs_dir, name);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            format!(
+                "no journal for run `{name}` at {}: {e} \
+                 (was the sweep started without journaling, or already completed?)",
+                path.display()
+            )
+        })?;
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| format!("journal {} is empty", path.display()))?;
+        let header = Json::parse(header)
+            .map_err(|e| format!("journal {} has a malformed header: {e}", path.display()))?;
+        let fingerprint = header
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("journal {} header lacks a fingerprint", path.display()))?;
+        let expected = sweep_fingerprint(spec);
+        if fingerprint != expected {
+            return Err(format!(
+                "journal {} was written by a different sweep \
+                 (fingerprint {fingerprint}, this invocation is {expected}); \
+                 resume with the exact flags of the original run, or delete \
+                 the journal to start over",
+                path.display()
+            ));
+        }
+        let total = spec.jobs().len();
+        let mut entries = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            // A SIGKILL can truncate the final line mid-write; that job
+            // simply re-runs.
+            let Ok(doc) = Json::parse(line) else { continue };
+            let rec = JobRecord::from_json(&doc)
+                .map_err(|e| format!("journal {} entry invalid: {e}", path.display()))?;
+            if rec.id >= total {
+                return Err(format!(
+                    "journal {} names job {} but the sweep has {total} jobs",
+                    path.display(),
+                    rec.id
+                ));
+            }
+            entries.push(rec);
+        }
+        Ok(Journal { entries })
+    }
+}
+
+/// Atomically (write-then-rename) replaces `path` with `contents`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn replace_file(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miopt::SystemConfig;
+    use miopt_workloads::{by_name, SuiteConfig};
+
+    fn spec() -> SweepSpec {
+        let s = SuiteConfig::quick();
+        SweepSpec::statics(
+            SystemConfig::small_test(),
+            vec![by_name(&s, "FwSoft").unwrap()],
+        )
+    }
+
+    fn record(id: usize) -> JobRecord {
+        JobRecord {
+            id,
+            workload: "FwSoft".to_string(),
+            workload_id: "soft:quick".to_string(),
+            policy: "CacheR".to_string(),
+            cache_key: "00112233".to_string(),
+            cached: false,
+            elapsed_ms: 7,
+            status: "ok".to_string(),
+            attempts: 1,
+            metrics: None,
+            diagnostic: None,
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_grid_and_options() {
+        let base = spec();
+        assert_eq!(sweep_fingerprint(&base), sweep_fingerprint(&base.clone()));
+        let mut narrower = base.clone();
+        narrower.policies.pop();
+        assert_ne!(sweep_fingerprint(&base), sweep_fingerprint(&narrower));
+        let mut other_opts = base.clone();
+        other_opts.run_opts.max_cycles /= 2;
+        assert_ne!(sweep_fingerprint(&base), sweep_fingerprint(&other_opts));
+        let mut checked = base.clone();
+        checked.run_opts.check_invariants = true;
+        assert_ne!(sweep_fingerprint(&base), sweep_fingerprint(&checked));
+    }
+
+    #[test]
+    fn journal_round_trips_and_tolerates_a_torn_tail() {
+        let dir = std::env::temp_dir().join("miopt-journal-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = spec();
+        let w = JournalWriter::create(&dir, "t", &spec).unwrap();
+        w.append(&record(0)).unwrap();
+        w.append(&record(2)).unwrap();
+        drop(w);
+        // Simulate a SIGKILL mid-append: a torn trailing line.
+        let path = journal_path(&dir, "t");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"id\": 1, \"workl");
+        std::fs::write(&path, &text).unwrap();
+        let j = Journal::load(&dir, "t", &spec).unwrap();
+        assert_eq!(
+            j.entries.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 2],
+            "torn tail dropped, intact entries kept"
+        );
+        assert_eq!(j.entries[0].status, "ok");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_refuses_a_foreign_journal() {
+        let dir = std::env::temp_dir().join("miopt-journal-fingerprint-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let original = spec();
+        JournalWriter::create(&dir, "t", &original).unwrap();
+        let mut different = original.clone();
+        different.run_opts.max_cycles /= 2;
+        let err = Journal::load(&dir, "t", &different).unwrap_err();
+        assert!(err.contains("different sweep"), "{err}");
+        // Missing journals get a descriptive error, not a panic.
+        let err = Journal::load(&dir, "absent", &original).unwrap_err();
+        assert!(err.contains("no journal"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -13,6 +13,10 @@
 //!   `results/runs/` ([`results`], [`provenance`]),
 //! * persistent result caching keyed by the experiment's identity hash
 //!   ([`cache`]),
+//! * crash-resilient sweeps: a write-ahead job journal enabling
+//!   `--resume <run-id>` after a kill, continuously refreshed partial
+//!   reports, per-job retries with timeout escalation, and quarantine of
+//!   persistently failing configs ([`journal`], [`pool`], [`sweep`]),
 //! * phase-resolved telemetry exports — JSONL time series plus Chrome
 //!   `trace_event` JSON for chrome://tracing / Perfetto ([`telemetry`]),
 //! * the figure-extraction pipeline and the `miopt-harness` CLI that
@@ -28,6 +32,7 @@
 pub mod cache;
 pub mod cli;
 pub mod figures;
+pub mod journal;
 pub mod json;
 pub mod pool;
 pub mod progress;
@@ -38,8 +43,9 @@ pub mod telemetry;
 
 pub use cache::{CacheKey, ResultCache};
 pub use figures::FigureData;
+pub use journal::{Journal, JournalWriter};
 pub use json::Json;
-pub use pool::{JobError, JobOutcome, PoolOptions};
+pub use pool::{JobError, JobOutcome, PoolOptions, RetryPolicy};
 pub use provenance::Provenance;
 pub use results::{SweepReport, SCHEMA_VERSION};
-pub use sweep::{run_sweep, SweepOptions, SweepRun};
+pub use sweep::{run_sweep, run_sweep_journaled, JournalOptions, SweepOptions, SweepRun};

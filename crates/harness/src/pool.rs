@@ -39,21 +39,60 @@ pub enum JobError {
     /// The simulation returned an error (cycle-budget timeout or an
     /// inconsistent configuration).
     Sim(SimError),
-    /// The simulation panicked; the payload is the panic message.
-    Panicked(String),
-    /// The simulation exceeded the configured wall-clock timeout.
+    /// The simulation panicked. Carries the panic message plus the job's
+    /// configuration (workload, policy, seed) so the report alone is
+    /// enough to reproduce the crash.
+    Panicked {
+        /// The panic message.
+        message: String,
+        /// Workload name of the crashed job.
+        workload: String,
+        /// Policy label of the crashed job.
+        policy: String,
+        /// The global seed the job ran under.
+        seed: u64,
+    },
+    /// The simulation exceeded the configured wall-clock timeout (the
+    /// value is the timeout of the final attempt, after any escalation).
     TimedOut(Duration),
     /// A dependency (by job id) failed, so this job never ran.
     DepFailed(usize),
+    /// The sweep was cancelled by fail-fast before this job started.
+    Cancelled,
+    /// The job failed every attempt of its retry budget and was
+    /// quarantined; the sweep continued without it.
+    Quarantined {
+        /// How many attempts were made.
+        attempts: usize,
+        /// The failure of the final attempt.
+        last: Box<JobError>,
+    },
+    /// A failure replayed verbatim from a resume journal; the payload is
+    /// the journaled status line. Delete the journal entry to force a
+    /// re-run.
+    Journaled(String),
 }
 
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JobError::Sim(e) => write!(f, "{e}"),
-            JobError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            JobError::Panicked {
+                message,
+                workload,
+                policy,
+                seed,
+            } => write!(
+                f,
+                "panicked: {message} (workload {workload}, policy {policy}, seed {seed})"
+            ),
             JobError::TimedOut(t) => write!(f, "timed out after {:.1}s", t.as_secs_f64()),
             JobError::DepFailed(id) => write!(f, "dependency job {id} failed"),
+            JobError::Cancelled => write!(f, "cancelled by fail-fast"),
+            JobError::Quarantined { attempts, last } => {
+                write!(f, "quarantined after {attempts} attempts: {last}")
+            }
+            JobError::Journaled(status) => write!(f, "{status}"),
         }
     }
 }
@@ -67,12 +106,44 @@ pub struct JobOutcome {
     pub result: Result<RunResult, JobError>,
     /// Wall time spent on this job (≈0 for cache hits and skips).
     pub elapsed: Duration,
-    /// Whether the result came from the persistent cache.
+    /// Whether the result came from a [`ResultSource`] (the persistent
+    /// cache or a resume journal) rather than a fresh simulation.
     pub cached: bool,
+    /// How many times the job was executed (0 for source hits and
+    /// skipped jobs, ≥2 only when a retry policy re-ran it).
+    pub attempts: usize,
+}
+
+/// How failed jobs are retried before being quarantined.
+///
+/// Only wall-clock timeouts and panics are retried: the simulator is
+/// deterministic, so a [`SimError`] would fail identically every time.
+/// A job that exhausts its attempts is reported as
+/// [`JobError::Quarantined`] and the sweep continues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job (1 = no retry, the default).
+    pub max_attempts: usize,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub backoff: Duration,
+    /// Double the job's wall-clock budget after each timed-out attempt,
+    /// so a job that was merely slow (a loaded machine, a pessimal
+    /// schedule) gets room to finish.
+    pub escalate_timeout: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::from_millis(100),
+            escalate_timeout: true,
+        }
+    }
 }
 
 /// Executor options. The default is every available core, no timeout,
-/// no progress output.
+/// no retries, no fail-fast, no progress output.
 #[derive(Debug, Clone, Default)]
 pub struct PoolOptions {
     /// Worker threads; 0 means [`std::thread::available_parallelism`].
@@ -82,6 +153,12 @@ pub struct PoolOptions {
     pub job_timeout: Option<Duration>,
     /// Print per-job completion lines to stderr.
     pub progress: bool,
+    /// Retry policy for timed-out and panicked jobs.
+    pub retry: RetryPolicy,
+    /// Cancel every not-yet-started job as soon as any job fails
+    /// (running jobs finish; cancelled jobs report
+    /// [`JobError::Cancelled`]).
+    pub fail_fast: bool,
 }
 
 impl PoolOptions {
@@ -96,22 +173,25 @@ impl PoolOptions {
 }
 
 /// A job result source consulted before simulating (the persistent
-/// cache, in production; anything in tests).
+/// cache and the resume journal, in production; anything in tests).
 pub trait ResultSource: Sync {
-    /// A previously computed result for `job`, if one exists.
-    fn fetch(&self, spec: &SweepSpec, job: &Job) -> Option<RunResult>;
-    /// Offers a freshly computed result for persistence.
-    fn offer(&self, spec: &SweepSpec, job: &Job, result: &RunResult);
+    /// A previously recorded outcome for `job`, if one exists. Sources
+    /// that only record successes (the cache) return `Some(Ok(_))` or
+    /// `None`; a resume journal also replays failures as `Some(Err(_))`.
+    fn fetch(&self, spec: &SweepSpec, job: &Job) -> Option<Result<RunResult, JobError>>;
+    /// Offers a freshly computed outcome (success or failure) for
+    /// persistence. Not called for outcomes served by `fetch`.
+    fn offer(&self, spec: &SweepSpec, job: &Job, outcome: &JobOutcome);
 }
 
 /// A no-op source: every job simulates.
 pub struct NoCache;
 
 impl ResultSource for NoCache {
-    fn fetch(&self, _: &SweepSpec, _: &Job) -> Option<RunResult> {
+    fn fetch(&self, _: &SweepSpec, _: &Job) -> Option<Result<RunResult, JobError>> {
         None
     }
-    fn offer(&self, _: &SweepSpec, _: &Job, _: &RunResult) {}
+    fn offer(&self, _: &SweepSpec, _: &Job, _: &JobOutcome) {}
 }
 
 struct DagState {
@@ -230,14 +310,11 @@ fn worker(
         };
 
         let started = Instant::now();
-        let (result, cached) = match source.fetch(spec, &job) {
-            Some(hit) => (Ok(hit), true),
+        let (result, cached, attempts) = match source.fetch(spec, &job) {
+            Some(hit) => (hit, true, 0),
             None => {
-                let r = execute(spec, job, opts.job_timeout);
-                if let Ok(res) = &r {
-                    source.offer(spec, &job, res);
-                }
-                (r, false)
+                let (r, attempts) = execute_with_retry(spec, job, opts);
+                (r, false, attempts)
             }
         };
         let outcome = JobOutcome {
@@ -245,15 +322,20 @@ fn worker(
             result,
             elapsed: started.elapsed(),
             cached,
+            attempts,
         };
+        if !cached {
+            source.offer(spec, &job, &outcome);
+        }
         progress.report(&spec.job_label(&job), &outcome);
-        record(dag, &jobs, outcome, progress);
+        record(dag, &jobs, outcome, progress, opts.fail_fast);
     }
 }
 
 /// Records an outcome, unblocking or failing dependents, and wakes
-/// waiting workers.
-fn record(dag: &Dag, jobs: &[Job], outcome: JobOutcome, progress: &Progress) {
+/// waiting workers. With `fail_fast`, the first failure also cancels
+/// every job that has not started yet.
+fn record(dag: &Dag, jobs: &[Job], outcome: JobOutcome, progress: &Progress, fail_fast: bool) {
     let mut st = dag.state.lock().expect("pool lock");
     let mut pending = vec![outcome];
     while let Some(o) = pending.pop() {
@@ -272,6 +354,7 @@ fn record(dag: &Dag, jobs: &[Job], outcome: JobOutcome, progress: &Progress) {
                         result: Err(JobError::DepFailed(id)),
                         elapsed: Duration::ZERO,
                         cached: false,
+                        attempts: 0,
                     };
                     progress.report("(skipped)", &skipped);
                     pending.push(skipped);
@@ -283,12 +366,76 @@ fn record(dag: &Dag, jobs: &[Job], outcome: JobOutcome, progress: &Progress) {
                 }
             }
         }
+        if failed && fail_fast {
+            // Cancel everything not yet claimed by a worker. In-flight
+            // jobs finish and record normally.
+            for (cancel, &job) in jobs.iter().enumerate() {
+                if st.outcomes[cancel].is_none() && st.waiting[cancel] != usize::MAX {
+                    st.waiting[cancel] = usize::MAX;
+                    let cancelled = JobOutcome {
+                        job,
+                        result: Err(JobError::Cancelled),
+                        elapsed: Duration::ZERO,
+                        cached: false,
+                        attempts: 0,
+                    };
+                    progress.report("(cancelled)", &cancelled);
+                    pending.push(cancelled);
+                }
+            }
+            st.ready.clear();
+        }
     }
     drop(st);
     dag.wake.notify_all();
 }
 
-/// Runs one job. Expected failures (cycle-budget exhaustion, bad
+/// Runs one job under the pool's retry policy. Returns the final result
+/// and the number of attempts made. Only transient failures (wall-clock
+/// timeouts, panics) are retried; when a retry budget > 1 is exhausted
+/// the final error is wrapped in [`JobError::Quarantined`].
+fn execute_with_retry(
+    spec: &Arc<SweepSpec>,
+    job: Job,
+    opts: &PoolOptions,
+) -> (Result<RunResult, JobError>, usize) {
+    let policy = &opts.retry;
+    let budget = policy.max_attempts.max(1);
+    let mut timeout = opts.job_timeout;
+    let mut backoff = policy.backoff;
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match execute(spec, job, timeout) {
+            Ok(r) => return (Ok(r), attempt),
+            Err(e) => {
+                let retryable = matches!(e, JobError::Panicked { .. } | JobError::TimedOut(_));
+                if !retryable {
+                    return (Err(e), attempt);
+                }
+                if attempt >= budget {
+                    if budget > 1 {
+                        return (
+                            Err(JobError::Quarantined {
+                                attempts: attempt,
+                                last: Box::new(e),
+                            }),
+                            attempt,
+                        );
+                    }
+                    return (Err(e), attempt);
+                }
+                if policy.escalate_timeout && matches!(e, JobError::TimedOut(_)) {
+                    timeout = timeout.map(|t| t.saturating_mul(2));
+                }
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+        }
+    }
+}
+
+/// Runs one job once. Expected failures (cycle-budget exhaustion, bad
 /// configs) flow through `run_job`'s `Result` as [`JobError::Sim`];
 /// `catch_unwind` remains only as a safety net for genuine bugs, and a
 /// wall-clock timeout isolates hung jobs when configured.
@@ -300,29 +447,40 @@ fn execute(
     match timeout {
         None => match catch_unwind(AssertUnwindSafe(|| spec.run_job(&job))) {
             Ok(result) => result.map_err(JobError::Sim),
-            Err(p) => Err(JobError::Panicked(panic_message(&p))),
+            Err(p) => Err(panicked(spec, &job, panic_message(p.as_ref()))),
         },
         Some(limit) => {
             let (tx, rx) = mpsc::channel();
-            let spec = Arc::clone(spec);
+            let thread_spec = Arc::clone(spec);
             // Detached on purpose: a hung simulation cannot be killed, so
             // the thread is abandoned and dies with the process.
             std::thread::Builder::new()
                 .name(format!("miopt-job-{}", job.id))
                 .spawn(move || {
-                    let r = catch_unwind(AssertUnwindSafe(|| spec.run_job(&job)));
+                    let r = catch_unwind(AssertUnwindSafe(|| thread_spec.run_job(&job)));
                     let _ = tx.send(r);
                 })
                 .expect("spawn job thread");
             match rx.recv_timeout(limit) {
                 Ok(Ok(result)) => result.map_err(JobError::Sim),
-                Ok(Err(p)) => Err(JobError::Panicked(panic_message(&p))),
+                Ok(Err(p)) => Err(panicked(spec, &job, panic_message(p.as_ref()))),
                 Err(mpsc::RecvTimeoutError::Timeout) => Err(JobError::TimedOut(limit)),
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    Err(JobError::Panicked("job thread died".to_string()))
+                    Err(panicked(spec, &job, "job thread died".to_string()))
                 }
             }
         }
+    }
+}
+
+/// Builds a [`JobError::Panicked`] carrying the crashed job's full
+/// configuration so the report entry alone reproduces the crash.
+fn panicked(spec: &SweepSpec, job: &Job, message: String) -> JobError {
+    JobError::Panicked {
+        message,
+        workload: spec.workloads[job.workload].name.clone(),
+        policy: job.policy.label(),
+        seed: crate::provenance::GLOBAL_SEED,
     }
 }
 
@@ -404,12 +562,12 @@ mod tests {
             seen: Mutex<Vec<(usize, usize)>>,
         }
         impl ResultSource for OrderSpy {
-            fn fetch(&self, _: &SweepSpec, job: &Job) -> Option<RunResult> {
+            fn fetch(&self, _: &SweepSpec, job: &Job) -> Option<Result<RunResult, JobError>> {
                 let t = self.seq.fetch_add(1, Ordering::SeqCst);
                 self.seen.lock().unwrap().push((job.id, t));
                 None
             }
-            fn offer(&self, _: &SweepSpec, _: &Job, _: &RunResult) {}
+            fn offer(&self, _: &SweepSpec, _: &Job, _: &JobOutcome) {}
         }
         let spec = spec_of(&["FwSoft"]);
         // Job 2 must start only after jobs 0 and 1 completed.
@@ -465,10 +623,10 @@ mod tests {
     fn cache_hits_skip_simulation() {
         struct Canned(RunResult);
         impl ResultSource for Canned {
-            fn fetch(&self, _: &SweepSpec, job: &Job) -> Option<RunResult> {
-                (job.id == 0).then(|| self.0.clone())
+            fn fetch(&self, _: &SweepSpec, job: &Job) -> Option<Result<RunResult, JobError>> {
+                (job.id == 0).then(|| Ok(self.0.clone()))
             }
-            fn offer(&self, _: &SweepSpec, _: &Job, _: &RunResult) {}
+            fn offer(&self, _: &SweepSpec, _: &Job, _: &JobOutcome) {}
         }
         let spec = spec_of(&["FwSoft"]);
         let jobs = spec.jobs();
@@ -483,10 +641,99 @@ mod tests {
             },
         );
         assert!(outcomes[0].cached);
+        assert_eq!(outcomes[0].attempts, 0);
         assert!(!outcomes[1].cached);
+        assert_eq!(outcomes[1].attempts, 1);
         assert_eq!(
             outcomes[0].result.as_ref().unwrap().metrics,
             canned.0.metrics
         );
+    }
+
+    #[test]
+    fn panicked_jobs_report_message_and_config() {
+        use miopt::runner::JobFault;
+        let mut spec = Arc::unwrap_or_clone(spec_of(&["FwSoft"]));
+        spec.faults = vec![JobFault::Panic(1)];
+        let spec = Arc::new(spec);
+        let outcomes = run_dag(
+            &spec,
+            &[],
+            &NoCache,
+            &PoolOptions {
+                workers: 2,
+                ..PoolOptions::default()
+            },
+        );
+        match &outcomes[1].result {
+            Err(JobError::Panicked {
+                message,
+                workload,
+                policy,
+                seed,
+            }) => {
+                assert!(
+                    message.contains("injected fault"),
+                    "panic message survives: {message}"
+                );
+                assert_eq!(workload, "FwSoft");
+                assert_eq!(policy, &spec.jobs()[1].policy.label());
+                assert_eq!(*seed, crate::provenance::GLOBAL_SEED);
+            }
+            other => panic!("expected a panic record, got {other:?}"),
+        }
+        // The panic is confined to job 1; its grid neighbours still run.
+        assert!(outcomes[0].result.is_ok());
+        assert!(outcomes[2].result.is_ok());
+    }
+
+    #[test]
+    fn hanging_jobs_are_retried_with_escalation_then_quarantined() {
+        use miopt::runner::JobFault;
+        let mut spec = Arc::unwrap_or_clone(spec_of(&["FwSoft"]));
+        spec.faults = vec![JobFault::Hang(0)];
+        let spec = Arc::new(spec);
+        let opts = PoolOptions {
+            workers: 2,
+            job_timeout: Some(Duration::from_millis(50)),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                backoff: Duration::from_millis(5),
+                escalate_timeout: true,
+            },
+            ..PoolOptions::default()
+        };
+        let outcomes = run_dag(&spec, &[], &NoCache, &opts);
+        match &outcomes[0].result {
+            Err(JobError::Quarantined { attempts, last }) => {
+                assert_eq!(*attempts, 2);
+                // The second attempt ran with a doubled wall-clock budget.
+                assert_eq!(**last, JobError::TimedOut(Duration::from_millis(100)));
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert_eq!(outcomes[0].attempts, 2);
+        assert!(outcomes[1].result.is_ok());
+        assert!(outcomes[2].result.is_ok());
+    }
+
+    #[test]
+    fn fail_fast_cancels_the_queue_after_the_first_failure() {
+        use miopt::runner::JobFault;
+        let mut spec = Arc::unwrap_or_clone(spec_of(&["FwSoft"]));
+        spec.faults = vec![JobFault::Panic(0)];
+        let spec = Arc::new(spec);
+        // One worker makes the order deterministic: job 0 panics, then
+        // the queued jobs 1 and 2 must be cancelled, never run.
+        let opts = PoolOptions {
+            workers: 1,
+            fail_fast: true,
+            ..PoolOptions::default()
+        };
+        let outcomes = run_dag(&spec, &[], &NoCache, &opts);
+        assert!(matches!(outcomes[0].result, Err(JobError::Panicked { .. })));
+        assert_eq!(outcomes[1].result, Err(JobError::Cancelled));
+        assert_eq!(outcomes[2].result, Err(JobError::Cancelled));
+        assert_eq!(outcomes[1].attempts, 0);
     }
 }

@@ -70,6 +70,7 @@ mod tests {
             result: Err(crate::pool::JobError::DepFailed(0)),
             elapsed: std::time::Duration::ZERO,
             cached: false,
+            attempts: 0,
         };
         p.report("x", &outcome);
         assert_eq!(p.done.load(Ordering::SeqCst), 1);

@@ -9,9 +9,11 @@
 //! simulator extend through the results layer.
 
 use crate::json::Json;
+use crate::pool::JobError;
 use crate::provenance::Provenance;
-use miopt::runner::RunResult;
+use miopt::runner::{RunResult, SimError};
 use miopt::Metrics;
+use miopt::StallDiagnostic;
 use miopt_cache::CacheStats;
 use miopt_dram::DramStats;
 use miopt_gpu::GpuStats;
@@ -21,7 +23,10 @@ use std::path::Path;
 /// the serialized layout; cached results from other versions are ignored.
 ///
 /// Version history:
-/// * **2** — counters flattened to the workspace-wide dotted stat-name
+/// * **2** (current) — additionally carries per-job `attempts` and, for
+///   wedged runs, a `diagnostic` object; both are additive report-only
+///   fields, so the cache file format (and therefore the version) is
+///   unchanged. Counters flattened to the workspace-wide dotted stat-name
 ///   registry (`l2.load_hits`, `dram.row_conflicts`, …) shared with
 ///   telemetry. Because the cache key includes this constant, every v1
 ///   cache entry misses and is transparently re-simulated; stale
@@ -99,8 +104,14 @@ pub struct JobRecord {
     pub elapsed_ms: u64,
     /// `"ok"`, or the failure description for panicked/timed-out jobs.
     pub status: String,
+    /// How many times the job was executed (0 when served from the
+    /// cache or a journal, ≥2 only when a retry policy re-ran it).
+    pub attempts: usize,
     /// The metrics, when the job succeeded.
     pub metrics: Option<Metrics>,
+    /// The stall diagnostic, when the simulator timed out or halted on
+    /// an invariant violation (see [`stall_diagnostic_to_json`]).
+    pub diagnostic: Option<Json>,
 }
 
 impl JobRecord {
@@ -114,12 +125,127 @@ impl JobRecord {
             ("cached".to_string(), Json::Bool(self.cached)),
             ("elapsed_ms".to_string(), Json::U64(self.elapsed_ms)),
             ("status".to_string(), Json::str(&self.status)),
+            ("attempts".to_string(), Json::U64(self.attempts as u64)),
         ];
         if let Some(m) = &self.metrics {
             pairs.push(("metrics".to_string(), metrics_to_json(m)));
         }
+        if let Some(d) = &self.diagnostic {
+            pairs.push(("diagnostic".to_string(), d.clone()));
+        }
         Json::Obj(pairs)
     }
+
+    /// The record as one compact JSON line (the journal entry format).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        self.to_json().to_compact()
+    }
+
+    /// Rebuilds a record from its JSON form (used when replaying a
+    /// resume journal).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn from_json(doc: &Json) -> Result<JobRecord, String> {
+        let field = |key: &str| doc.get(key).ok_or_else(|| format!("missing `{key}`"));
+        let text = |key: &str| {
+            field(key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{key}` is not a string"))
+        };
+        let int = |key: &str| {
+            field(key)?
+                .as_u64()
+                .ok_or_else(|| format!("`{key}` is not an integer"))
+        };
+        let metrics = match doc.get("metrics") {
+            Some(m) => Some(metrics_from_json(m)?),
+            None => None,
+        };
+        Ok(JobRecord {
+            id: int("id")? as usize,
+            workload: text("workload")?,
+            workload_id: text("workload_id")?,
+            policy: text("policy")?,
+            cache_key: text("cache_key")?,
+            cached: field("cached")?.as_bool().ok_or("`cached` is not a bool")?,
+            elapsed_ms: int("elapsed_ms")?,
+            status: text("status")?,
+            attempts: int("attempts")? as usize,
+            metrics,
+            diagnostic: doc.get("diagnostic").cloned(),
+        })
+    }
+}
+
+/// Serializes a simulator stall diagnostic for the sweep report: the
+/// stall cycle/phase/reason, the oldest in-flight request, per-queue
+/// occupancies, MSHR contents, wavefront states, and any invariant
+/// violations — everything `miopt-core` gathered when the run wedged.
+#[must_use]
+pub fn stall_diagnostic_to_json(d: &StallDiagnostic) -> Json {
+    let mut pairs = vec![
+        ("cycle".to_string(), Json::U64(d.cycle)),
+        ("phase".to_string(), Json::str(d.phase)),
+        ("reason".to_string(), Json::str(d.reason.to_string())),
+    ];
+    if let Some(oldest) = &d.oldest_request {
+        pairs.push(("oldest_request".to_string(), Json::str(oldest)));
+    }
+    pairs.push((
+        "queues".to_string(),
+        Json::Arr(
+            d.queues
+                .iter()
+                .map(|(name, occ)| {
+                    Json::obj([
+                        ("queue", Json::str(name)),
+                        ("occupancy", Json::U64(*occ as u64)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    pairs.push((
+        "mshrs".to_string(),
+        Json::Arr(
+            d.mshrs
+                .iter()
+                .map(|(component, entries)| {
+                    Json::obj([
+                        ("component", Json::str(component)),
+                        (
+                            "entries",
+                            Json::Arr(entries.iter().map(Json::str).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    pairs.push((
+        "wavefronts".to_string(),
+        Json::Arr(d.wavefronts.iter().map(Json::str).collect()),
+    ));
+    pairs.push((
+        "violations".to_string(),
+        Json::Arr(
+            d.violations
+                .iter()
+                .map(|v| {
+                    Json::obj([
+                        ("component", Json::str(&v.component)),
+                        ("invariant", Json::str(v.invariant)),
+                        ("detail", Json::str(&v.detail)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Obj(pairs)
 }
 
 /// A complete sweep report: provenance plus one record per job.
@@ -162,6 +288,40 @@ impl SweepReport {
     }
 }
 
+/// Builds one job record from its outcome (also used for per-job
+/// journal appends, where records are needed before the sweep ends).
+#[must_use]
+pub fn job_record(
+    spec: &miopt::runner::SweepSpec,
+    outcome: &crate::pool::JobOutcome,
+    key: &crate::cache::CacheKey,
+) -> JobRecord {
+    let o = outcome;
+    let w = &spec.workloads[o.job.workload];
+    let diagnostic = match &o.result {
+        Err(JobError::Sim(
+            SimError::Timeout { diagnostic, .. } | SimError::Halted { diagnostic, .. },
+        )) => Some(stall_diagnostic_to_json(diagnostic)),
+        _ => None,
+    };
+    JobRecord {
+        id: o.job.id,
+        workload: w.name.clone(),
+        workload_id: w.stable_id(),
+        policy: o.job.policy.label(),
+        cache_key: key.hex(),
+        cached: o.cached,
+        elapsed_ms: o.elapsed.as_millis() as u64,
+        status: match &o.result {
+            Ok(_) => "ok".to_string(),
+            Err(e) => e.to_string(),
+        },
+        attempts: o.attempts,
+        metrics: o.result.as_ref().ok().map(|r| r.metrics.clone()),
+        diagnostic,
+    }
+}
+
 /// Builds the job records for a finished sweep.
 #[must_use]
 pub fn job_records(
@@ -171,23 +331,7 @@ pub fn job_records(
 ) -> Vec<JobRecord> {
     outcomes
         .iter()
-        .map(|o| {
-            let w = &spec.workloads[o.job.workload];
-            JobRecord {
-                id: o.job.id,
-                workload: w.name.clone(),
-                workload_id: w.stable_id(),
-                policy: o.job.policy.label(),
-                cache_key: keys[o.job.id].hex(),
-                cached: o.cached,
-                elapsed_ms: o.elapsed.as_millis() as u64,
-                status: match &o.result {
-                    Ok(_) => "ok".to_string(),
-                    Err(e) => e.to_string(),
-                },
-                metrics: o.result.as_ref().ok().map(|r| r.metrics.clone()),
-            }
-        })
+        .map(|o| job_record(spec, o, &keys[o.job.id]))
         .collect()
 }
 

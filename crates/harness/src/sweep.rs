@@ -1,13 +1,16 @@
 //! High-level sweep orchestration: a [`SweepSpec`] in, executed through
-//! the worker pool with optional persistent caching, a [`SweepReport`]
-//! (provenance + per-job records) out.
+//! the worker pool with optional persistent caching and crash-resilient
+//! journaling, a [`SweepReport`] (provenance + per-job records) out.
 
 use crate::cache::{CacheKey, ResultCache};
-use crate::pool::{run_dag, JobOutcome, NoCache, PoolOptions, ResultSource};
+use crate::journal::{self, Journal, JournalWriter};
+use crate::pool::{run_dag, JobError, JobOutcome, NoCache, PoolOptions, ResultSource};
 use crate::provenance::Provenance;
-use crate::results::{job_records, SweepReport};
+use crate::results::{job_record, job_records, JobRecord, SweepReport};
 use miopt::runner::{Job, RunResult, SweepSpec};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Orchestration options for one sweep.
@@ -19,6 +22,16 @@ pub struct SweepOptions {
     pub cache: Option<ResultCache>,
 }
 
+/// Where a journaled sweep keeps its write-ahead state, and whether this
+/// invocation resumes an interrupted run.
+#[derive(Debug, Clone)]
+pub struct JournalOptions {
+    /// Directory holding journals and reports (normally `results/runs`).
+    pub dir: PathBuf,
+    /// Resume: replay the existing journal instead of starting fresh.
+    pub resume: bool,
+}
+
 /// A finished sweep: every job outcome plus the structured report.
 #[derive(Debug, Clone)]
 pub struct SweepRun {
@@ -26,6 +39,9 @@ pub struct SweepRun {
     pub outcomes: Vec<JobOutcome>,
     /// The report ready to write under `results/runs/`.
     pub report: SweepReport,
+    /// Journal state files to remove once the final report is safely on
+    /// disk (empty for unjournaled sweeps).
+    pub cleanup: Vec<PathBuf>,
 }
 
 impl SweepRun {
@@ -50,6 +66,14 @@ impl SweepRun {
             Err(failures.join("\n"))
         }
     }
+
+    /// Removes journal/partial files left behind by a journaled sweep.
+    /// Call only after the final report has been written.
+    pub fn remove_journal_state(&self) {
+        for path in &self.cleanup {
+            let _ = std::fs::remove_file(path);
+        }
+    }
 }
 
 /// [`ResultSource`] adapter over the persistent cache. Store failures
@@ -60,11 +84,12 @@ struct CacheSource {
 }
 
 impl ResultSource for CacheSource {
-    fn fetch(&self, spec: &SweepSpec, job: &Job) -> Option<RunResult> {
-        self.cache.load(spec, job)
+    fn fetch(&self, spec: &SweepSpec, job: &Job) -> Option<Result<RunResult, JobError>> {
+        self.cache.load(spec, job).map(Ok)
     }
 
-    fn offer(&self, spec: &SweepSpec, job: &Job, result: &RunResult) {
+    fn offer(&self, spec: &SweepSpec, job: &Job, outcome: &JobOutcome) {
+        let Ok(result) = &outcome.result else { return };
         if let Err(e) = self.cache.store(spec, job, result) {
             eprintln!(
                 "warning: result cache store failed for {}: {e}",
@@ -74,13 +99,164 @@ impl ResultSource for CacheSource {
     }
 }
 
-/// Runs every job of `spec` and assembles the report named `name`.
+/// The continuously rewritten partial report of a journaled sweep: after
+/// every job, `<name>.partial.json` is atomically replaced so that a
+/// kill at *any* instant leaves a well-formed report of everything done
+/// so far. This is the graceful-interruption mechanism — no signal
+/// handler needed.
+struct PartialState {
+    path: PathBuf,
+    name: String,
+    provenance: Provenance,
+    records: Mutex<Vec<JobRecord>>,
+}
+
+impl PartialState {
+    fn push_and_rewrite(&self, rec: JobRecord) {
+        let mut records = self.records.lock().expect("partial-report lock");
+        records.push(rec);
+        let mut jobs = records.clone();
+        jobs.sort_by_key(|r| r.id);
+        let report = SweepReport {
+            name: self.name.clone(),
+            provenance: self.provenance.clone(),
+            jobs,
+        };
+        if let Err(e) = journal::replace_file(&self.path, &report.to_json().to_pretty()) {
+            eprintln!("warning: partial report write failed: {e}");
+        }
+    }
+}
+
+/// [`ResultSource`] for journaled sweeps: replays journal entries from a
+/// previous (killed) run, falls through to the persistent cache, and
+/// write-ahead-logs every freshly computed outcome.
+struct JournalSource {
+    /// Outcomes recorded by the interrupted run, by job id.
+    served: HashMap<usize, JobRecord>,
+    writer: JournalWriter,
+    inner: Option<CacheSource>,
+    partial: PartialState,
+}
+
+impl ResultSource for JournalSource {
+    fn fetch(&self, spec: &SweepSpec, job: &Job) -> Option<Result<RunResult, JobError>> {
+        if let Some(rec) = self.served.get(&job.id) {
+            return Some(replay(spec, job, rec));
+        }
+        self.inner.as_ref().and_then(|c| c.fetch(spec, job))
+    }
+
+    fn offer(&self, spec: &SweepSpec, job: &Job, outcome: &JobOutcome) {
+        let rec = job_record(spec, outcome, &CacheKey::for_job(spec, job));
+        if let Err(e) = self.writer.append(&rec) {
+            eprintln!(
+                "warning: journal append failed for {}: {e}",
+                spec.job_label(job)
+            );
+        }
+        if let Some(inner) = &self.inner {
+            inner.offer(spec, job, outcome);
+        }
+        self.partial.push_and_rewrite(rec);
+    }
+}
+
+/// Reconstructs a pool outcome from a journaled record: successes
+/// rebuild the [`RunResult`] from the stored metrics; failures replay as
+/// [`JobError::Journaled`] without re-running the job.
+fn replay(spec: &SweepSpec, job: &Job, rec: &JobRecord) -> Result<RunResult, JobError> {
+    match &rec.metrics {
+        Some(m) => Ok(RunResult {
+            workload: spec.workloads[job.workload].name.clone(),
+            policy: job.policy,
+            metrics: m.clone(),
+            telemetry: None,
+        }),
+        None => Err(JobError::Journaled(rec.status.clone())),
+    }
+}
+
+/// Journal state threaded through a journaled sweep.
+struct JournalState {
+    served: HashMap<usize, JobRecord>,
+    writer: JournalWriter,
+    dir: PathBuf,
+}
+
+/// Runs every job of `spec` and assembles the report named `name`,
+/// without journaling.
 ///
 /// When the spec enables telemetry, the result cache is bypassed for the
 /// whole sweep: cached entries store metrics only, and serving a hit
 /// would silently drop that job's time series.
 #[must_use]
 pub fn run_sweep(spec: &Arc<SweepSpec>, name: &str, opts: &SweepOptions) -> SweepRun {
+    run_sweep_core(spec, name, opts, None)
+}
+
+/// Runs a sweep with a write-ahead journal under `journal.dir`, so a
+/// killed run can be resumed with `journal.resume = true` (the CLI's
+/// `--resume <run-id>`). Resumed jobs are replayed from the journal —
+/// never re-simulated — and the final report matches an uninterrupted
+/// run modulo timing fields.
+///
+/// # Errors
+///
+/// Returns a description when the spec has telemetry enabled (time
+/// series are not journaled), when resuming and the journal is missing
+/// or belongs to a different sweep, or when the journal cannot be
+/// created.
+pub fn run_sweep_journaled(
+    spec: &Arc<SweepSpec>,
+    name: &str,
+    opts: &SweepOptions,
+    journal: &JournalOptions,
+) -> Result<SweepRun, String> {
+    if spec.run_opts.telemetry_interval.is_some() {
+        return Err(
+            "telemetry sweeps cannot be journaled: time series are not written to the \
+             journal, so a resumed run would silently lose them"
+                .to_string(),
+        );
+    }
+    let served: HashMap<usize, JobRecord> = if journal.resume {
+        let loaded = Journal::load(&journal.dir, name, spec)?;
+        loaded.entries.into_iter().map(|r| (r.id, r)).collect()
+    } else {
+        HashMap::new()
+    };
+    let writer = if journal.resume {
+        JournalWriter::append_to(&journal.dir, name)
+    } else {
+        JournalWriter::create(&journal.dir, name, spec)
+    }
+    .map_err(|e| format!("cannot open journal for run `{name}`: {e}"))?;
+    if journal.resume {
+        eprintln!(
+            "resuming `{name}`: {} of {} jobs already journaled",
+            served.len(),
+            spec.job_count()
+        );
+    }
+    Ok(run_sweep_core(
+        spec,
+        name,
+        opts,
+        Some(JournalState {
+            served,
+            writer,
+            dir: journal.dir.clone(),
+        }),
+    ))
+}
+
+fn run_sweep_core(
+    spec: &Arc<SweepSpec>,
+    name: &str,
+    opts: &SweepOptions,
+    journal: Option<JournalState>,
+) -> SweepRun {
     let workers = opts.pool.effective_workers();
     let mut provenance = Provenance::collect(&spec.cfg, workers);
     provenance.telemetry_interval = spec.run_opts.telemetry_interval;
@@ -93,14 +269,32 @@ pub fn run_sweep(spec: &Arc<SweepSpec>, name: &str, opts: &SweepOptions) -> Swee
         &opts.cache
     };
     let started = Instant::now();
-    let outcomes = match cache {
-        Some(cache) => {
-            let source = CacheSource {
-                cache: cache.clone(),
+    let (outcomes, journaled) = match journal {
+        Some(js) => {
+            let served = js.served.clone();
+            let source = JournalSource {
+                served: js.served,
+                writer: js.writer,
+                inner: cache.clone().map(|cache| CacheSource { cache }),
+                partial: PartialState {
+                    path: journal::partial_path(&js.dir, name),
+                    name: name.to_string(),
+                    provenance: provenance.clone(),
+                    records: Mutex::new(served.values().cloned().collect()),
+                },
             };
-            run_dag(spec, &[], &source, &opts.pool)
+            let outcomes = run_dag(spec, &[], &source, &opts.pool);
+            (outcomes, Some((served, js.dir)))
         }
-        None => run_dag(spec, &[], &NoCache, &opts.pool),
+        None => match cache {
+            Some(cache) => {
+                let source = CacheSource {
+                    cache: cache.clone(),
+                };
+                (run_dag(spec, &[], &source, &opts.pool), None)
+            }
+            None => (run_dag(spec, &[], &NoCache, &opts.pool), None),
+        },
     };
     provenance.elapsed_ms = started.elapsed().as_millis() as u64;
     let keys: Vec<CacheKey> = spec
@@ -108,12 +302,34 @@ pub fn run_sweep(spec: &Arc<SweepSpec>, name: &str, opts: &SweepOptions) -> Swee
         .iter()
         .map(|j| CacheKey::for_job(spec, j))
         .collect();
+    let mut jobs = job_records(spec, &outcomes, &keys);
+    let mut cleanup = Vec::new();
+    if let Some((served, dir)) = journaled {
+        // Journal-served jobs keep the record of the run that actually
+        // computed them (original status, attempts, elapsed), so the
+        // resumed report matches the uninterrupted one.
+        for rec in served.into_values() {
+            let id = rec.id;
+            jobs[id] = rec;
+        }
+        cleanup.push(journal::journal_path(&dir, name));
+        cleanup.push(journal::partial_path(&dir, name));
+    }
+    provenance.quarantined = jobs
+        .iter()
+        .filter(|r| r.status.starts_with("quarantined"))
+        .map(|r| format!("{}/{}", r.workload, r.policy))
+        .collect();
     let report = SweepReport {
         name: name.to_string(),
         provenance,
-        jobs: job_records(spec, &outcomes, &keys),
+        jobs,
     };
-    SweepRun { outcomes, report }
+    SweepRun {
+        outcomes,
+        report,
+        cleanup,
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +353,7 @@ mod tests {
         assert_eq!(run.report.jobs.len(), spec.job_count());
         assert_eq!(run.report.name, "unit");
         assert!(run.report.jobs.iter().all(|j| j.status == "ok"));
+        assert!(run.cleanup.is_empty(), "unjournaled sweeps leave no state");
         let results = run.results(&spec).expect("all jobs succeed");
         let statics = spec.assemble_statics(&results);
         assert_eq!(statics.len(), 1);
@@ -166,6 +383,102 @@ mod tests {
                 "cached results must be bit-identical to fresh ones"
             );
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Strips the timing fields a resume legitimately changes, leaving
+    /// everything that must be byte-identical.
+    fn stable_json(report: &SweepReport) -> String {
+        let mut doc = report.to_json();
+        fn scrub(doc: &mut crate::json::Json) {
+            use crate::json::Json;
+            if let Json::Obj(pairs) = doc {
+                pairs.retain(|(k, _)| {
+                    !matches!(
+                        k.as_str(),
+                        "elapsed_ms" | "started_unix_ms" | "git_dirty" | "git_rev"
+                    )
+                });
+                for (_, v) in pairs.iter_mut() {
+                    scrub(v);
+                }
+            }
+            if let Json::Arr(items) = doc {
+                for v in items.iter_mut() {
+                    scrub(v);
+                }
+            }
+        }
+        scrub(&mut doc);
+        doc.to_pretty()
+    }
+
+    #[test]
+    fn killed_sweeps_resume_without_rerunning_finished_jobs() {
+        let dir = std::env::temp_dir().join(format!("miopt-resume-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = test_spec();
+        let journal_opts = JournalOptions {
+            dir: dir.clone(),
+            resume: false,
+        };
+
+        // Reference: an uninterrupted journaled run.
+        let full = run_sweep_journaled(&spec, "ref", &SweepOptions::default(), &journal_opts)
+            .expect("journaled sweep runs");
+        assert!(full.report.jobs.iter().all(|j| j.status == "ok"));
+        assert!(
+            journal::journal_path(&dir, "ref").exists(),
+            "journal exists until explicitly cleaned up"
+        );
+        full.remove_journal_state();
+        assert!(!journal::journal_path(&dir, "ref").exists());
+
+        // Simulate a SIGKILL after two jobs: hand-build the journal an
+        // interrupted run would have left behind.
+        let w = JournalWriter::create(&dir, "killed", &spec).unwrap();
+        for rec in &full.report.jobs[..2] {
+            w.append(rec).unwrap();
+        }
+        drop(w);
+
+        // Resume must complete the sweep, replaying — not re-running —
+        // the two journaled jobs.
+        let resumed = run_sweep_journaled(
+            &spec,
+            "killed",
+            &SweepOptions::default(),
+            &JournalOptions {
+                dir: dir.clone(),
+                resume: true,
+            },
+        )
+        .expect("resume succeeds");
+        assert!(resumed.outcomes[0].cached, "journaled job replayed");
+        assert!(resumed.outcomes[1].cached, "journaled job replayed");
+        assert_eq!(resumed.outcomes[0].attempts, 0);
+        assert!(!resumed.outcomes[2].cached, "missing job simulated");
+
+        // The resumed report is byte-identical modulo timing fields
+        // (the report keeps the *original* run's records for replayed
+        // jobs, so even their `cached`/`attempts` flags match).
+        let mut reference = full.report.clone();
+        reference.name = "killed".to_string();
+        assert_eq!(stable_json(&reference), stable_json(&resumed.report));
+
+        // Resuming a completed-and-cleaned run is a descriptive error.
+        resumed.remove_journal_state();
+        let err = run_sweep_journaled(
+            &spec,
+            "killed",
+            &SweepOptions::default(),
+            &JournalOptions {
+                dir: dir.clone(),
+                resume: true,
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("no journal"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

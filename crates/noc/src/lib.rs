@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use miopt_engine::sentinel::{InvariantViolation, Sentinel};
 use miopt_engine::stats::Counter;
 use miopt_engine::{Cycle, TimedQueue};
 
@@ -152,6 +153,39 @@ impl Crossbar {
     }
 }
 
+impl Sentinel for Crossbar {
+    fn check_invariants(&self, component: &str, out: &mut Vec<InvariantViolation>) {
+        if self.budget.len() != self.outputs {
+            out.push(InvariantViolation {
+                component: component.to_string(),
+                invariant: "budget_dimensions",
+                detail: format!(
+                    "{} budget slots for {} output ports",
+                    self.budget.len(),
+                    self.outputs
+                ),
+            });
+        }
+        if let Some(b) = self.budget.iter().find(|b| **b > self.per_output) {
+            out.push(InvariantViolation {
+                component: component.to_string(),
+                invariant: "bandwidth_budget",
+                detail: format!("port budget {b} exceeds per_output {}", self.per_output),
+            });
+        }
+        if self.rr_start >= self.inputs {
+            out.push(InvariantViolation {
+                component: component.to_string(),
+                invariant: "arbitration_cursor",
+                detail: format!(
+                    "round-robin start {} out of range for {} inputs",
+                    self.rr_start, self.inputs
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +276,21 @@ mod tests {
         ins[0].push(Cycle(0), 1).unwrap(); // ready at cycle 5
         assert_eq!(x.tick(Cycle(0), &mut ins, &mut outs, |_| 0), 0);
         assert_eq!(x.tick(Cycle(5), &mut ins, &mut outs, |_| 0), 1);
+    }
+
+    #[test]
+    fn sentinel_stays_quiet_across_ticks() {
+        let mut x = Crossbar::new(2, 2, 1);
+        let mut ins = queues(2, 8);
+        let mut outs = queues(2, 8);
+        ins[0].push(Cycle(0), 0).unwrap();
+        ins[1].push(Cycle(0), 1).unwrap();
+        let mut out = Vec::new();
+        for cycle in 0..4 {
+            x.tick(Cycle(cycle), &mut ins, &mut outs, |v| (*v % 2) as usize);
+            x.check_invariants("noc.req", &mut out);
+        }
+        assert!(out.is_empty(), "violations: {out:?}");
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn sweep_two_policies(
         ],
         n_static: 2,
         run_opts: RunOptions::default(),
+        faults: Vec::new(),
     });
     let run = run_sweep(&spec, name, &SweepOptions::default());
     let results = run.results(&spec).expect("sweep jobs succeed");

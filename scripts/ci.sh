@@ -45,6 +45,47 @@ test -s "$smoke_dir/smoke-telemetry/FwSoft-Uncached.trace.json"
 test -s "$smoke_dir/smoke-telemetry/FwSoft-CacheRW.jsonl"
 echo "telemetry smoke run ok"
 
+echo "== invariant-checked debug sweep =="
+# Debug builds run the sentinel unconditionally; pass --check-invariants
+# anyway so the flag path itself is exercised. Any conservation slip or
+# watchdog trip fails the job and (via the nonzero harness exit) the gate.
+cargo run -q -p miopt-harness -- \
+    --scale quick --only FwSoft --fig6 --no-cache --no-journal --quiet \
+    --check-invariants --out "$smoke_dir" --sweep-name checked >/dev/null
+grep -q '"status": "ok"' "$smoke_dir/checked.json"
+echo "invariant-checked sweep ok"
+
+echo "== journal resume smoke test (SIGKILL + --resume) =="
+# Start a serialized sweep, SIGKILL it after the first job commits to the
+# write-ahead journal, then resume the run id: the finished jobs must be
+# served from the journal and the sweep must complete and clean up.
+rs=resume-smoke
+journal="$smoke_dir/$rs.journal.jsonl"
+cargo run --release -q -p miopt-harness -- \
+    --scale paper --only FwPool,BwPool --fig6 --no-cache --quiet --jobs 1 \
+    --out "$smoke_dir" --sweep-name "$rs" >/dev/null 2>&1 &
+sweep_pid=$!
+for _ in $(seq 1 600); do
+    [[ -f "$journal" && "$(wc -l <"$journal")" -ge 2 ]] && break
+    sleep 0.1
+done
+kill -9 "$sweep_pid" 2>/dev/null || true
+wait "$sweep_pid" 2>/dev/null || true
+if [[ ! -f "$journal" ]]; then
+    echo "resume smoke: sweep finished before SIGKILL; enlarge the grid" >&2
+    exit 1
+fi
+journaled=$(($(wc -l <"$journal") - 1))
+cargo run --release -q -p miopt-harness -- \
+    --scale paper --only FwPool,BwPool --fig6 --no-cache --quiet --jobs 1 \
+    --out "$smoke_dir" --resume "$rs" >/dev/null 2>"$smoke_dir/resume.log"
+grep -q "already journaled" "$smoke_dir/resume.log"
+test -s "$smoke_dir/$rs.json"
+[[ "$(grep -c '"status": "ok"' "$smoke_dir/$rs.json")" -eq 6 ]]
+# The journal and partial report are removed once the final report lands.
+[[ ! -e "$journal" && ! -e "$smoke_dir/$rs.partial.json" ]]
+echo "resume smoke ok ($journaled job(s) journaled before SIGKILL, 6 ok after resume)"
+
 if [[ $full -eq 1 ]]; then
     echo "== cargo clippy -p miopt-bench =="
     cargo clippy -p miopt-bench --all-targets -- -D warnings
