@@ -1,0 +1,140 @@
+//! Simulator throughput: simulated cycles per wall-second with
+//! event-driven time skipping on (the default) vs off (`--no-skip`).
+//!
+//! Latency-bound runs — few wavefronts covering long DRAM round trips,
+//! the `Uncached` RNN configurations above all — spend most simulated
+//! cycles with every component provably idle, which is exactly what the
+//! time skipper warps over. Bandwidth-bound runs keep the hierarchy busy
+//! nearly every cycle, so their ratio stays near 1.0 and mostly measures
+//! the `next_event` overhead.
+//!
+//! Two machines are measured: the paper's Table 1 APU, and the same
+//! memory system seen from a 4x-clocked GPU (`latency4x`) — every
+//! interconnect/DRAM hop takes 4x as many core cycles, the modern-GPU
+//! regime where an uncached DRAM round trip costs several hundred
+//! cycles. The more latency-bound the machine, the larger the idle
+//! stretches and the bigger the win from skipping them.
+//!
+//! Pass a path argument to also write the measurements as JSON (the
+//! `results/BENCH_skipahead.json` trajectory file):
+//!
+//! ```text
+//! cargo bench -p miopt-bench --bench sim_throughput -- results/BENCH_skipahead.json
+//! ```
+
+use miopt::runner::{run_one_with, RunOptions};
+use miopt::{CachePolicy, PolicyConfig, SystemConfig};
+use miopt_bench::timing::measure;
+use miopt_workloads::{by_name, SuiteConfig};
+
+struct Entry {
+    config: &'static str,
+    workload: &'static str,
+    policy: String,
+    cycles: u64,
+    skip_secs: f64,
+    no_skip_secs: f64,
+}
+
+/// The Table 1 memory system as seen from a GPU clocked 4x higher:
+/// identical topology and bandwidth, every latency in core cycles
+/// scaled by 4.
+fn latency4x() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_table1();
+    cfg.lat_cu_l1 *= 4;
+    cfg.lat_l1_resp *= 4;
+    cfg.lat_l1_l2 *= 4;
+    cfg.lat_l2_resp *= 4;
+    cfg.lat_l2_dram *= 4;
+    cfg.lat_dram_resp *= 4;
+    cfg.validate().expect("scaled config is valid");
+    cfg
+}
+
+fn main() {
+    // Cargo forwards its own `--bench` flag to the binary; the JSON
+    // output path is the first non-flag argument.
+    let out_path = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+    let s = SuiteConfig::quick();
+    let paper = SystemConfig::paper_table1();
+    let lat4 = latency4x();
+    // Latency-bound RNN configs and one bandwidth-bound control, on both
+    // machines.
+    let cases = [
+        ("paper", &paper, "FwGRU", CachePolicy::Uncached),
+        ("paper", &paper, "FwLSTM", CachePolicy::Uncached),
+        ("paper", &paper, "FwGRU", CachePolicy::CacheRW),
+        ("paper", &paper, "BwBN", CachePolicy::CacheRW),
+        ("latency4x", &lat4, "FwGRU", CachePolicy::Uncached),
+        ("latency4x", &lat4, "FwLSTM", CachePolicy::Uncached),
+    ];
+    let mut entries = Vec::new();
+    for (cfg_name, cfg, name, policy) in cases {
+        let w = by_name(&s, name).expect("suite workload");
+        let p = PolicyConfig::of(policy);
+        let mut cycles = 0u64;
+        let label = format!("{cfg_name}/{name}/{p}");
+        let skip_secs = measure(&format!("{label} skip"), 3, || {
+            let r = run_one_with(cfg, &w, p, &RunOptions::default()).expect("run");
+            cycles = r.metrics.cycles;
+        });
+        let per_cycle = RunOptions {
+            no_skip: true,
+            ..RunOptions::default()
+        };
+        let no_skip_secs = measure(&format!("{label} no-skip"), 3, || {
+            run_one_with(cfg, &w, p, &per_cycle).expect("run");
+        });
+        println!(
+            "{label}: {cycles} cycles; {:.1}M cyc/s skipped vs {:.1}M cyc/s per-cycle; \
+             speedup {:.2}x",
+            cycles as f64 / skip_secs / 1e6,
+            cycles as f64 / no_skip_secs / 1e6,
+            no_skip_secs / skip_secs.max(1e-12),
+        );
+        entries.push(Entry {
+            config: cfg_name,
+            workload: name,
+            policy: p.label(),
+            cycles,
+            skip_secs,
+            no_skip_secs,
+        });
+    }
+    let best = entries
+        .iter()
+        .map(|e| e.no_skip_secs / e.skip_secs.max(1e-12))
+        .fold(0.0f64, f64::max);
+    println!("best speedup: {best:.2}x");
+
+    if let Some(path) = out_path {
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let rows: Vec<String> = entries
+            .iter()
+            .map(|e| {
+                format!(
+                    "    {{\"config\": \"{}\", \"workload\": \"{}\", \"policy\": \"{}\", \
+                     \"cycles\": {}, \"skip_secs\": {:.6}, \"no_skip_secs\": {:.6}, \
+                     \"speedup\": {:.3}}}",
+                    e.config,
+                    e.workload,
+                    e.policy,
+                    e.cycles,
+                    e.skip_secs,
+                    e.no_skip_secs,
+                    e.no_skip_secs / e.skip_secs.max(1e-12),
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"sim_throughput\",\n  \"schema\": \"miopt-skipahead-v2\",\n  \
+             \"unix_time\": {unix_time},\n  \"suite\": \"quick\",\n  \
+             \"entries\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n"),
+        );
+        std::fs::write(&path, json).expect("write bench json");
+        println!("(wrote {path})");
+    }
+}

@@ -1,5 +1,5 @@
+use crate::tags::set_index_for;
 use miopt_engine::{LineAddr, MemReq, ReqId};
-use std::collections::HashMap;
 
 /// Why a request could not be added to the MSHR table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,28 +33,56 @@ pub(crate) struct MshrEntry {
 /// may be coalesced while the original bypass request is pending".
 #[derive(Debug)]
 pub(crate) struct MshrTable {
-    entries: HashMap<LineAddr, MshrEntry>,
+    /// Outstanding entries bucketed by cache set index — the same dense
+    /// direct index the tag array uses — instead of hashing the full line
+    /// address. The lookup accompanying every cache access then touches
+    /// one short bucket (almost always empty or a single entry) with no
+    /// hasher on the path.
+    buckets: Vec<Vec<(LineAddr, MshrEntry)>>,
+    sets: usize,
+    low_bits: u32,
+    skip_bits: u32,
+    len: usize,
     capacity: usize,
     merge_cap: usize,
 }
 
 impl MshrTable {
-    pub(crate) fn new(capacity: usize, merge_cap: usize) -> MshrTable {
+    /// Builds a table bucketed by the owning cache's set geometry (`sets`,
+    /// `low_bits`, `skip_bits` as in [`set_index_for`]).
+    pub(crate) fn new(
+        capacity: usize,
+        merge_cap: usize,
+        sets: usize,
+        low_bits: u32,
+        skip_bits: u32,
+    ) -> MshrTable {
         MshrTable {
-            entries: HashMap::with_capacity(capacity),
+            buckets: (0..sets).map(|_| Vec::new()).collect(),
+            sets,
+            low_bits,
+            skip_bits,
+            len: 0,
             capacity,
             merge_cap,
         }
     }
 
+    fn bucket_of(&self, line: LineAddr) -> usize {
+        set_index_for(line, self.sets, self.low_bits, self.skip_bits)
+    }
+
     /// Whether a new entry can be allocated.
     pub(crate) fn has_free_entry(&self) -> bool {
-        self.entries.len() < self.capacity
+        self.len < self.capacity
     }
 
     /// The entry for `line`, if one is outstanding.
     pub(crate) fn get(&self, line: LineAddr) -> Option<&MshrEntry> {
-        self.entries.get(&line)
+        self.buckets[self.bucket_of(line)]
+            .iter()
+            .find(|(l, _)| *l == line)
+            .map(|(_, e)| e)
     }
 
     /// Allocates a new entry with `req` as the primary.
@@ -70,7 +98,13 @@ impl MshrTable {
         reserved: Option<(usize, usize)>,
     ) {
         debug_assert!(self.has_free_entry());
-        let prev = self.entries.insert(
+        debug_assert!(
+            self.get(req.line).is_none(),
+            "duplicate MSHR entry for {}",
+            req.line
+        );
+        let b = self.bucket_of(req.line);
+        self.buckets[b].push((
             req.line,
             MshrEntry {
                 primary: req.id,
@@ -78,8 +112,8 @@ impl MshrTable {
                 allocates,
                 reserved,
             },
-        );
-        debug_assert!(prev.is_none(), "duplicate MSHR entry for {}", req.line);
+        ));
+        self.len += 1;
     }
 
     /// Merges `req` into the existing entry for its line.
@@ -89,10 +123,11 @@ impl MshrTable {
     /// Returns the request back if there is no entry or the merge list is
     /// full.
     pub(crate) fn merge(&mut self, req: MemReq) -> Result<(), (MemReq, MshrReject)> {
-        match self.entries.get_mut(&req.line) {
+        let b = self.bucket_of(req.line);
+        match self.buckets[b].iter_mut().find(|(l, _)| *l == req.line) {
             None => Err((req, MshrReject::Full)),
-            Some(e) if e.waiters.len() >= self.merge_cap => Err((req, MshrReject::MergeFull)),
-            Some(e) => {
+            Some((_, e)) if e.waiters.len() >= self.merge_cap => Err((req, MshrReject::MergeFull)),
+            Some((_, e)) => {
                 e.waiters.push(req);
                 Ok(())
             }
@@ -101,20 +136,22 @@ impl MshrTable {
 
     /// Removes and returns the entry for `line` if its primary id is `id`.
     pub(crate) fn complete(&mut self, line: LineAddr, id: ReqId) -> Option<MshrEntry> {
-        match self.entries.get(&line) {
-            Some(e) if e.primary == id => self.entries.remove(&line),
-            _ => None,
-        }
+        let b = self.bucket_of(line);
+        let pos = self.buckets[b]
+            .iter()
+            .position(|(l, e)| *l == line && e.primary == id)?;
+        self.len -= 1;
+        Some(self.buckets[b].remove(pos).1)
     }
 
     /// Number of outstanding entries.
     pub(crate) fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether no misses are outstanding.
     pub(crate) fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Configured entry capacity (sentinel checks).
@@ -130,22 +167,28 @@ impl MshrTable {
     /// Iterates over outstanding entries in unspecified order; callers
     /// needing determinism must sort by line.
     pub(crate) fn iter(&self) -> impl Iterator<Item = (&LineAddr, &MshrEntry)> {
-        self.entries.iter()
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|(l, e)| (l, e)))
     }
 
     /// Fault-injection hook: inserts a phantom entry whose primary id will
     /// never be answered by a fill, modeling a leaked MSHR. Sentinel
     /// validation only.
     pub(crate) fn inject_phantom(&mut self, req: MemReq, allocating: bool) {
-        self.entries.insert(
-            req.line,
-            MshrEntry {
-                primary: req.id,
-                waiters: vec![req],
-                allocates: allocating,
-                reserved: None,
-            },
-        );
+        let b = self.bucket_of(req.line);
+        let entry = MshrEntry {
+            primary: req.id,
+            waiters: vec![req],
+            allocates: allocating,
+            reserved: None,
+        };
+        if let Some(slot) = self.buckets[b].iter_mut().find(|(l, _)| *l == req.line) {
+            slot.1 = entry;
+        } else {
+            self.buckets[b].push((req.line, entry));
+            self.len += 1;
+        }
     }
 }
 
@@ -168,7 +211,7 @@ mod tests {
 
     #[test]
     fn allocate_then_complete_returns_waiters() {
-        let mut m = MshrTable::new(2, 4);
+        let mut m = MshrTable::new(2, 4, 4, 31, 0);
         m.allocate(req(1, 10), true, Some((0, 1)));
         m.merge(req(2, 10)).unwrap();
         m.merge(req(3, 10)).unwrap();
@@ -180,7 +223,7 @@ mod tests {
 
     #[test]
     fn complete_with_wrong_id_is_passthrough() {
-        let mut m = MshrTable::new(2, 4);
+        let mut m = MshrTable::new(2, 4, 4, 31, 0);
         m.allocate(req(1, 10), false, None);
         // A different (untracked) request's response for the same line must
         // not consume the entry.
@@ -190,7 +233,7 @@ mod tests {
 
     #[test]
     fn merge_cap_is_enforced() {
-        let mut m = MshrTable::new(2, 2);
+        let mut m = MshrTable::new(2, 2, 4, 31, 0);
         m.allocate(req(1, 10), false, None);
         m.merge(req(2, 10)).unwrap();
         let (back, why) = m.merge(req(3, 10)).unwrap_err();
@@ -200,7 +243,7 @@ mod tests {
 
     #[test]
     fn capacity_is_tracked() {
-        let mut m = MshrTable::new(1, 2);
+        let mut m = MshrTable::new(1, 2, 4, 31, 0);
         assert!(m.has_free_entry());
         m.allocate(req(1, 10), false, None);
         assert!(!m.has_free_entry());
@@ -210,7 +253,7 @@ mod tests {
 
     #[test]
     fn merge_without_entry_is_rejected() {
-        let mut m = MshrTable::new(1, 2);
+        let mut m = MshrTable::new(1, 2, 4, 31, 0);
         let (back, why) = m.merge(req(1, 5)).unwrap_err();
         assert_eq!(back.line, LineAddr(5));
         assert_eq!(why, MshrReject::Full);

@@ -93,7 +93,13 @@ impl CacheUnit {
         let predictor = policy.pc_bypass.clone().map(PcPredictor::new);
         CacheUnit {
             tags: TagArray::new(cfg.sets, cfg.ways, cfg.index_low_bits, cfg.index_skip_bits),
-            mshr: MshrTable::new(cfg.mshr_entries, cfg.mshr_merge_cap),
+            mshr: MshrTable::new(
+                cfg.mshr_entries,
+                cfg.mshr_merge_cap,
+                cfg.sets,
+                cfg.index_low_bits,
+                cfg.index_skip_bits,
+            ),
             dbi,
             predictor,
             stats: CacheStats::default(),
@@ -133,6 +139,22 @@ impl CacheUnit {
         !self.mshr.is_empty() || !self.pending_flush.is_empty() || !self.replay.is_empty()
     }
 
+    /// The earliest cycle at or after `now` at which this cache might act
+    /// on its own, or `None` if it only reacts to queue traffic.
+    ///
+    /// Parked replays and an in-progress flush retry every cycle, so they
+    /// pin the event to `now`. Outstanding MSHR entries do *not*: their
+    /// fills arrive through timed queues whose own deadlines drive the
+    /// event wheel.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.replay.is_empty() || !self.pending_flush.is_empty() {
+            Some(now)
+        } else {
+            None
+        }
+    }
+
     /// Services the cache's input queue for one cycle, including the
     /// miss-replay discipline of real GPU cache pipelines: a request
     /// blocked on cache *resources* (all ways busy, MSHRs full, merge list
@@ -144,13 +166,16 @@ impl CacheUnit {
     /// Section VI.C.2) — and what the allocation-bypass optimization
     /// largely eliminates, by converting would-block requests to bypasses
     /// instead of parking them.
+    /// Returns whether any request was consumed this cycle (serviced from
+    /// the replay buffer or the input queue, or parked for replay).
     pub fn service(
         &mut self,
         now: Cycle,
         input: &mut TimedQueue<MemReq>,
         down: &mut TimedQueue<MemReq>,
         up: &mut TimedQueue<MemResp>,
-    ) {
+    ) -> bool {
+        let mut acted = false;
         let mut deferred = false;
         for _ in 0..self.cfg.port_width {
             // Parked replays retry with priority, but a still-blocked
@@ -159,15 +184,17 @@ impl CacheUnit {
             if let Some(&req) = self.replay.front() {
                 if self.access(now, req, down, up).is_ok() {
                     self.replay.pop_front();
+                    acted = true;
                     continue;
                 }
             }
             let Some(&req) = input.ready_front(now) else {
-                return;
+                return acted;
             };
             match self.access(now, req, down, up) {
                 Ok(_) => {
                     input.pop_ready(now);
+                    acted = true;
                 }
                 Err(Blocked::SetBusy | Blocked::MshrFull | Blocked::MergeFull)
                     if !deferred && self.replay.len() < REPLAY_CAPACITY =>
@@ -176,10 +203,12 @@ impl CacheUnit {
                     let req = input.pop_ready(now).expect("head was ready");
                     self.replay.push_back(req);
                     deferred = true;
+                    acted = true;
                 }
-                Err(_) => return,
+                Err(_) => return acted,
             }
         }
+        acted
     }
 
     fn next_wb_id(&mut self) -> ReqId {

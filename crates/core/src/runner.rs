@@ -119,6 +119,11 @@ pub struct RunOptions {
     /// `false` (the default) costs nothing in release builds; debug
     /// builds check regardless.
     pub check_invariants: bool,
+    /// Forces per-cycle stepping, disabling event-driven time skipping
+    /// ([`ApuSystem::set_time_skip`]). The two modes are bit-identical;
+    /// this exists for equivalence testing and debugging, and costs
+    /// wall-clock time on latency-bound runs.
+    pub no_skip: bool,
 }
 
 impl Default for RunOptions {
@@ -127,6 +132,7 @@ impl Default for RunOptions {
             max_cycles: DEFAULT_MAX_CYCLES,
             telemetry_interval: None,
             check_invariants: false,
+            no_skip: false,
         }
     }
 }
@@ -207,6 +213,9 @@ pub fn run_one_with(
             ApuSystem::DEFAULT_CHECK_INTERVAL,
             ApuSystem::DEFAULT_WATCHDOG,
         );
+    }
+    if opts.no_skip {
+        sys.set_time_skip(false);
     }
     let metrics = sys.run_to_completion(opts.max_cycles).map_err(|e| {
         if e.diagnostic.reason == StallReason::InvariantViolation {
@@ -328,6 +337,16 @@ impl SweepSpec {
     #[must_use]
     pub fn with_invariant_checks(mut self) -> SweepSpec {
         self.run_opts.check_invariants = true;
+        self
+    }
+
+    /// Returns the spec with event-driven time skipping disabled for
+    /// every job (the CLI's `--no-skip`): per-cycle stepping throughout,
+    /// bit-identical to the default mode but slower on latency-bound
+    /// runs.
+    #[must_use]
+    pub fn with_no_skip(mut self) -> SweepSpec {
+        self.run_opts.no_skip = true;
         self
     }
 

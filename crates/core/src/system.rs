@@ -134,11 +134,11 @@ struct SentinelState {
     /// (0 disables the watchdog).
     watchdog_cycles: u64,
     /// Next cycle at which to run a check.
-    next_check: u64,
+    next_check: Cycle,
     /// Progress fingerprint at the last check.
     last_fingerprint: u64,
     /// Cycle since which the fingerprint has not changed.
-    stable_since: u64,
+    stable_since: Cycle,
 }
 
 impl SentinelState {
@@ -158,9 +158,37 @@ impl SentinelState {
         SentinelState {
             check_interval,
             watchdog_cycles,
-            next_check: check_interval,
+            next_check: Cycle(check_interval),
             last_fingerprint: 0,
-            stable_since: 0,
+            stable_since: Cycle::ZERO,
+        }
+    }
+}
+
+/// Destination of one telemetry sample walk: the first frame of a run
+/// records names and values (fixing the recorder's registry); every
+/// frame after that appends values only, into a buffer reused across
+/// samples. One `sample_into` walk feeds both, so the orders match by
+/// construction.
+enum SampleSink<'a> {
+    Named(&'a mut Frame),
+    Values(&'a mut Vec<u64>),
+}
+
+impl SampleSink<'_> {
+    fn record(&mut self, scope: &str, stats: &dyn miopt_telemetry::StatSnapshot) {
+        match self {
+            SampleSink::Named(frame) => frame.record(scope, stats),
+            SampleSink::Values(values) => {
+                values.extend(stats.stat_pairs().iter().map(|&(_, v)| v));
+            }
+        }
+    }
+
+    fn record_value(&mut self, name: &str, value: u64) {
+        match self {
+            SampleSink::Named(frame) => frame.record_value(name, value),
+            SampleSink::Values(values) => values.push(value),
         }
     }
 }
@@ -231,6 +259,18 @@ pub struct ApuSystem {
     /// Invariant checker and watchdog; `None` in release builds unless
     /// explicitly enabled, `Some` in debug builds always.
     sentinel: Option<Box<SentinelState>>,
+    /// Event-driven time skipping: when true (the default),
+    /// [`ApuSystem::run_to_completion`] warps `now` over provably idle
+    /// stretches instead of stepping through them one cycle at a time.
+    /// See [`ApuSystem::set_time_skip`].
+    skip: bool,
+    /// Number of warps taken and total cycles warped over (diagnostics
+    /// for [`ApuSystem::time_skip_stats`]).
+    warps: u64,
+    warped_cycles: u64,
+    /// Scratch buffer for steady-state telemetry samples, reused across
+    /// frames so sampling allocates only on the first frame of a run.
+    frame_values: Vec<u64>,
 }
 
 impl ApuSystem {
@@ -306,7 +346,39 @@ impl ApuSystem {
                     SentinelState::DEFAULT_WATCHDOG,
                 ))
             }),
+            skip: true,
+            warps: 0,
+            warped_cycles: 0,
+            frame_values: Vec::new(),
         }
+    }
+
+    /// Enables or disables event-driven time skipping inside
+    /// [`ApuSystem::run_to_completion`] (the `--no-skip` escape hatch).
+    ///
+    /// Skipping is on by default. The two modes are bit-identical — a
+    /// warp only ever crosses cycles in which no component can act, and
+    /// it lands one cycle short of every telemetry sample, sentinel
+    /// check, and the cycle budget so periodic work fires at exactly the
+    /// per-cycle simulator's cycles. Disabling it therefore only trades
+    /// away wall-clock speed; it exists for equivalence testing and for
+    /// debugging the skip logic itself.
+    pub fn set_time_skip(&mut self, enabled: bool) {
+        self.skip = enabled;
+    }
+
+    /// Whether event-driven time skipping is enabled.
+    #[must_use]
+    pub fn time_skip_enabled(&self) -> bool {
+        self.skip
+    }
+
+    /// Skip-ahead effectiveness: `(warps_taken, cycles_warped_over)`.
+    /// `cycles_warped_over / now().0` is the fraction of simulated time
+    /// that was skipped rather than stepped.
+    #[must_use]
+    pub fn time_skip_stats(&self) -> (u64, u64) {
+        (self.warps, self.warped_cycles)
     }
 
     /// Turns on telemetry recording, sampling every counter in the system
@@ -341,34 +413,42 @@ impl ApuSystem {
         })
     }
 
-    /// Samples every component's cumulative counters into one frame, in
-    /// the fixed registry order (gpu, l1, l2, dram, noc, queues).
-    fn sample_frame(&self) -> Frame {
-        let mut frame = Frame::new();
-        frame.record("gpu", &self.gpu.stats());
+    /// Samples every component's cumulative counters into `sink`, in the
+    /// fixed registry order (gpu, l1, l2, dram, noc, queues). The single
+    /// walk serves both sampling paths — named first frame and
+    /// values-only steady state — so their counter order cannot diverge.
+    fn sample_into(&self, sink: &mut SampleSink<'_>) {
+        sink.record("gpu", &self.gpu.stats());
         let mut l1 = CacheStats::default();
         for c in &self.l1s {
             l1.merge(c.stats());
         }
-        frame.record("l1", &l1);
+        sink.record("l1", &l1);
         let mut l2 = CacheStats::default();
         for c in &self.l2s {
             l2.merge(c.stats());
         }
-        frame.record("l2", &l2);
-        frame.record("dram", self.dram.stats());
-        frame.record("noc.req", self.req_xbar.stats());
-        frame.record("noc.resp", self.resp_xbar.stats());
+        sink.record("l2", &l2);
+        sink.record("dram", self.dram.stats());
+        sink.record("noc.req", self.req_xbar.stats());
+        sink.record("noc.resp", self.resp_xbar.stats());
         let pushed = |qs: &[TimedQueue<MemReq>]| qs.iter().map(TimedQueue::pushed).sum::<u64>();
         let pushed_r = |qs: &[TimedQueue<MemResp>]| qs.iter().map(TimedQueue::pushed).sum::<u64>();
-        frame.record_value("queue.l1_in.pushed", pushed(&self.l1_in));
-        frame.record_value("queue.l1_down.pushed", pushed(&self.l1_down));
-        frame.record_value("queue.l2_in.pushed", pushed(&self.l2_in));
-        frame.record_value("queue.l2_down.pushed", pushed(&self.l2_down));
-        frame.record_value("queue.dram_resp.pushed", pushed_r(&self.dram_resp));
-        frame.record_value("queue.l2_up.pushed", pushed_r(&self.l2_up));
-        frame.record_value("queue.l1_fill_in.pushed", pushed_r(&self.l1_fill_in));
-        frame.record_value("queue.l1_up.pushed", pushed_r(&self.l1_up));
+        sink.record_value("queue.l1_in.pushed", pushed(&self.l1_in));
+        sink.record_value("queue.l1_down.pushed", pushed(&self.l1_down));
+        sink.record_value("queue.l2_in.pushed", pushed(&self.l2_in));
+        sink.record_value("queue.l2_down.pushed", pushed(&self.l2_down));
+        sink.record_value("queue.dram_resp.pushed", pushed_r(&self.dram_resp));
+        sink.record_value("queue.l2_up.pushed", pushed_r(&self.l2_up));
+        sink.record_value("queue.l1_fill_in.pushed", pushed_r(&self.l1_fill_in));
+        sink.record_value("queue.l1_up.pushed", pushed_r(&self.l1_up));
+    }
+
+    /// Samples every counter into a named frame (first frame of a run,
+    /// and the final flush in [`ApuSystem::take_telemetry`]).
+    fn sample_frame(&self) -> Frame {
+        let mut frame = Frame::new();
+        self.sample_into(&mut SampleSink::Named(&mut frame));
         frame
     }
 
@@ -515,7 +595,7 @@ impl ApuSystem {
             let s = self.sentinel.as_deref()?;
             (s.check_interval, s.watchdog_cycles, s.next_check)
         };
-        if self.now.0 < next_check {
+        if self.now < next_check {
             return None;
         }
         if !self.check_invariants_now().is_empty() {
@@ -525,7 +605,7 @@ impl ApuSystem {
         // The launch phase idles by design (host-side overhead), so it is
         // exempt from the watchdog; every other phase moves counters.
         let launching = matches!(self.phase, Phase::Launching { .. });
-        let now = self.now.0;
+        let now = self.now;
         let s = self.sentinel.as_deref_mut().expect("sentinel enabled");
         s.next_check = now + interval;
         if fingerprint != s.last_fingerprint || launching {
@@ -533,7 +613,8 @@ impl ApuSystem {
             s.stable_since = now;
             return None;
         }
-        (watchdog > 0 && now - s.stable_since >= watchdog).then_some(StallReason::NoForwardProgress)
+        (watchdog > 0 && now.since(s.stable_since) >= watchdog)
+            .then_some(StallReason::NoForwardProgress)
     }
 
     /// Captures the halted system into a [`SimTimeoutError`].
@@ -657,7 +738,12 @@ impl ApuSystem {
                 if self.now.0 >= max_cycles {
                     return Err(self.stall_error(max_cycles, StallReason::CycleBudget));
                 }
-                self.step();
+                // Probe for a warp only after a provable no-op cycle: on
+                // busy cycles `next_event` would just answer "now", so
+                // gating the probe keeps its cost off the critical path.
+                if !self.step() {
+                    self.try_warp(max_cycles);
+                }
             }
             return Ok(self.metrics());
         }
@@ -665,9 +751,12 @@ impl ApuSystem {
             if self.now.0 >= max_cycles {
                 return Err(self.stall_error(max_cycles, StallReason::CycleBudget));
             }
-            self.step();
+            let acted = self.step();
             if let Some(reason) = self.sentinel_poll() {
                 return Err(self.stall_error(max_cycles, reason));
+            }
+            if !acted {
+                self.try_warp(max_cycles);
             }
         }
         // Final sweep at completion: quiescence invariants (every issued
@@ -700,18 +789,24 @@ impl ApuSystem {
     }
 
     /// Advances the system one cycle.
-    pub fn step(&mut self) {
+    ///
+    /// Returns whether any component acted — moved a message, issued or
+    /// retired an instruction, scheduled DRAM work, or changed phase.
+    /// `false` means the cycle was a provable no-op; the run loop uses
+    /// that as its cue to probe `next_event` for a time warp, so busy
+    /// cycles never pay the probe's cost.
+    pub fn step(&mut self) -> bool {
         let now = self.now;
-        self.tick_memory(now);
+        let mut acted = self.tick_memory(now);
         if self.telemetry.is_none() {
             // Fast path: identical to the pre-telemetry simulator — one
             // branch per cycle, no sampling machinery in sight.
-            self.advance_phase(now);
+            acted |= self.advance_phase(now);
             self.now += 1;
-            return;
+            return acted;
         }
         let before = self.phase;
-        self.advance_phase(now);
+        acted |= self.advance_phase(now);
         let after = self.phase;
         if before != after && after != Phase::Finished {
             // The final phase's span stays open; `take_telemetry` closes
@@ -727,12 +822,153 @@ impl ApuSystem {
             .as_ref()
             .is_some_and(|rec| rec.due(self.now.0))
         {
-            let frame = self.sample_frame();
-            self.telemetry
-                .as_mut()
+            if self
+                .telemetry
+                .as_deref()
                 .expect("telemetry enabled")
-                .record_frame(self.now.0, frame);
+                .registry_fixed()
+            {
+                // Steady state: values only, into the reused scratch
+                // buffer — no allocation per sample.
+                let mut values = std::mem::take(&mut self.frame_values);
+                values.clear();
+                self.sample_into(&mut SampleSink::Values(&mut values));
+                self.telemetry
+                    .as_deref_mut()
+                    .expect("telemetry enabled")
+                    .record_values(self.now.0, &values);
+                self.frame_values = values;
+            } else {
+                let frame = self.sample_frame();
+                self.telemetry
+                    .as_mut()
+                    .expect("telemetry enabled")
+                    .record_frame(self.now.0, frame);
+            }
         }
+        acted
+    }
+
+    /// The earliest cycle at or after `now` at which any component might
+    /// act, or `None` when the whole system is quiescent (nothing will
+    /// ever act again without external input — only the cycle budget or
+    /// the watchdog can end the run).
+    ///
+    /// The estimate is conservative: a component may report a cycle at
+    /// which it turns out to do nothing (costing one ordinary no-op
+    /// step), but must never act before its reported cycle. `Some(now)`
+    /// means "active right now — do not skip".
+    fn next_event(&self) -> Option<Cycle> {
+        let now = self.now;
+        // Cheap always-active states first.
+        if !self.resp_holdover.is_empty() {
+            return Some(now);
+        }
+        match self.phase {
+            // The flush loop retries blocked writebacks every cycle.
+            Phase::Flushing => return Some(now),
+            Phase::DrainKernel | Phase::DrainFlush if !self.hierarchy_busy() => {
+                return Some(now); // phase transition pending
+            }
+            _ => {}
+        }
+        let mut next: Option<Cycle> = None;
+        let consider = |next: &mut Option<Cycle>, at: Cycle| {
+            let at = at.max(now);
+            if next.is_none_or(|n| at < n) {
+                *next = Some(at);
+            }
+        };
+        for q in self.l1_in.iter().chain(&self.l1_down) {
+            if let Some(at) = q.next_ready() {
+                consider(&mut next, at);
+            }
+        }
+        for q in self.l2_in.iter().chain(&self.l2_down) {
+            if let Some(at) = q.next_ready() {
+                consider(&mut next, at);
+            }
+        }
+        for q in self
+            .dram_resp
+            .iter()
+            .chain(&self.l2_up)
+            .chain(&self.l1_fill_in)
+            .chain(&self.l1_up)
+        {
+            if let Some(at) = q.next_ready() {
+                consider(&mut next, at);
+            }
+        }
+        if next == Some(now) {
+            return next;
+        }
+        if let Some(at) = self.dram.next_event(now) {
+            consider(&mut next, at);
+        }
+        for c in self.l1s.iter().chain(&self.l2s) {
+            if let Some(at) = c.next_event(now) {
+                consider(&mut next, at);
+            }
+        }
+        if next == Some(now) {
+            return next;
+        }
+        match self.phase {
+            Phase::Launching { until } => consider(&mut next, until),
+            Phase::Running => {
+                if let Some(at) = self.gpu.next_event(now) {
+                    consider(&mut next, at);
+                }
+            }
+            // Busy drains were handled above; while the hierarchy is
+            // busy the queue / DRAM / cache sources cover every cycle
+            // that could empty it.
+            Phase::DrainKernel | Phase::DrainFlush | Phase::Flushing | Phase::Finished => {}
+        }
+        next
+    }
+
+    /// Event-driven fast-forward: if no component can act strictly
+    /// before a known future cycle, jumps `now` straight to it instead
+    /// of stepping through the idle stretch one cycle at a time.
+    ///
+    /// A warp never crosses a periodic boundary: it lands one cycle
+    /// short of the next telemetry sample, the next sentinel check, and
+    /// the cycle budget, so the landing step fires each at exactly the
+    /// cycle the per-cycle simulator would. Combined with compensating
+    /// the crossbars' round-robin cursors for the skipped idle ticks,
+    /// warped runs are bit-identical to `--no-skip` runs.
+    fn try_warp(&mut self, max_cycles: u64) {
+        if !self.skip || self.phase == Phase::Finished {
+            return;
+        }
+        let mut target = match self.next_event() {
+            Some(at) if at <= self.now => return,
+            Some(at) => at.0.min(max_cycles),
+            // Quiescent: nothing will ever act again. Run out the clock
+            // so the budget (or the watchdog, at its own cadence) fires
+            // at exactly the per-cycle simulator's cycle.
+            None => max_cycles,
+        };
+        if let Some(rec) = self.telemetry.as_deref() {
+            let next_due = (self.now.0 / rec.interval() + 1) * rec.interval();
+            target = target.min(next_due - 1);
+        }
+        if let Some(s) = self.sentinel.as_deref() {
+            target = target.min(s.next_check.0.saturating_sub(1));
+        }
+        if target <= self.now.0 {
+            return;
+        }
+        let skipped = target - self.now.0;
+        // Idle ticks still rotate the crossbar round-robin cursors; keep
+        // the warped run's arbitration identical to per-cycle stepping.
+        self.req_xbar.advance_idle_cycles(skipped);
+        self.resp_xbar.advance_idle_cycles(skipped);
+        self.now = Cycle(target);
+        self.warps += 1;
+        self.warped_cycles += skipped;
     }
 
     /// Whether any request or response is anywhere in the hierarchy.
@@ -751,7 +987,9 @@ impl ApuSystem {
             || self.dram.busy()
     }
 
-    fn advance_phase(&mut self, now: Cycle) {
+    /// Returns whether the phase machine did anything this cycle: ticked
+    /// the GPU to some effect, made a transition, or worked on a flush.
+    fn advance_phase(&mut self, now: Cycle) -> bool {
         match self.phase {
             Phase::Launching { until } => {
                 if now >= until {
@@ -765,13 +1003,18 @@ impl ApuSystem {
                         }
                         None => self.phase = Phase::Finished,
                     }
+                    true
+                } else {
+                    false
                 }
             }
             Phase::Running => {
-                self.gpu.tick(now, &mut self.l1_in);
+                let acted = self.gpu.tick(now, &mut self.l1_in);
                 if self.gpu.kernel_done() {
                     self.phase = Phase::DrainKernel;
+                    return true;
                 }
+                acted
             }
             Phase::DrainKernel => {
                 if !self.hierarchy_busy() {
@@ -781,6 +1024,9 @@ impl ApuSystem {
                         c.start_flush();
                     }
                     self.phase = Phase::Flushing;
+                    true
+                } else {
+                    false
                 }
             }
             Phase::Flushing => {
@@ -792,6 +1038,9 @@ impl ApuSystem {
                 if done {
                     self.phase = Phase::DrainFlush;
                 }
+                // A flush in progress retries blocked writebacks every
+                // cycle; `next_event` pins this phase to `now` anyway.
+                true
             }
             Phase::DrainFlush => {
                 if !self.hierarchy_busy() {
@@ -813,16 +1062,21 @@ impl ApuSystem {
                             until: now + self.cfg.launch_overhead,
                         }
                     };
+                    true
+                } else {
+                    false
                 }
             }
-            Phase::Finished => {}
+            Phase::Finished => false,
         }
     }
 
     /// One cycle of the memory hierarchy, ticked from DRAM upward.
-    fn tick_memory(&mut self, now: Cycle) {
+    ///
+    /// Returns whether any stage moved, scheduled, or serviced anything.
+    fn tick_memory(&mut self, now: Cycle) -> bool {
         // 1. DRAM scheduling.
-        self.dram.tick(now);
+        let mut acted = self.dram.tick(now);
 
         // 2. DRAM responses toward their L2 slice (holdover first).
         while let Some(resp) = self.resp_holdover.pop_front() {
@@ -831,6 +1085,7 @@ impl ApuSystem {
                 self.dram_resp[slice]
                     .push(now, resp)
                     .unwrap_or_else(|_| unreachable!("checked can_push"));
+                acted = true;
             } else {
                 self.resp_holdover.push_front(resp);
                 break;
@@ -839,6 +1094,7 @@ impl ApuSystem {
         while self.resp_holdover.len() < 4 {
             match self.dram.pop_response(now) {
                 Some(resp) => {
+                    acted = true;
                     let slice = self.cfg.l2_slice_of(resp.line);
                     if self.dram_resp[slice].can_push() {
                         self.dram_resp[slice]
@@ -861,6 +1117,7 @@ impl ApuSystem {
                 match self.l2s[s].fill(now, resp, &mut self.l2_up[s]) {
                     Ok(()) => {
                         self.dram_resp[s].pop_ready(now);
+                        acted = true;
                     }
                     Err(_) => break, // response queue full; retry next cycle
                 }
@@ -875,7 +1132,7 @@ impl ApuSystem {
                 &mut self.l2_down[s],
                 &mut self.l2_up[s],
             );
-            slice.service(now, l2_in, l2_down, l2_up);
+            acted |= slice.service(now, l2_in, l2_down, l2_up);
         }
 
         // 5. L2 -> DRAM.
@@ -886,6 +1143,7 @@ impl ApuSystem {
                     self.dram
                         .push(now, req)
                         .unwrap_or_else(|_| unreachable!("checked can_accept"));
+                    acted = true;
                 } else {
                     break;
                 }
@@ -893,13 +1151,15 @@ impl ApuSystem {
         }
 
         // 6. Response crossbar (L2 -> L1s).
-        self.resp_xbar
+        acted |= self
+            .resp_xbar
             .tick(now, &mut self.l2_up, &mut self.l1_fill_in, |r| {
                 match r.origin {
                     miopt_engine::Origin::Wavefront { cu, .. } => cu as usize,
                     miopt_engine::Origin::Internal => 0,
                 }
-            });
+            })
+            > 0;
 
         // 7. L1 fills.
         for i in 0..self.l1s.len() {
@@ -910,6 +1170,7 @@ impl ApuSystem {
                 match self.l1s[i].fill(now, resp, &mut self.l1_up[i]) {
                     Ok(()) => {
                         self.l1_fill_in[i].pop_ready(now);
+                        acted = true;
                     }
                     Err(_) => break,
                 }
@@ -918,7 +1179,7 @@ impl ApuSystem {
 
         // 8. L1 accesses (with miss-replay).
         for i in 0..self.l1s.len() {
-            self.l1s[i].service(
+            acted |= self.l1s[i].service(
                 now,
                 &mut self.l1_in[i],
                 &mut self.l1_down[i],
@@ -928,17 +1189,21 @@ impl ApuSystem {
 
         // 9. Request crossbar (L1s -> L2 slices).
         let cfg = &self.cfg;
-        self.req_xbar
+        acted |= self
+            .req_xbar
             .tick(now, &mut self.l1_down, &mut self.l2_in, |r| {
                 cfg.l2_slice_of(r.line)
-            });
+            })
+            > 0;
 
         // 10. Responses to the GPU.
         for i in 0..self.l1_up.len() {
             while let Some(resp) = self.l1_up[i].pop_ready(now) {
                 self.gpu.on_response(resp);
+                acted = true;
             }
         }
+        acted
     }
 }
 
@@ -1092,6 +1357,58 @@ mod tests {
         assert!(err.to_string().contains("halted"));
         // The budget was nowhere near exhausted: the watchdog fired first.
         assert!(err.diagnostic.cycle < 200_000_000);
+    }
+
+    #[test]
+    fn time_skipping_is_bit_identical_to_per_cycle_stepping() {
+        // The strongest form of the skip-ahead contract: identical
+        // metrics AND an identical telemetry stream (every epoch
+        // boundary, phase span, and event instant at the same cycle),
+        // with the sentinel sweeping at tight cadence in both runs.
+        for p in [
+            CachePolicy::Uncached,
+            CachePolicy::CacheR,
+            CachePolicy::CacheRW,
+        ] {
+            let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+            let mut fast = ApuSystem::new(SystemConfig::small_test(), PolicyConfig::of(p), &w);
+            let mut slow = ApuSystem::new(SystemConfig::small_test(), PolicyConfig::of(p), &w);
+            slow.set_time_skip(false);
+            assert!(fast.time_skip_enabled());
+            assert!(!slow.time_skip_enabled());
+            for sys in [&mut fast, &mut slow] {
+                sys.enable_telemetry(512);
+                sys.enable_sentinel(64, 50_000);
+            }
+            let mf = fast.run_to_completion(200_000_000).expect("skip run");
+            let ms = slow.run_to_completion(200_000_000).expect("per-cycle run");
+            assert_eq!(mf.cycles, ms.cycles, "{p}");
+            assert_eq!(mf.dram_accesses(), ms.dram_accesses(), "{p}");
+            assert_eq!(mf.cache_stalls(), ms.cache_stalls(), "{p}");
+            assert_eq!(fast.take_telemetry(), slow.take_telemetry(), "{p}");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_fires_at_the_same_cycle_with_skipping() {
+        // A wedged quiescent system warps straight to the budget; the
+        // diagnostic must report the identical halt cycle either way.
+        let halt_cycle = |skip: bool| {
+            let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+            let mut sys = ApuSystem::new(
+                SystemConfig::small_test(),
+                PolicyConfig::of(CachePolicy::CacheR),
+                &w,
+            );
+            sys.set_time_skip(skip);
+            // Watchdog off: only the budget can end the wedged drain.
+            sys.enable_sentinel(64, 0);
+            sys.inject_l1_mshr_leak(0, miopt_engine::LineAddr(8), false);
+            let err = sys.run_to_completion(100_000).expect_err("must time out");
+            assert_eq!(err.diagnostic.reason, StallReason::CycleBudget);
+            err.diagnostic.cycle
+        };
+        assert_eq!(halt_cycle(true), halt_cycle(false));
     }
 
     #[test]

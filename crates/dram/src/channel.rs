@@ -78,10 +78,13 @@ impl Channel {
     /// Splitting serve from prep lets transfers from open rows proceed
     /// while other banks activate — the overlap a real controller relies
     /// on for bandwidth under row conflicts.
-    pub(crate) fn tick(&mut self, now: Cycle, stats: &mut DramStats) {
+    ///
+    /// Returns whether anything was served or prepped this cycle.
+    pub(crate) fn tick(&mut self, now: Cycle, stats: &mut DramStats) -> bool {
         if self.queue.is_empty() {
-            return;
+            return false;
         }
+        let mut acted = false;
         let window = self.window(now);
 
         // Serve phase: oldest windowed request whose row is open and
@@ -92,6 +95,7 @@ impl Channel {
                 self.banks[e.loc.bank as usize].is_ready_hit(e.loc.row, now)
             });
             if let Some(idx) = serve {
+                acted = true;
                 let entry = self.queue.remove(idx).expect("index in window");
                 if !entry.counted {
                     stats.row_hits.record(true);
@@ -177,10 +181,58 @@ impl Channel {
                         }
                     }
                     self.queue[i].counted = true;
+                    acted = true;
                     break; // one prep per cycle
                 }
             }
         }
+        acted
+    }
+
+    /// The earliest cycle at or after `now` at which this channel might
+    /// act — serve a windowed row hit, start a precharge/activate, cross
+    /// the starvation boundary, or have a response become deliverable —
+    /// or `None` when it is completely idle.
+    ///
+    /// Conservative by design: it may name a cycle where arbitration
+    /// still blocks everything (the caller just steps once and asks
+    /// again), but it never reports a cycle *later* than the first one
+    /// where [`Channel::tick`] or [`Channel::pop_response`] would do
+    /// work. Any candidate at or before `now` therefore collapses to
+    /// `now`, signalling "active, do not skip".
+    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let consider = |next: &mut Option<Cycle>, at: Cycle| {
+            let at = at.max(now);
+            if next.is_none_or(|n| at < n) {
+                *next = Some(at);
+            }
+        };
+        if let Some((ready, _)) = self.responses.front() {
+            consider(&mut next, *ready);
+        }
+        if let Some(head) = self.queue.front() {
+            // Crossing the starvation boundary collapses the FR-FCFS
+            // window to the head alone, which can unblock a prep that
+            // `keeps_open_row_busy` was holding back.
+            let collapse = head.arrived + self.cfg.starvation_cap + 1;
+            if collapse > now {
+                consider(&mut next, collapse);
+            }
+            for e in self.queue.iter().take(self.window(now)) {
+                let bank = &self.banks[e.loc.bank as usize];
+                if bank.open_row() == Some(e.loc.row) {
+                    // Serve: needs the shared bus and the activate done.
+                    consider(&mut next, self.bus_free_at.max(bank.row_ready_at()));
+                } else {
+                    // Prep: possible once the bank's current activate
+                    // finishes (earlier candidates mean arbitration is
+                    // the blocker; the clamp keeps us stepping).
+                    consider(&mut next, bank.row_ready_at());
+                }
+            }
+        }
+        next
     }
 
     pub(crate) fn pop_response(&mut self, now: Cycle) -> Option<MemResp> {

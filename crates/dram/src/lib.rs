@@ -164,11 +164,14 @@ impl Dram {
         self.channels[loc.channel as usize].push(now, req, loc)
     }
 
-    /// Advances every channel scheduler by one cycle.
-    pub fn tick(&mut self, now: Cycle) {
+    /// Advances every channel scheduler by one cycle. Returns whether any
+    /// channel served or prepped a request.
+    pub fn tick(&mut self, now: Cycle) -> bool {
+        let mut acted = false;
         for ch in &mut self.channels {
-            ch.tick(now, &mut self.stats);
+            acted |= ch.tick(now, &mut self.stats);
         }
+        acted
     }
 
     /// Takes one completed read response, if any is ready at `now`.
@@ -186,6 +189,19 @@ impl Dram {
     #[must_use]
     pub fn busy(&self) -> bool {
         self.channels.iter().any(Channel::busy)
+    }
+
+    /// The earliest cycle at or after `now` at which any channel might
+    /// schedule work or deliver a response, or `None` when the whole
+    /// memory system is idle. Conservative: never later than the first
+    /// cycle [`Dram::tick`] or [`Dram::pop_response`] would act, so an
+    /// event-driven caller may skip straight to it.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.channels
+            .iter()
+            .filter_map(|ch| ch.next_event(now))
+            .min()
     }
 
     /// Accumulated statistics.
@@ -365,6 +381,42 @@ mod tests {
         let r = read(2, 2);
         assert!(!dram.can_accept(&r));
         assert!(dram.push(Cycle(0), r).is_err());
+    }
+
+    #[test]
+    fn next_event_never_skips_an_acting_cycle() {
+        // Drive a mixed row-hit/conflict stream per-cycle and record, at
+        // every cycle, whether stats or responses moved. next_event must
+        // never name a cycle later than the next observed action.
+        let cfg = DramConfig::hbm2_paper();
+        let stride = cfg.channels as u64 * cfg.lines_per_row * cfg.banks as u64;
+        let mut dram = Dram::new(cfg);
+        for i in 0..12u64 {
+            dram.push(Cycle(0), read(i, (i % 3) * stride + i)).unwrap();
+        }
+        let mut now = Cycle(0);
+        let mut guard = 0;
+        while dram.busy() {
+            let predicted = dram.next_event(now).expect("busy dram has an event");
+            assert!(predicted >= now);
+            let before = dram.stats().clone();
+            dram.tick(now);
+            let mut popped = false;
+            while dram.pop_response(now).is_some() {
+                popped = true;
+            }
+            let acted = popped || *dram.stats() != before;
+            if acted {
+                assert_eq!(
+                    predicted, now,
+                    "channel acted at {now} but next_event said {predicted}"
+                );
+            }
+            now += 1;
+            guard += 1;
+            assert!(guard < 1_000_000);
+        }
+        assert_eq!(dram.next_event(now), None, "idle dram reports no event");
     }
 
     #[test]

@@ -94,6 +94,19 @@ mod tests {
         assert_eq!(Cycle(9).since(Cycle(5)), 4);
     }
 
+    /// Regression guard for the `a - b` → `Cycle::since` migration: the
+    /// bare operator is reserved for call sites where `a >= b` is a
+    /// structural guarantee, and debug builds enforce that loudly.
+    /// Elapsed-time computations whose operands can cross (e.g. a
+    /// watchdog comparing a warped `now` against an older checkpoint)
+    /// must use `since`, which saturates instead.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cycle subtraction underflow")]
+    fn sub_underflow_panics_in_debug() {
+        let _ = Cycle(5) - Cycle(9);
+    }
+
     #[test]
     fn display_is_nonempty() {
         assert_eq!(Cycle(3).to_string(), "cycle 3");

@@ -157,6 +157,16 @@ impl<T> TimedQueue<T> {
         self.pushed
     }
 
+    /// The cycle at which the front item becomes (or became) ready, or
+    /// `None` on an empty queue. Unlike [`TimedQueue::ready_front`] this
+    /// looks *forward* in time: it is the queue's contribution to the
+    /// event-driven fast forward — no pop can succeed before this cycle,
+    /// so a scheduler may safely skip straight to it.
+    #[must_use]
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.items.front().map(|(ready, _)| *ready)
+    }
+
     /// Iterates over queued items front to back, ignoring readiness.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.items.iter().map(|(_, item)| item)
@@ -316,6 +326,18 @@ mod tests {
         assert_eq!(out[0].component, "queue.l1_in[0]");
         assert_eq!(out[0].invariant, "credit_conservation");
         assert!(out[0].detail.contains("1 flow-control credit"));
+    }
+
+    #[test]
+    fn next_ready_reports_the_front_deadline() {
+        let mut q = TimedQueue::new(4, 10);
+        assert_eq!(q.next_ready(), None);
+        q.push(Cycle(5), 'a').unwrap(); // ready at 15
+        q.push(Cycle(100), 'b').unwrap(); // ready at 110
+        assert_eq!(q.next_ready(), Some(Cycle(15)));
+        assert!(q.pop_ready(Cycle(14)).is_none());
+        assert_eq!(q.pop_ready(Cycle(15)), Some('a'));
+        assert_eq!(q.next_ready(), Some(Cycle(110)));
     }
 
     #[test]

@@ -19,14 +19,23 @@ use miopt_engine::{Addr, LineAddr};
 /// ```
 #[must_use]
 pub fn coalesce(lanes: impl IntoIterator<Item = Option<Addr>>) -> Vec<LineAddr> {
-    let mut lines: Vec<LineAddr> = Vec::with_capacity(4);
+    let mut lines = Vec::with_capacity(4);
+    coalesce_into(lanes, &mut lines);
+    lines
+}
+
+/// Allocation-free form of [`coalesce`]: clears `out` and fills it with the
+/// unique lines in first-touch order. Callers on the per-instruction hot
+/// path keep a scratch buffer alive across calls so steady-state coalescing
+/// performs no heap traffic at all.
+pub fn coalesce_into(lanes: impl IntoIterator<Item = Option<Addr>>, out: &mut Vec<LineAddr>) {
+    out.clear();
     for addr in lanes.into_iter().flatten() {
         let line = addr.line();
-        if !lines.contains(&line) {
-            lines.push(line);
+        if !out.contains(&line) {
+            out.push(line);
         }
     }
-    lines
 }
 
 #[cfg(test)]
@@ -68,5 +77,17 @@ mod tests {
     fn double_precision_stream_is_8_lines() {
         let lanes = (0..64u64).map(|l| Some(Addr(l * 8)));
         assert_eq!(coalesce(lanes).len(), 8);
+    }
+
+    #[test]
+    fn coalesce_into_reuses_the_buffer() {
+        let mut out = vec![LineAddr(99)];
+        coalesce_into((0..64).map(|l| Some(Addr(l * 4))), &mut out);
+        assert_eq!(
+            out,
+            vec![LineAddr(0), LineAddr(1), LineAddr(2), LineAddr(3)]
+        );
+        coalesce_into((0..64).map(|_| Some(Addr(100))), &mut out);
+        assert_eq!(out, vec![LineAddr(1)], "buffer is cleared between calls");
     }
 }

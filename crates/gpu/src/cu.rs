@@ -198,17 +198,71 @@ impl Cu {
         }
     }
 
-    /// Advances the CU one cycle: issues memory requests from wavefronts'
-    /// coalescing buffers, then lets each idle SIMD issue one instruction.
-    pub fn tick(&mut self, now: Cycle, l1_in: &mut TimedQueue<MemReq>) {
+    /// The earliest cycle at or after `now` at which this CU might do
+    /// work, or `None` if it is empty or every resident wavefront is
+    /// waiting on a memory response.
+    ///
+    /// Conservative in the skip-ahead sense: the CU may wake and find it
+    /// still cannot issue (an extra no-op [`Cu::tick`]), but it never
+    /// reports a cycle later than its first real action.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
         if self.occ_mask == 0 {
-            return;
+            return None;
         }
-        self.issue_memory(now, l1_in);
-        self.issue_simds(now);
+        if self.pending_mask != 0 {
+            // The memory pipe has coalesced requests to drain (or is
+            // blocked on L1 backpressure, which clears while the
+            // downstream queues are busy anyway).
+            return Some(now);
+        }
+        let per = self.cfg.wf_slots_per_simd;
+        let mut next: Option<Cycle> = None;
+        for s in 0..self.cfg.simds {
+            let base = s * per;
+            let simd_mask = (self.occ_mask >> base) & ((1u64 << per) - 1);
+            if simd_mask == 0 {
+                continue;
+            }
+            // The SIMD can issue once it is free AND some wavefront is
+            // runnable: min over wavefronts of max(pipe free, wake).
+            let mut m = simd_mask;
+            let mut earliest: Option<Cycle> = None;
+            while m != 0 {
+                let off = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let wf = self.slots[base + off].as_ref().expect("occupied");
+                if let Some(wake) = wf.next_wake(now) {
+                    if earliest.is_none_or(|w| wake < w) {
+                        earliest = Some(wake);
+                    }
+                }
+            }
+            if let Some(wake) = earliest {
+                let at = wake.max(self.simd_busy_until[s]).max(now);
+                if next.is_none_or(|n| at < n) {
+                    next = Some(at);
+                }
+            }
+        }
+        next
     }
 
-    fn issue_memory(&mut self, now: Cycle, l1_in: &mut TimedQueue<MemReq>) {
+    /// Advances the CU one cycle: issues memory requests from wavefronts'
+    /// coalescing buffers, then lets each idle SIMD issue one instruction.
+    ///
+    /// Returns whether anything was issued or retired this cycle; `false`
+    /// means every resident wavefront is blocked (waiting on memory or a
+    /// busy SIMD) and the CU provably did nothing.
+    pub fn tick(&mut self, now: Cycle, l1_in: &mut TimedQueue<MemReq>) -> bool {
+        if self.occ_mask == 0 {
+            return false;
+        }
+        let mem = self.issue_memory(now, l1_in);
+        self.issue_simds(now) || mem
+    }
+
+    fn issue_memory(&mut self, now: Cycle, l1_in: &mut TimedQueue<MemReq>) -> bool {
         let mut issued = 0;
         // One wavefront's coalesced group drains back-to-back before the
         // pipe rotates to the next wavefront: a vector memory instruction
@@ -256,6 +310,7 @@ impl Cu {
             }
             issued += 1;
         }
+        issued > 0
     }
 
     pub(crate) fn check_masks(&self, component: &str, out: &mut Vec<InvariantViolation>) {
@@ -300,7 +355,8 @@ impl Cu {
         }
     }
 
-    fn issue_simds(&mut self, now: Cycle) {
+    fn issue_simds(&mut self, now: Cycle) -> bool {
+        let mut any = false;
         let per = self.cfg.wf_slots_per_simd;
         for s in 0..self.cfg.simds {
             if self.simd_busy_until[s] > now {
@@ -330,10 +386,12 @@ impl Cu {
                     if wf.is_done() {
                         self.try_retire(idx);
                     }
+                    any = true;
                     break;
                 }
             }
         }
+        any
     }
 }
 
@@ -480,6 +538,56 @@ mod tests {
             total += q.drain_all().count();
         }
         assert_eq!(total, 4, "all coalesced requests eventually issue");
+    }
+
+    /// Drives a mixed compute/memory kernel cycle by cycle and checks the
+    /// skip-ahead contract: whenever the tick produces an observable
+    /// action, the CU must have predicted an event at exactly that cycle.
+    #[test]
+    fn next_event_never_skips_an_acting_cycle() {
+        let mut cu = Cu::new(CuConfig::tiny_test(), 0);
+        assert_eq!(cu.next_event(Cycle(0)), None, "empty CU sleeps");
+        let k = kernel(
+            vec![
+                Op::Valu { count: 5 },
+                Op::Load { pattern: 0 },
+                Op::WaitCnt { max: 0 },
+            ],
+            1,
+            1,
+        );
+        cu.assign_wg(&k, 0, 0);
+        let mut q = TimedQueue::new(64, 0);
+        let mut now = Cycle(0);
+        while cu.active_wavefronts() > 0 && now.0 < 1000 {
+            let predicted = cu.next_event(now);
+            let before = (
+                q.len(),
+                cu.valu_lane_ops(),
+                cu.line_loads(),
+                cu.retired_wavefronts(),
+            );
+            cu.tick(now, &mut q);
+            let after = (
+                q.len(),
+                cu.valu_lane_ops(),
+                cu.line_loads(),
+                cu.retired_wavefronts(),
+            );
+            if before != after {
+                assert_eq!(predicted, Some(now), "acted at {now} unpredicted");
+            }
+            while let Some(r) = q.pop_ready(now) {
+                if let Origin::Wavefront { slot, .. } = r.origin {
+                    if !r.is_store {
+                        cu.on_response(slot);
+                    }
+                }
+            }
+            now += 1;
+        }
+        assert_eq!(cu.retired_wavefronts(), 1);
+        assert_eq!(cu.next_event(now), None, "retired CU sleeps");
     }
 
     #[test]

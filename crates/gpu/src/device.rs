@@ -181,26 +181,33 @@ impl Gpu {
     /// Advances the device one cycle. `l1_ins[i]` is CU `i`'s request
     /// queue toward its L1.
     ///
+    /// Returns whether the device did anything — dispatched a work-group
+    /// or had any CU issue or retire. `false` means every CU is provably
+    /// stalled (empty or waiting on memory responses).
+    ///
     /// # Panics
     ///
     /// Panics if `l1_ins.len()` differs from the CU count.
-    pub fn tick(&mut self, now: Cycle, l1_ins: &mut [TimedQueue<MemReq>]) {
+    pub fn tick(&mut self, now: Cycle, l1_ins: &mut [TimedQueue<MemReq>]) -> bool {
         assert_eq!(l1_ins.len(), self.cus.len(), "one L1 queue per CU");
-        self.dispatch();
+        let mut acted = self.dispatch();
         for (cu, q) in self.cus.iter_mut().zip(l1_ins.iter_mut()) {
-            cu.tick(now, q);
+            acted |= cu.tick(now, q);
         }
+        acted
     }
 
-    /// Assigns pending work-groups to CUs with free slots.
-    fn dispatch(&mut self) {
+    /// Assigns pending work-groups to CUs with free slots. Returns
+    /// whether any work-group was assigned.
+    fn dispatch(&mut self) -> bool {
         let Some(k) = self.active.as_mut() else {
-            return;
+            return false;
         };
         if k.next_wg == k.desc.wgs {
-            return;
+            return false;
         }
         let per_wg = k.desc.wfs_per_wg as usize;
+        let first = k.next_wg;
         for cu in &mut self.cus {
             while k.next_wg < k.desc.wgs && cu.free_slots() >= per_wg {
                 cu.assign_wg(&k.desc, k.seq, k.next_wg);
@@ -210,6 +217,23 @@ impl Gpu {
                 break;
             }
         }
+        k.next_wg != first
+    }
+
+    /// The earliest cycle at or after `now` at which the device might act
+    /// — dispatch a pending work-group or let a CU issue — or `None` if
+    /// every CU is empty or waiting on memory responses.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if let Some(k) = &self.active {
+            if k.next_wg < k.desc.wgs {
+                let per_wg = k.desc.wfs_per_wg as usize;
+                if self.cus.iter().any(|cu| cu.free_slots() >= per_wg) {
+                    return Some(now);
+                }
+            }
+        }
+        self.cus.iter().filter_map(|cu| cu.next_event(now)).min()
     }
 
     /// Routes a load response to its wavefront.
@@ -385,6 +409,20 @@ mod tests {
         let gpu = Gpu::new(1, CuConfig::tiny_test());
         assert!(gpu.kernel_done());
         assert_eq!(gpu.stats(), GpuStats::default());
+    }
+
+    #[test]
+    fn next_event_reflects_dispatch_and_quiescence() {
+        let mut gpu = Gpu::new(1, CuConfig::tiny_test());
+        assert_eq!(gpu.next_event(Cycle(5)), None, "idle device sleeps");
+        gpu.start_kernel(stream_kernel(1, 1, 1), 0);
+        assert_eq!(
+            gpu.next_event(Cycle(5)),
+            Some(Cycle(5)),
+            "pending dispatch is immediate work"
+        );
+        run_to_completion(&mut gpu, 10_000);
+        assert_eq!(gpu.next_event(Cycle(20_000)), None, "retired device sleeps");
     }
 
     #[test]

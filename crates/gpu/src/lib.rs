@@ -27,7 +27,7 @@ mod device;
 mod program;
 mod wavefront;
 
-pub use coalesce::coalesce;
+pub use coalesce::{coalesce, coalesce_into};
 pub use cu::{Cu, CuConfig};
 pub use device::{Gpu, GpuStats};
 pub use program::{AccessCtx, AddrGen, KernelDesc, KernelProgram, Op};

@@ -36,6 +36,9 @@ pub(crate) struct Wavefront {
     outstanding_loads: u32,
     pub(crate) pending: VecDeque<PendingAccess>,
     done: bool,
+    /// Scratch for the coalescer, kept alive across instructions so
+    /// steady-state execution allocates nothing per memory op.
+    coalesce_scratch: Vec<LineAddr>,
 }
 
 impl Wavefront {
@@ -51,6 +54,7 @@ impl Wavefront {
             outstanding_loads: 0,
             pending: VecDeque::new(),
             done: false,
+            coalesce_scratch: Vec::with_capacity(4),
         }
     }
 
@@ -85,6 +89,33 @@ impl Wavefront {
         match self.kernel.program.body[self.ip] {
             Op::WaitCnt { max } if self.outstanding_loads > u32::from(max) => WfState::Waiting,
             _ => WfState::Ready,
+        }
+    }
+
+    /// The earliest cycle at or after `now` at which this wavefront might
+    /// issue, or `None` if only an external stimulus (a load response, the
+    /// memory pipe draining `pending`) can make it runnable.
+    ///
+    /// The estimate is conservative: waking a wavefront that turns out to
+    /// still be blocked costs one idle scheduler check, while sleeping past
+    /// a runnable cycle would corrupt timing — so ties resolve toward
+    /// waking early.
+    pub(crate) fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        if self.done {
+            // Retirement is driven by responses / the memory pipe.
+            return None;
+        }
+        if !self.pending.is_empty() {
+            // Drained by the CU's memory pipe, which is active while
+            // `pending_mask` is set — the CU reports `now` itself.
+            return None;
+        }
+        if self.busy_until > now {
+            return Some(self.busy_until);
+        }
+        match self.kernel.program.body[self.ip] {
+            Op::WaitCnt { max } if self.outstanding_loads > u32::from(max) => None,
+            _ => Some(now),
         }
     }
 
@@ -123,18 +154,21 @@ impl Wavefront {
 
     fn coalesce_into_pending(&mut self, pattern: u16, is_store: bool) {
         let op_index = self.ip;
+        let (kernel_seq, wg, wf, iter) = (self.kernel_seq, self.wg, self.wf, self.iter);
+        let mut scratch = std::mem::take(&mut self.coalesce_scratch);
         let gen = &self.kernel.gen;
         let lanes = (0..64u32).map(|lane| {
             gen.lane_addr(&AccessCtx {
-                kernel_seq: self.kernel_seq,
-                wg: self.wg,
-                wf: self.wf,
+                kernel_seq,
+                wg,
+                wf,
                 lane,
-                iter: self.iter,
+                iter,
                 pattern,
             })
         });
-        for line in crate::coalesce(lanes) {
+        crate::coalesce_into(lanes, &mut scratch);
+        for &line in &scratch {
             self.pending.push_back(PendingAccess {
                 line,
                 is_store,
@@ -144,6 +178,7 @@ impl Wavefront {
                 self.outstanding_loads += 1;
             }
         }
+        self.coalesce_scratch = scratch;
     }
 
     fn advance(&mut self) {
@@ -249,6 +284,44 @@ mod tests {
         wf.pending.clear();
         // 4 outstanding <= max 4: ready immediately.
         assert_eq!(wf.state(Cycle(1)), WfState::Ready);
+    }
+
+    #[test]
+    fn next_wake_tracks_the_blocking_reason() {
+        let mut wf = Wavefront::new(
+            kernel(
+                vec![
+                    Op::Valu { count: 10 },
+                    Op::Load { pattern: 0 },
+                    Op::WaitCnt { max: 0 },
+                ],
+                1,
+            ),
+            0,
+            0,
+            0,
+        );
+        assert_eq!(wf.next_wake(Cycle(0)), Some(Cycle(0)), "ready to issue");
+        wf.issue(Cycle(0)); // VALU occupies the wavefront for 40 cycles.
+        assert_eq!(wf.next_wake(Cycle(1)), Some(Cycle(40)));
+        wf.issue(Cycle(40)); // Load fills the coalescing buffer.
+        assert_eq!(
+            wf.next_wake(Cycle(41)),
+            None,
+            "pending issue is the memory pipe's event, not a timer"
+        );
+        wf.pending.clear();
+        assert_eq!(
+            wf.next_wake(Cycle(41)),
+            None,
+            "blocked waitcnt wakes on a response, not a cycle"
+        );
+        for _ in 0..4 {
+            wf.on_load_response();
+        }
+        assert_eq!(wf.next_wake(Cycle(41)), Some(Cycle(41)));
+        wf.issue(Cycle(41)); // The waitcnt retires the program.
+        assert_eq!(wf.next_wake(Cycle(42)), None, "done wavefronts sleep");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!     [--jobs N] [--serial] [--no-cache] [--cache-dir <dir>]
 //!     [--out <dir>] [--sweep-name <name>] [--timeout-secs N]
 //!     [--quiet] [--compare] [--telemetry[=interval]]
-//!     [--check-invariants] [--fail-fast] [--retries N]
+//!     [--check-invariants] [--no-skip] [--fail-fast] [--retries N]
 //!     [--no-journal] [--resume <run-id>]
 //! ```
 //!
@@ -70,6 +70,9 @@ pub struct CliArgs {
     /// Enable sentinel invariant checking and the forward-progress
     /// watchdog for every job.
     pub check_invariants: bool,
+    /// Force per-cycle stepping, disabling event-driven time skipping
+    /// (bit-identical, slower; for equivalence checks and debugging).
+    pub no_skip: bool,
     /// Cancel queued jobs after the first failure.
     pub fail_fast: bool,
     /// Extra attempts for timed-out/panicked jobs (0 = no retries).
@@ -105,6 +108,7 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> CliArgs {
         compare: false,
         telemetry: None,
         check_invariants: false,
+        no_skip: false,
         fail_fast: false,
         retries: 0,
         no_journal: false,
@@ -147,6 +151,7 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> CliArgs {
             "--quiet" => out.quiet = true,
             "--compare" => out.compare = true,
             "--check-invariants" => out.check_invariants = true,
+            "--no-skip" => out.no_skip = true,
             "--fail-fast" => out.fail_fast = true,
             "--retries" => {
                 out.retries = value("--retries")
@@ -310,6 +315,9 @@ pub fn run(args: &CliArgs) -> i32 {
     }
     if args.check_invariants {
         spec = spec.with_invariant_checks();
+    }
+    if args.no_skip {
+        spec = spec.with_no_skip();
     }
     let spec = Arc::new(spec);
     let opts = SweepOptions {
@@ -540,18 +548,20 @@ mod tests {
     fn robustness_flags_parse() {
         let a = parse(&[
             "--check-invariants",
+            "--no-skip",
             "--fail-fast",
             "--retries",
             "2",
             "--no-journal",
         ]);
         assert!(a.check_invariants);
+        assert!(a.no_skip);
         assert!(a.fail_fast);
         assert_eq!(a.retries, 2);
         assert!(a.no_journal);
         assert!(a.resume.is_none());
         let d = parse(&[]);
-        assert!(!d.check_invariants && !d.fail_fast && !d.no_journal);
+        assert!(!d.check_invariants && !d.no_skip && !d.fail_fast && !d.no_journal);
         assert_eq!(d.retries, 0);
     }
 

@@ -452,6 +452,7 @@ fn execute(
         Some(limit) => {
             let (tx, rx) = mpsc::channel();
             let thread_spec = Arc::clone(spec);
+            let started = std::time::Instant::now();
             // Detached on purpose: a hung simulation cannot be killed, so
             // the thread is abandoned and dies with the process.
             std::thread::Builder::new()
@@ -462,6 +463,14 @@ fn execute(
                 })
                 .expect("spawn job thread");
             match rx.recv_timeout(limit) {
+                // The budget binds even when the result arrives: on a
+                // loaded machine this orchestrator thread can be starved
+                // past the job's whole runtime, and a result that is
+                // already waiting makes `recv_timeout` succeed no matter
+                // how small the limit. Enforcing the elapsed wall clock
+                // here keeps "timed out" deterministic instead of a race
+                // between the job and the scheduler.
+                Ok(_) if started.elapsed() > limit => Err(JobError::TimedOut(limit)),
                 Ok(Ok(result)) => result.map_err(JobError::Sim),
                 Ok(Err(p)) => Err(panicked(spec, &job, panic_message(p.as_ref()))),
                 Err(mpsc::RecvTimeoutError::Timeout) => Err(JobError::TimedOut(limit)),

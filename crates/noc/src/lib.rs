@@ -146,6 +146,17 @@ impl Crossbar {
         moved
     }
 
+    /// Advances the round-robin cursor as if [`Crossbar::tick`] had been
+    /// called `cycles` times with every input empty or unready. On such a
+    /// cycle `tick` moves nothing and touches no statistic, but it still
+    /// rotates the arbitration start position; the event-driven fast
+    /// forward in `ApuSystem` calls this when it warps time so that a
+    /// skipped stretch of idle cycles leaves the arbiter in exactly the
+    /// state per-cycle stepping would have.
+    pub fn advance_idle_cycles(&mut self, cycles: u64) {
+        self.rr_start = (self.rr_start + (cycles % self.inputs as u64) as usize) % self.inputs;
+    }
+
     /// Accumulated statistics.
     #[must_use]
     pub fn stats(&self) -> &CrossbarStats {
@@ -291,6 +302,37 @@ mod tests {
             x.check_invariants("noc.req", &mut out);
         }
         assert!(out.is_empty(), "violations: {out:?}");
+    }
+
+    #[test]
+    fn idle_advance_matches_idle_ticks() {
+        // N idle ticks and one advance_idle_cycles(N) must leave the
+        // arbiter choosing the same input first.
+        let mut ticked = Crossbar::new(3, 1, 1);
+        let mut warped = Crossbar::new(3, 1, 1);
+        let mut ins = queues(3, 8);
+        let mut outs = queues(1, 8);
+        for cycle in 0..7 {
+            ticked.tick(Cycle(cycle), &mut ins, &mut outs, |_| 0);
+        }
+        warped.advance_idle_cycles(7);
+        assert_eq!(ticked.stats().moved.get(), 0, "idle ticks move nothing");
+        // Load every input; the first message moved reveals rr_start.
+        for q in ins.iter_mut() {
+            q.push(Cycle(7), 0).unwrap();
+        }
+        let lens = |ins: &[TimedQueue<u64>]| ins.iter().map(TimedQueue::len).collect::<Vec<_>>();
+        ticked.tick(Cycle(7), &mut ins, &mut outs, |_| 0);
+        let after_ticked = lens(&ins);
+        for q in ins.iter_mut() {
+            while q.pop_ready(Cycle(7)).is_some() {}
+            q.push(Cycle(7), 0).unwrap();
+        }
+        for q in outs.iter_mut() {
+            while q.pop_ready(Cycle(7)).is_some() {}
+        }
+        warped.tick(Cycle(7), &mut ins, &mut outs, |_| 0);
+        assert_eq!(after_ticked, lens(&ins));
     }
 
     #[test]

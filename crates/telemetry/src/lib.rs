@@ -289,6 +289,56 @@ impl Recorder {
         self.epoch_start = end_cycle;
     }
 
+    /// Whether a first frame has fixed the stat-name registry.
+    pub fn registry_fixed(&self) -> bool {
+        !self.names.is_empty()
+    }
+
+    /// Closes the epoch ending at `end_cycle` from a value-only sample
+    /// laid out like the fixed registry.
+    ///
+    /// Equivalent to [`Recorder::record_frame`] with a frame carrying the
+    /// registry's names, but allocation-free: steady-state sampling reuses
+    /// one caller-owned scratch buffer instead of re-deriving every dotted
+    /// name. Samples that do not advance the clock are ignored, as in
+    /// `record_frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame has fixed the registry yet
+    /// ([`Recorder::registry_fixed`]), if `values` has a different length
+    /// than the registry, or if any counter decreased.
+    pub fn record_values(&mut self, end_cycle: u64, values: &[u64]) {
+        if end_cycle <= self.epoch_start {
+            return;
+        }
+        assert!(
+            self.registry_fixed(),
+            "record_values before a first frame fixed the registry"
+        );
+        assert_eq!(
+            values.len(),
+            self.names.len(),
+            "telemetry frame registry changed mid-run"
+        );
+        let deltas: Vec<u64> = values
+            .iter()
+            .zip(&self.prev)
+            .zip(&self.names)
+            .map(|((&now, &before), name)| {
+                now.checked_sub(before)
+                    .unwrap_or_else(|| panic!("counter {name} decreased ({before} -> {now})"))
+            })
+            .collect();
+        self.epochs.push(Epoch {
+            start_cycle: self.epoch_start,
+            end_cycle,
+            deltas,
+        });
+        self.prev.copy_from_slice(values);
+        self.epoch_start = end_cycle;
+    }
+
     /// Ends the open phase (if any) and starts phase `name` at `cycle`.
     pub fn enter_phase(&mut self, name: &str, cycle: u64) {
         self.end_phase(cycle);
@@ -379,6 +429,31 @@ mod tests {
         assert_eq!(run.total_of("t.beta"), Some(19));
         assert_eq!(run.total_of("t.gamma"), None);
         assert_eq!(run.epochs.last().unwrap().cycles(), 7);
+    }
+
+    #[test]
+    fn record_values_matches_record_frame() {
+        let mut by_frame = Recorder::new(10);
+        by_frame.record_frame(10, frame(3, 100));
+        by_frame.record_frame(20, frame(5, 100));
+        by_frame.record_frame(30, frame(9, 120));
+
+        let mut by_values = Recorder::new(10);
+        assert!(!by_values.registry_fixed());
+        by_values.record_frame(10, frame(3, 100)); // first frame fixes names
+        assert!(by_values.registry_fixed());
+        by_values.record_values(20, &[5, 100]);
+        by_values.record_values(20, &[5, 100]); // zero-width: ignored
+        by_values.record_values(30, &[9, 120]);
+
+        assert_eq!(by_frame.into_run(30), by_values.into_run(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "before a first frame")]
+    fn record_values_requires_a_fixed_registry() {
+        let mut rec = Recorder::new(10);
+        rec.record_values(10, &[1, 2]);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Event-driven time-skipping effectiveness: how much of a run's
+//! simulated time is warped over rather than stepped, per workload and
+//! policy.
+//!
+//! ```text
+//! cargo run --release --example skip_stats
+//! cargo run --release --example skip_stats -- FwGRU Uncached
+//! cargo run --release --example skip_stats -- FwGRU Uncached latency4x
+//! ```
+
+use miopt::{ApuSystem, CachePolicy, PolicyConfig, SystemConfig};
+use miopt_workloads::{by_name, SuiteConfig};
+
+/// `paper` is the Table 1 machine: its realistic interconnect/DRAM
+/// latencies and 3000-cycle launch overhead are what make MI workloads
+/// latency-bound (and skip-ahead effective). `latency4x` is the same
+/// memory system seen from a 4x-clocked GPU — every latency in core
+/// cycles scaled by 4.
+fn config(name: &str) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_table1();
+    match name {
+        "paper" => {}
+        "latency4x" => {
+            cfg.lat_cu_l1 *= 4;
+            cfg.lat_l1_resp *= 4;
+            cfg.lat_l1_l2 *= 4;
+            cfg.lat_l2_resp *= 4;
+            cfg.lat_l2_dram *= 4;
+            cfg.lat_dram_resp *= 4;
+        }
+        other => panic!("unknown config {other:?} (paper|latency4x)"),
+    }
+    cfg.validate().expect("config is valid");
+    cfg
+}
+
+fn report(name: &str, policy: CachePolicy, cfg_name: &str) {
+    let w = by_name(&SuiteConfig::quick(), name).expect("suite workload");
+    let mut sys = ApuSystem::new(config(cfg_name), PolicyConfig::of(policy), &w);
+    let m = sys.run_to_completion(20_000_000_000).expect("run finished");
+    let (warps, warped) = sys.time_skip_stats();
+    println!(
+        "{name:8} {:12} {:>10} cycles  {:>8} warps  {:>10} warped ({:>5.1}% skipped, avg {:.1})",
+        PolicyConfig::of(policy).label(),
+        m.cycles,
+        warps,
+        warped,
+        100.0 * warped as f64 / m.cycles as f64,
+        warped as f64 / warps.max(1) as f64,
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match (args.next(), args.next()) {
+        (Some(w), Some(p)) => {
+            let policy = match p.as_str() {
+                "Uncached" => CachePolicy::Uncached,
+                "CacheR" => CachePolicy::CacheR,
+                "CacheRW" => CachePolicy::CacheRW,
+                other => panic!("unknown policy {other:?} (Uncached|CacheR|CacheRW)"),
+            };
+            let cfg_name = args.next().unwrap_or_else(|| "paper".to_string());
+            report(&w, policy, &cfg_name);
+        }
+        _ => {
+            for (w, p) in [
+                ("FwGRU", CachePolicy::Uncached),
+                ("FwGRU", CachePolicy::CacheRW),
+                ("FwLSTM", CachePolicy::Uncached),
+                ("FwSoft", CachePolicy::Uncached),
+                ("BwBN", CachePolicy::CacheRW),
+            ] {
+                report(w, p, "paper");
+            }
+        }
+    }
+}

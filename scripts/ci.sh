@@ -86,6 +86,33 @@ test -s "$smoke_dir/$rs.json"
 [[ ! -e "$journal" && ! -e "$smoke_dir/$rs.partial.json" ]]
 echo "resume smoke ok ($journaled job(s) journaled before SIGKILL, 6 ok after resume)"
 
+echo "== time-skip equivalence spot check (default vs --no-skip) =="
+# Event-driven time skipping is on by default; a --no-skip run of the
+# same grid must produce byte-identical reports (modulo the header's
+# wall-clock/provenance lines). The full cross-policy grid is pinned by
+# harness/tests/equivalence.rs; this exercises the CLI flag end to end.
+cargo run --release -q -p miopt-harness -- \
+    --scale quick --only FwSoft --fig6 --no-cache --no-journal --quiet \
+    --out "$smoke_dir" --sweep-name skip-on >/dev/null
+cargo run --release -q -p miopt-harness -- \
+    --scale quick --only FwSoft --fig6 --no-cache --no-journal --quiet \
+    --no-skip --out "$smoke_dir" --sweep-name skip-off >/dev/null
+diff <(grep '"cycles"\|"status"' "$smoke_dir/skip-on.json") \
+     <(grep '"cycles"\|"status"' "$smoke_dir/skip-off.json")
+echo "time-skip equivalence ok"
+
+echo "== time-skip perf smoke =="
+# The skipper must actually skip: a latency-bound uncached RNN run on
+# the paper machine warps a substantial share of its simulated cycles.
+# (Wall-clock ratios are too noisy for CI; warp coverage is exact.)
+skipped=$(cargo run --release -q -p miopt --example skip_stats -- FwGRU Uncached \
+    | awk '{ for (i = 1; i <= NF; i++) if ($i ~ /%$/) print int($i) }')
+if [[ -z "$skipped" || "$skipped" -lt 20 ]]; then
+    echo "perf smoke: expected >=20% of cycles warped, got '${skipped:-none}'" >&2
+    exit 1
+fi
+echo "time-skip perf smoke ok (${skipped}% of cycles warped)"
+
 if [[ $full -eq 1 ]]; then
     echo "== cargo clippy -p miopt-bench =="
     cargo clippy -p miopt-bench --all-targets -- -D warnings
