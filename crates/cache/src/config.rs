@@ -165,6 +165,56 @@ impl CacheConfig {
     }
 }
 
+/// A contiguous range of ways that allocations are confined to — QoS
+/// way-partitioning for multi-tenant serving.
+///
+/// Only *allocation* (victim selection) is restricted; probes still
+/// search every way, so a line legitimately installed elsewhere (for
+/// example before the partition changed at a kernel boundary) still
+/// hits. This is the standard way-partitioning semantics (Intel CAT,
+/// gem5's `WayPartitioningPolicy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WayRange {
+    /// First way of the partition.
+    pub first: usize,
+    /// Number of ways in the partition.
+    pub count: usize,
+}
+
+impl WayRange {
+    /// A partition spanning ways `first .. first + count`.
+    #[must_use]
+    pub fn new(first: usize, count: usize) -> WayRange {
+        WayRange { first, count }
+    }
+
+    /// One past the last way of the partition.
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.first + self.count
+    }
+
+    /// Checks the partition is non-empty and fits a `ways`-way cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self, ways: usize) -> Result<(), String> {
+        if self.count == 0 {
+            return Err("way partition must contain at least one way".to_string());
+        }
+        if self.end() > ways {
+            return Err(format!(
+                "way partition {}..{} exceeds {} ways",
+                self.first,
+                self.end(),
+                ways
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// How one cache level treats loads and stores, including the paper's
 /// Section VII optimizations.
 #[derive(Debug, Clone, PartialEq)]
@@ -187,6 +237,9 @@ pub struct LevelPolicy {
     pub pc_bypass: Option<PredictorConfig>,
     /// Row map for the dirty-block index; required when `rinse` is on.
     pub row_map: Option<RowMap>,
+    /// Confine allocations to a contiguous range of ways (QoS
+    /// way-partitioning); `None` uses every way.
+    pub partition: Option<WayRange>,
 }
 
 impl LevelPolicy {
@@ -201,6 +254,7 @@ impl LevelPolicy {
             rinse: false,
             pc_bypass: None,
             row_map: None,
+            partition: None,
         }
     }
 
@@ -216,6 +270,7 @@ impl LevelPolicy {
             rinse: false,
             pc_bypass: None,
             row_map: None,
+            partition: None,
         }
     }
 
@@ -232,10 +287,17 @@ impl LevelPolicy {
     ///
     /// # Errors
     ///
-    /// Returns a message if `rinse` is enabled without a `row_map`.
+    /// Returns a message if `rinse` is enabled without a `row_map`, or
+    /// if a way partition is empty. (Whether a partition *fits* is
+    /// checked against the cache geometry by `CacheUnit::new`.)
     pub fn validate(&self) -> Result<(), String> {
         if self.rinse && self.row_map.is_none() {
             return Err("rinse requires a row_map".to_string());
+        }
+        if let Some(p) = self.partition {
+            if p.count == 0 {
+                return Err("way partition must contain at least one way".to_string());
+            }
         }
         Ok(())
     }
@@ -292,6 +354,24 @@ mod tests {
         }
         // Next bank (line 8*4=32) differs.
         assert_ne!(m.key(LineAddr(32)), base);
+    }
+
+    #[test]
+    fn way_range_validation() {
+        assert!(WayRange::new(0, 16).validate(16).is_ok());
+        assert!(WayRange::new(8, 8).validate(16).is_ok());
+        assert!(WayRange::new(8, 9).validate(16).is_err());
+        assert!(WayRange::new(0, 0).validate(16).is_err());
+        assert_eq!(WayRange::new(4, 4).end(), 8);
+    }
+
+    #[test]
+    fn empty_partition_is_rejected() {
+        let mut p = LevelPolicy::cache_loads_only();
+        p.partition = Some(WayRange::new(0, 0));
+        assert!(p.validate().is_err());
+        p.partition = Some(WayRange::new(0, 4));
+        assert!(p.validate().is_ok());
     }
 
     #[test]

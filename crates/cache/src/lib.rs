@@ -56,7 +56,7 @@ mod stats;
 mod tags;
 mod unit;
 
-pub use config::{CacheConfig, LevelPolicy, RowMap};
+pub use config::{CacheConfig, LevelPolicy, RowMap, WayRange};
 pub use dbi::DirtyBlockIndex;
 pub use predictor::{PcPredictor, PredictorConfig};
 pub use stats::CacheStats;

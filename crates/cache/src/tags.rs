@@ -145,10 +145,19 @@ impl TagArray {
     /// Chooses a victim way for `line`'s set: a dead way if any, else the
     /// LRU clean way, else the LRU dirty way, else reports all-busy.
     pub(crate) fn find_victim(&self, line: LineAddr) -> Victim {
+        self.find_victim_in(line, 0, self.ways)
+    }
+
+    /// [`TagArray::find_victim`] restricted to ways
+    /// `first .. first + count` — the allocation side of QoS
+    /// way-partitioning. All-busy means every way *of the partition* is
+    /// busy; ways outside it are never candidates.
+    pub(crate) fn find_victim_in(&self, line: LineAddr, first: usize, count: usize) -> Victim {
+        debug_assert!(count > 0 && first + count <= self.ways);
         let set = self.set_of(line);
         let mut best_clean: Option<(u64, usize)> = None;
         let mut best_dirty: Option<(u64, usize)> = None;
-        for w in 0..self.ways {
+        for w in first..first + count {
             let l = self.line(set, w);
             if !self.is_live(l) {
                 return Victim::Free(w);
@@ -359,6 +368,30 @@ mod tests {
         t.line_mut(set, 0).state = LineState::Busy;
         t.line_mut(set, 1).state = LineState::Busy;
         assert_eq!(t.find_victim(LineAddr(c[2])), Victim::AllBusy);
+    }
+
+    #[test]
+    fn partitioned_victim_search_ignores_outside_ways() {
+        // 4 ways so a 2-way partition leaves real outsiders.
+        let mut t = TagArray::new(4, 4, 31, 0);
+        let c = colliding(1, 5, 4);
+        let set = set_index_for(LineAddr(c[0]), 4, 31, 0);
+        // Ways 0 and 1 hold stale-LRU clean lines *outside* the
+        // partition; the partition (ways 2..4) is empty.
+        t.install(LineAddr(c[0]), 0, LineState::Valid, Pc(0), false);
+        t.install(LineAddr(c[1]), 1, LineState::Valid, Pc(0), false);
+        assert_eq!(t.find_victim_in(LineAddr(c[2]), 2, 2), Victim::Free(2));
+        // Fill the partition with clean lines: the LRU *within* the
+        // partition is evicted, never the globally-LRU way 0.
+        t.install(LineAddr(c[2]), 2, LineState::Valid, Pc(0), false);
+        t.install(LineAddr(c[3]), 3, LineState::Valid, Pc(0), false);
+        assert_eq!(t.find_victim_in(LineAddr(c[4]), 2, 2), Victim::Clean(2));
+        // Partition all busy => AllBusy even though ways 0/1 are clean.
+        t.line_mut(set, 2).state = LineState::Busy;
+        t.line_mut(set, 3).state = LineState::Busy;
+        assert_eq!(t.find_victim_in(LineAddr(c[4]), 2, 2), Victim::AllBusy);
+        // The unrestricted search still sees the clean outsiders.
+        assert_eq!(t.find_victim(LineAddr(c[4])), Victim::Clean(0));
     }
 
     #[test]

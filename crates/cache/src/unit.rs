@@ -84,6 +84,9 @@ impl CacheUnit {
     pub fn new(cfg: CacheConfig, policy: LevelPolicy, instance: u32) -> CacheUnit {
         cfg.validate().expect("invalid cache config");
         policy.validate().expect("invalid level policy");
+        if let Some(p) = policy.partition {
+            p.validate(cfg.ways).expect("invalid way partition");
+        }
         let dbi = if policy.rinse {
             let map = policy.row_map.expect("validated above");
             Some(DirtyBlockIndex::new(cfg.dbi_rows.max(1), map))
@@ -124,6 +127,49 @@ impl CacheUnit {
     #[must_use]
     pub fn policy(&self) -> &LevelPolicy {
         &self.policy
+    }
+
+    /// Replaces the level policy in force.
+    ///
+    /// Meant for kernel boundaries in multi-tenant serving, where a
+    /// drained, flushed and self-invalidated cache switches to the next
+    /// tenant's policy. The dirty-block index is rebuilt when the rinse
+    /// configuration changes, and the PC predictor when the predictor
+    /// configuration changes; an unchanged predictor keeps its training
+    /// (a partition or store-policy switch alone does not reset it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid or its partition does not fit
+    /// this cache's geometry, or if the cache is busy (outstanding
+    /// fills, parked replays, or an in-progress flush) — callers switch
+    /// policies only at drained kernel boundaries.
+    pub fn set_policy(&mut self, policy: LevelPolicy) {
+        policy.validate().expect("invalid level policy");
+        if let Some(p) = policy.partition {
+            p.validate(self.cfg.ways).expect("invalid way partition");
+        }
+        assert!(!self.busy(), "set_policy while cache busy");
+        if policy.rinse != self.policy.rinse || policy.row_map != self.policy.row_map {
+            self.dbi = if policy.rinse {
+                let map = policy.row_map.expect("validated above");
+                Some(DirtyBlockIndex::new(self.cfg.dbi_rows.max(1), map))
+            } else {
+                None
+            };
+        }
+        if policy.pc_bypass != self.policy.pc_bypass {
+            self.predictor = policy.pc_bypass.clone().map(PcPredictor::new);
+        }
+        self.policy = policy;
+    }
+
+    /// Victim selection honouring the policy's way partition, if any.
+    fn find_victim(&self, line: LineAddr) -> Victim {
+        match self.policy.partition {
+            Some(p) => self.tags.find_victim_in(line, p.first, p.count),
+            None => self.tags.find_victim(line),
+        }
     }
 
     /// The PC predictor, if the policy enables one.
@@ -443,7 +489,7 @@ impl CacheUnit {
             return Err(Blocked::MshrFull);
         }
 
-        let victim = self.tags.find_victim(req.line);
+        let victim = self.find_victim(req.line);
         if victim == Victim::AllBusy {
             if self.policy.allocation_bypass {
                 self.stats.alloc_bypasses.inc();
@@ -545,7 +591,7 @@ impl CacheUnit {
             }
         }
 
-        let victim = self.tags.find_victim(req.line);
+        let victim = self.find_victim(req.line);
         if victim == Victim::AllBusy {
             if self.policy.allocation_bypass {
                 self.stats.alloc_bypasses.inc();
@@ -993,7 +1039,7 @@ impl Sentinel for CacheUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::RowMap;
+    use crate::config::{RowMap, WayRange};
     use crate::predictor::PredictorConfig;
     use miopt_engine::{AccessKind, Origin, Pc};
 
@@ -1087,6 +1133,88 @@ mod tests {
         assert_eq!(up.pop_ready(Cycle(6)).unwrap().id, ReqId(2));
         assert_eq!(c.stats().load_hits.get(), 1);
         assert_eq!(c.stats().load_misses.get(), 1);
+    }
+
+    #[test]
+    fn partition_confines_allocation_but_not_hits() {
+        let mut c = cache(LevelPolicy::cache_loads_only());
+        let (mut down, mut up) = queues();
+        let lines = colliding(8, 3);
+        // Unpartitioned warm-up installs lines[0] in way 0.
+        warm(&mut c, lines[0], &mut down, &mut up);
+        // Tenant switch: confine allocation to way 1 (of 2).
+        let mut p = LevelPolicy::cache_loads_only();
+        p.partition = Some(WayRange::new(1, 1));
+        c.set_policy(p);
+        // Probes search every way, so the way-0 resident still hits.
+        assert_eq!(
+            c.access(Cycle(1), load(1, lines[0], 7), &mut down, &mut up)
+                .unwrap(),
+            Outcome::Hit
+        );
+        up.pop_ready(Cycle(1)).unwrap();
+        // Two colliding fills now fight over the single partition way:
+        // lines[2] evicts lines[1], never the way-0 resident.
+        warm_at(&mut c, Cycle(2), lines[1], &mut down, &mut up);
+        warm_at(&mut c, Cycle(3), lines[2], &mut down, &mut up);
+        assert_eq!(
+            c.access(Cycle(4), load(2, lines[0], 7), &mut down, &mut up)
+                .unwrap(),
+            Outcome::Hit
+        );
+        up.pop_ready(Cycle(4)).unwrap();
+        assert_eq!(
+            c.access(Cycle(5), load(3, lines[2], 7), &mut down, &mut up)
+                .unwrap(),
+            Outcome::Hit
+        );
+        up.pop_ready(Cycle(5)).unwrap();
+        assert_eq!(
+            c.access(Cycle(6), load(4, lines[1], 7), &mut down, &mut up)
+                .unwrap(),
+            Outcome::MissForwarded
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "set_policy while cache busy")]
+    fn set_policy_on_busy_cache_panics() {
+        let mut c = cache(LevelPolicy::cache_loads_only());
+        let (mut down, mut up) = queues();
+        // Outstanding miss fill keeps the cache busy.
+        c.access(Cycle(0), load(1, 8, 7), &mut down, &mut up)
+            .unwrap();
+        c.set_policy(LevelPolicy::cache_loads_only());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid way partition")]
+    fn oversized_partition_is_rejected() {
+        let mut p = LevelPolicy::cache_loads_only();
+        p.partition = Some(WayRange::new(0, 3)); // tiny cache: 2 ways
+        let _ = cache(p);
+    }
+
+    #[test]
+    fn set_policy_keeps_unchanged_predictor_and_rebuilds_changed_dbi() {
+        let mut p = LevelPolicy::cache_loads_and_stores();
+        p.pc_bypass = Some(PredictorConfig::paper());
+        let mut c = cache(p.clone());
+        assert!(c.predictor().is_some());
+        assert!(c.dbi.is_none());
+        // Partition-only change: predictor instance survives.
+        let mut q = p.clone();
+        q.partition = Some(WayRange::new(0, 1));
+        c.set_policy(q);
+        assert!(c.predictor().is_some());
+        // Turning rinse on builds a DBI; dropping pc_bypass drops the
+        // predictor.
+        let mut r = LevelPolicy::cache_loads_and_stores();
+        r.rinse = true;
+        r.row_map = Some(RowMap::new(0, 2));
+        c.set_policy(r);
+        assert!(c.predictor().is_none());
+        assert!(c.dbi.is_some());
     }
 
     #[test]

@@ -61,6 +61,9 @@ pub mod runner;
 mod system;
 
 pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
+// Cache-level types that appear in the public serving API
+// (`ApuSystem::set_policy_config` / `set_level_policies`).
 pub use metrics::Metrics;
+pub use miopt_cache::{LevelPolicy, WayRange};
 pub use policy::{optimization_ladder, CachePolicy, OptimizationSet, PolicyConfig};
 pub use system::{ApuSystem, SimTimeoutError, StallDiagnostic, StallReason};

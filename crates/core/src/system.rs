@@ -1,5 +1,5 @@
 use crate::{Metrics, PolicyConfig, SystemConfig};
-use miopt_cache::{CacheStats, CacheUnit};
+use miopt_cache::{CacheStats, CacheUnit, LevelPolicy, WayRange};
 use miopt_dram::Dram;
 use miopt_engine::sentinel::{InvariantViolation, Sentinel};
 use miopt_engine::{Cycle, LineAddr, MemReq, MemResp, TimedQueue};
@@ -290,6 +290,40 @@ impl ApuSystem {
     /// [`crate::runner::run_one`] for non-panicking validation.
     #[must_use]
     pub fn new(cfg: SystemConfig, policy: PolicyConfig, workload: &Workload) -> ApuSystem {
+        let launches = workload
+            .launches
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (Arc::clone(k), i as u32))
+            .collect();
+        Self::build(cfg, policy, launches)
+    }
+
+    /// Builds a system with no kernels queued, starting in the finished
+    /// (idle) state — the persistent substrate of a serving scenario.
+    ///
+    /// Kernels are fed in at runtime with [`ApuSystem::enqueue_kernel`];
+    /// between kernels the clock advances with [`ApuSystem::idle_until`]
+    /// and policies may be switched with
+    /// [`ApuSystem::set_level_policies`]. `now`, statistics and
+    /// telemetry are cumulative across every kernel run on the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SystemConfig::validate`]).
+    #[must_use]
+    pub fn new_idle(cfg: SystemConfig, policy: PolicyConfig) -> ApuSystem {
+        let mut sys = Self::build(cfg, policy, VecDeque::new());
+        sys.phase = Phase::Finished;
+        sys
+    }
+
+    fn build(
+        cfg: SystemConfig,
+        policy: PolicyConfig,
+        launches: VecDeque<(Arc<KernelDesc>, u32)>,
+    ) -> ApuSystem {
         cfg.validate().expect("invalid system config");
         let n = cfg.n_cus;
         let s = cfg.l2_slices;
@@ -299,13 +333,6 @@ impl ApuSystem {
         let mk_req = |cap: usize, lat: u64| TimedQueue::<MemReq>::new(cap, lat);
         let mk_resp = |cap: usize, lat: u64| TimedQueue::<MemResp>::new(cap, lat);
         let cap = cfg.queue_capacity;
-
-        let launches = workload
-            .launches
-            .iter()
-            .enumerate()
-            .map(|(i, k)| (Arc::clone(k), i as u32))
-            .collect();
 
         ApuSystem {
             gpu: Gpu::new(n, cfg.cu.clone()),
@@ -720,6 +747,125 @@ impl ApuSystem {
     #[must_use]
     pub fn is_done(&self) -> bool {
         self.phase == Phase::Finished
+    }
+
+    /// Queues a kernel launch. `seq` tags the launch in telemetry
+    /// (`kernel:{name}#{seq}` instants); serving scenarios use a global
+    /// request sequence number.
+    ///
+    /// On an idle (finished) system the launch phase begins immediately:
+    /// the kernel starts executing `launch_overhead` cycles from `now`
+    /// once the system is driven again (via
+    /// [`ApuSystem::run_to_completion`] or [`ApuSystem::step`]).
+    pub fn enqueue_kernel(&mut self, desc: Arc<KernelDesc>, seq: u32) {
+        self.launches.push_back((desc, seq));
+        if self.phase == Phase::Finished {
+            self.phase = Phase::Launching {
+                until: self.now + self.cfg.launch_overhead,
+            };
+            if let Some(rec) = self.telemetry.as_deref_mut() {
+                rec.enter_phase(Self::phase_label(self.phase), self.now.0);
+            }
+        }
+    }
+
+    /// Number of queued launches not yet started.
+    #[must_use]
+    pub fn pending_launches(&self) -> usize {
+        self.launches.len()
+    }
+
+    /// Advances an idle (finished) system's clock to `target` without
+    /// running anything — the gap between request arrivals in a serving
+    /// scenario.
+    ///
+    /// With time skipping enabled the stretch is warped over (in chunks
+    /// that land one cycle short of each telemetry sample, so samples
+    /// fire at exactly the per-cycle simulator's cycles); with
+    /// `--no-skip` it is stepped cycle by cycle. Both modes leave the
+    /// system bit-identical, including crossbar round-robin cursors.
+    /// A `target` at or before `now` is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is not idle ([`ApuSystem::is_done`]).
+    pub fn idle_until(&mut self, target: Cycle) {
+        assert!(self.is_done(), "idle_until on a busy system");
+        while self.now < target {
+            if !self.skip {
+                self.step();
+                continue;
+            }
+            let mut to = target.0;
+            if let Some(rec) = self.telemetry.as_deref() {
+                let next_due = (self.now.0 / rec.interval() + 1) * rec.interval();
+                to = to.min(next_due - 1);
+            }
+            if to > self.now.0 {
+                let skipped = to - self.now.0;
+                self.req_xbar.advance_idle_cycles(skipped);
+                self.resp_xbar.advance_idle_cycles(skipped);
+                self.now = Cycle(to);
+                self.warps += 1;
+                self.warped_cycles += skipped;
+            } else {
+                // One cycle short of a telemetry sample: step to fire it.
+                self.step();
+            }
+        }
+    }
+
+    /// Switches every L1 to `l1` and every L2 slice to `l2` — the
+    /// per-tenant policy (and QoS way-partition) switch at a kernel
+    /// boundary in multi-tenant serving.
+    ///
+    /// Legal only on an idle system: at that point every cache has been
+    /// drained, flushed, and flash self-invalidated, so the switch
+    /// cannot strand dirty or busy lines. Lines installed under an
+    /// earlier partition would still be found by probes (allocation is
+    /// restricted, lookup is not), but after self-invalidation there are
+    /// none.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is not idle ([`ApuSystem::is_done`]), or if
+    /// a policy is invalid for the cache geometry (see
+    /// [`CacheUnit::set_policy`]).
+    pub fn set_level_policies(&mut self, l1: LevelPolicy, l2: LevelPolicy) {
+        assert!(
+            self.is_done(),
+            "cache policies can only change at an idle kernel boundary"
+        );
+        for c in &mut self.l1s {
+            c.set_policy(l1.clone());
+        }
+        for c in &mut self.l2s {
+            c.set_policy(l2.clone());
+        }
+    }
+
+    /// [`ApuSystem::set_level_policies`] from a [`PolicyConfig`], with an
+    /// optional L2 way partition (the serving scheduler's per-tenant
+    /// switch).
+    ///
+    /// # Panics
+    ///
+    /// As [`ApuSystem::set_level_policies`].
+    pub fn set_policy_config(&mut self, policy: &PolicyConfig, l2_partition: Option<WayRange>) {
+        let mut l2 = policy.l2_policy(self.cfg.row_map());
+        l2.partition = l2_partition;
+        self.set_level_policies(policy.l1_policy(), l2);
+    }
+
+    /// Cumulative crossbar transfer counts `(request, response)`, for
+    /// per-tenant NoC bandwidth attribution in serving scenarios (delta
+    /// across a kernel = that kernel's NoC traffic).
+    #[must_use]
+    pub fn noc_transfers(&self) -> (u64, u64) {
+        (
+            self.req_xbar.stats().moved.get(),
+            self.resp_xbar.stats().moved.get(),
+        )
     }
 
     /// Runs until done.
@@ -1409,6 +1555,80 @@ mod tests {
             err.diagnostic.cycle
         };
         assert_eq!(halt_cycle(true), halt_cycle(false));
+    }
+
+    #[test]
+    fn idle_system_replays_a_workload_like_a_fresh_one() {
+        // Feeding a workload's kernels one at a time into a persistent
+        // idle system must retire the same work as a one-shot run.
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let one_shot = run(CachePolicy::CacheR, "FwSoft");
+        let mut sys = ApuSystem::new_idle(
+            SystemConfig::small_test(),
+            PolicyConfig::of(CachePolicy::CacheR),
+        );
+        assert!(sys.is_done());
+        assert_eq!(sys.pending_launches(), 0);
+        for (i, k) in w.launches.iter().enumerate() {
+            sys.enqueue_kernel(Arc::clone(k), i as u32);
+            sys.run_to_completion(200_000_000).expect("kernel finished");
+            assert!(sys.is_done());
+        }
+        let m = sys.metrics();
+        assert_eq!(m.gpu.retired_wavefronts, one_shot.gpu.retired_wavefronts);
+        assert_eq!(m.dram_accesses(), one_shot.dram_accesses());
+        assert_eq!(m.cycles, one_shot.cycles);
+    }
+
+    #[test]
+    fn idle_until_is_bit_identical_across_skip_modes() {
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let mut runs = Vec::new();
+        for skip in [true, false] {
+            let mut sys = ApuSystem::new_idle(
+                SystemConfig::small_test(),
+                PolicyConfig::of(CachePolicy::CacheR),
+            );
+            sys.set_time_skip(skip);
+            sys.enable_telemetry(512);
+            // Idle gap, kernel, idle gap, kernel — with gaps that are not
+            // multiples of the telemetry interval.
+            sys.idle_until(Cycle(1_700));
+            sys.enqueue_kernel(Arc::clone(&w.launches[0]), 0);
+            sys.run_to_completion(200_000_000).expect("first kernel");
+            let resume = sys.now() + 12_345;
+            sys.idle_until(resume);
+            sys.enqueue_kernel(Arc::clone(&w.launches[0]), 1);
+            sys.run_to_completion(200_000_000).expect("second kernel");
+            let m = sys.metrics();
+            runs.push((m.cycles, m.dram_accesses(), sys.take_telemetry()));
+        }
+        assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn policy_switch_at_idle_boundary_takes_effect() {
+        let w = by_name(&SuiteConfig::quick(), "FwSoft").unwrap();
+        let mut sys = ApuSystem::new_idle(
+            SystemConfig::small_test(),
+            PolicyConfig::of(CachePolicy::Uncached),
+        );
+        sys.enqueue_kernel(Arc::clone(&w.launches[0]), 0);
+        sys.run_to_completion(200_000_000).expect("uncached kernel");
+        let uncached_dram = sys.metrics().dram_accesses();
+        // Switch to CacheR with a half-capacity L2 partition and rerun.
+        sys.set_policy_config(
+            &PolicyConfig::of(CachePolicy::CacheR),
+            Some(WayRange::new(0, SystemConfig::small_test().l2.ways / 2)),
+        );
+        sys.enqueue_kernel(Arc::clone(&w.launches[0]), 1);
+        sys.run_to_completion(400_000_000).expect("cached kernel");
+        let delta = sys.metrics().dram_accesses() - uncached_dram;
+        assert!(
+            delta < uncached_dram,
+            "cached rerun must hit DRAM less: {delta} vs {uncached_dram}"
+        );
+        assert!(sys.check_invariants_now().is_empty());
     }
 
     #[test]

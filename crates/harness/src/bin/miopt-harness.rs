@@ -1,8 +1,16 @@
 //! The `miopt-harness` binary: regenerates the paper's tables and
-//! figures through the parallel sweep orchestrator. See
-//! [`miopt_harness::cli`] for the flag reference.
+//! figures through the parallel sweep orchestrator, and runs the
+//! multi-tenant serving sweep via the `serve` subcommand. See
+//! [`miopt_harness::cli`] and [`miopt_harness::serve`] for the flag
+//! references.
 
 fn main() {
-    let args = miopt_harness::cli::parse_args(std::env::args().skip(1));
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        let args = miopt_harness::serve::parse_serve_args(args);
+        std::process::exit(miopt_harness::serve::run_serve(&args));
+    }
+    let args = miopt_harness::cli::parse_args(args);
     std::process::exit(miopt_harness::cli::run(&args));
 }

@@ -19,6 +19,9 @@
 //!   persistently failing configs ([`journal`], [`pool`], [`sweep`]),
 //! * phase-resolved telemetry exports — JSONL time series plus Chrome
 //!   `trace_event` JSON for chrome://tracing / Perfetto ([`telemetry`]),
+//! * the multi-tenant serving sweep: `miopt-harness serve` runs a
+//!   policy × load grid of QoS serving scenarios and reports per-tenant
+//!   p50/p95/p99 latency and throughput ([`serve`]),
 //! * the figure-extraction pipeline and the `miopt-harness` CLI that
 //!   regenerates every paper figure through the pool ([`figures`],
 //!   [`cli`]).
@@ -38,6 +41,7 @@ pub mod pool;
 pub mod progress;
 pub mod provenance;
 pub mod results;
+pub mod serve;
 pub mod sweep;
 pub mod telemetry;
 
@@ -48,4 +52,5 @@ pub use json::Json;
 pub use pool::{JobError, JobOutcome, PoolOptions, RetryPolicy};
 pub use provenance::Provenance;
 pub use results::{SweepReport, SCHEMA_VERSION};
+pub use serve::{ServeJobRecord, ServeSweepSpec};
 pub use sweep::{run_sweep, run_sweep_journaled, JournalOptions, SweepOptions, SweepRun};

@@ -1,0 +1,1169 @@
+//! The `miopt-harness serve` subcommand: the policy × load tail-latency
+//! sweep over multi-tenant serving scenarios.
+//!
+//! Where the figure sweeps ask "which cache policy minimizes kernel
+//! runtime?", this sweep asks the serving question: with several model
+//! instances sharing the GPU under open-loop traffic, which policy
+//! minimizes *p99 request latency*? Each job fixes one candidate policy
+//! (applied to every tenant) and one load level (the mean inter-arrival
+//! gap), replays the *same* pre-expanded arrival schedules against it,
+//! and reports per-tenant p50/p95/p99 latency and throughput.
+//!
+//! Traffic is part of the experiment's identity: the arrival seed and
+//! the FNV-1a hash of every tenant's expanded schedule are recorded in
+//! the report's provenance block and folded into the resume-journal
+//! fingerprint, so `--resume` provably replays identical traffic and
+//! the final report is byte-identical in all simulation-derived fields.
+//!
+//! ```text
+//! miopt-harness serve [--system small|paper] [--scale quick|paper]
+//!     [--tenants name=Workload,name=Workload] [--policies P,P,...]
+//!     [--loads N,N,...] [--requests N] [--seed N] [--partition]
+//!     [--max-batch N] [--budget N] [--jobs N] [--serial] [--no-skip]
+//!     [--check-invariants] [--out <dir>] [--sweep-name <name>]
+//!     [--resume <run-id>] [--no-journal] [--quiet]
+//! ```
+
+use crate::journal::{journal_path, partial_path, replace_file, JOURNAL_VERSION};
+use crate::json::Json;
+use crate::provenance::{config_hash, Provenance, GLOBAL_SEED};
+use crate::results::SCHEMA_VERSION;
+use miopt::{CachePolicy, PolicyConfig, SystemConfig, WayRange};
+use miopt_engine::util::{fnv1a_64, Fnv1a};
+use miopt_serve::{ArrivalSchedule, ServeConfig, TenantSpec};
+use miopt_workloads::{by_name, SuiteConfig};
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Parsed `serve` subcommand options.
+pub struct ServeArgs {
+    /// The machine (`"small"` or `"paper"`).
+    pub system_name: String,
+    /// Workload suite scale name (`"quick"` or `"paper"`).
+    pub scale_name: String,
+    /// `(tenant name, workload name)` pairs.
+    pub tenants: Vec<(String, String)>,
+    /// Candidate policies, each applied to every tenant for one column
+    /// of the grid.
+    pub policies: Vec<PolicyConfig>,
+    /// Load levels: mean inter-arrival gaps in cycles (smaller = more
+    /// load).
+    pub loads: Vec<u64>,
+    /// Requests per tenant per job.
+    pub requests: usize,
+    /// Arrival seed (tenant streams are derived from it).
+    pub seed: u64,
+    /// Give each tenant an equal exclusive share of L2 ways.
+    pub partition: bool,
+    /// Most requests folded into one dispatch.
+    pub max_batch: u32,
+    /// Per-job absolute cycle budget.
+    pub budget: u64,
+    /// Worker threads (0 = all available cores).
+    pub jobs: usize,
+    /// Force per-cycle stepping.
+    pub no_skip: bool,
+    /// Enable sentinel invariant checking per job.
+    pub check_invariants: bool,
+    /// Directory reports are written under.
+    pub runs_dir: PathBuf,
+    /// Report name (the `<runs_dir>/<name>.json` stem).
+    pub sweep_name: String,
+    /// Resume the named interrupted run.
+    pub resume: Option<String>,
+    /// Disable the write-ahead journal.
+    pub no_journal: bool,
+    /// Suppress per-job progress lines.
+    pub quiet: bool,
+}
+
+/// Parses the arguments after `serve`.
+///
+/// # Panics
+///
+/// Panics with a descriptive message on malformed arguments, matching
+/// [`crate::cli::parse_args`].
+#[must_use]
+pub fn parse_serve_args(args: impl Iterator<Item = String>) -> ServeArgs {
+    let mut out = ServeArgs {
+        system_name: "small".to_string(),
+        scale_name: "quick".to_string(),
+        tenants: vec![
+            ("t0".to_string(), "FwSoft".to_string()),
+            ("t1".to_string(), "FwPool".to_string()),
+        ],
+        policies: vec![
+            PolicyConfig::of(CachePolicy::Uncached),
+            PolicyConfig::of(CachePolicy::CacheR),
+            PolicyConfig::of(CachePolicy::CacheRW),
+        ],
+        loads: vec![60_000, 15_000],
+        requests: 12,
+        seed: GLOBAL_SEED,
+        partition: false,
+        max_batch: 4,
+        budget: 2_000_000_000,
+        jobs: 0,
+        no_skip: false,
+        check_invariants: false,
+        runs_dir: PathBuf::from("results/runs"),
+        sweep_name: String::new(),
+        resume: None,
+        no_journal: false,
+        quiet: false,
+    };
+    let mut args = args;
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--system" => {
+                let v = value("--system");
+                assert!(
+                    v == "small" || v == "paper",
+                    "unknown system {v:?} (use small|paper)"
+                );
+                out.system_name = v;
+            }
+            "--scale" => {
+                let v = value("--scale");
+                assert!(
+                    v == "quick" || v == "paper",
+                    "unknown scale {v:?} (use quick|paper)"
+                );
+                out.scale_name = v;
+            }
+            "--tenants" => {
+                out.tenants = value("--tenants")
+                    .split(',')
+                    .map(|pair| {
+                        let (name, workload) = pair.split_once('=').unwrap_or_else(|| {
+                            panic!("--tenants wants name=Workload, got {pair:?}")
+                        });
+                        (name.to_string(), workload.to_string())
+                    })
+                    .collect();
+            }
+            "--policies" => {
+                out.policies = value("--policies")
+                    .split(',')
+                    .map(|p| match p {
+                        "Uncached" => PolicyConfig::of(CachePolicy::Uncached),
+                        "CacheR" => PolicyConfig::of(CachePolicy::CacheR),
+                        "CacheRW" => PolicyConfig::of(CachePolicy::CacheRW),
+                        other => panic!("unknown policy {other:?} (use Uncached|CacheR|CacheRW)"),
+                    })
+                    .collect();
+            }
+            "--loads" => {
+                out.loads = value("--loads")
+                    .split(',')
+                    .map(|l| l.parse().expect("--loads wants cycle counts"))
+                    .collect();
+            }
+            "--requests" => {
+                out.requests = value("--requests")
+                    .parse()
+                    .expect("--requests needs a number");
+            }
+            "--seed" => out.seed = value("--seed").parse().expect("--seed needs a number"),
+            "--partition" => out.partition = true,
+            "--max-batch" => {
+                out.max_batch = value("--max-batch")
+                    .parse()
+                    .expect("--max-batch needs a number");
+            }
+            "--budget" => {
+                out.budget = value("--budget").parse().expect("--budget needs a number");
+            }
+            "--jobs" => out.jobs = value("--jobs").parse().expect("--jobs needs a number"),
+            "--serial" => out.jobs = 1,
+            "--no-skip" => out.no_skip = true,
+            "--check-invariants" => out.check_invariants = true,
+            "--out" => out.runs_dir = PathBuf::from(value("--out")),
+            "--sweep-name" => out.sweep_name = value("--sweep-name"),
+            "--resume" => out.resume = Some(value("--resume")),
+            "--no-journal" => out.no_journal = true,
+            "--quiet" => out.quiet = true,
+            other => panic!("unexpected argument {other:?}"),
+        }
+    }
+    if out.sweep_name.is_empty() {
+        out.sweep_name = format!("serve-{}-{}", out.system_name, out.scale_name);
+    }
+    if let Some(id) = &out.resume {
+        out.sweep_name.clone_from(id);
+    }
+    out
+}
+
+/// The fully resolved serve sweep: every job's scenario is derivable
+/// from this value alone, which is what the fingerprint hashes.
+#[derive(Debug, Clone)]
+pub struct ServeSweepSpec {
+    /// The simulated machine.
+    pub system: SystemConfig,
+    /// Workload suite scale.
+    pub scale: SuiteConfig,
+    /// `(tenant name, workload name)` pairs.
+    pub tenants: Vec<(String, String)>,
+    /// Candidate policies.
+    pub policies: Vec<PolicyConfig>,
+    /// Mean inter-arrival gaps in cycles.
+    pub loads: Vec<u64>,
+    /// Requests per tenant per job.
+    pub requests: usize,
+    /// Arrival seed.
+    pub seed: u64,
+    /// Equal-share L2 way partitioning.
+    pub partition: bool,
+    /// Batching limit.
+    pub max_batch: u32,
+    /// Per-job cycle budget.
+    pub budget: u64,
+    /// Force per-cycle stepping.
+    pub no_skip: bool,
+    /// Sentinel invariant checking.
+    pub check_invariants: bool,
+}
+
+/// One cell of the policy × load grid.
+#[derive(Debug, Clone)]
+pub struct ServeJob {
+    /// Job id (assembly order: policies outer, loads inner).
+    pub id: usize,
+    /// The policy applied to every tenant.
+    pub policy: PolicyConfig,
+    /// Mean inter-arrival gap in cycles.
+    pub load: u64,
+}
+
+impl ServeSweepSpec {
+    /// Resolves CLI arguments into a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a tenant names an unknown workload or the grid is
+    /// empty.
+    #[must_use]
+    pub fn from_args(args: &ServeArgs) -> ServeSweepSpec {
+        let system = match args.system_name.as_str() {
+            "paper" => SystemConfig::paper_table1(),
+            _ => SystemConfig::small_test(),
+        };
+        let scale = match args.scale_name.as_str() {
+            "paper" => SuiteConfig::paper(),
+            _ => SuiteConfig::quick(),
+        };
+        assert!(!args.tenants.is_empty(), "--tenants matched no tenants");
+        assert!(!args.policies.is_empty(), "--policies matched no policies");
+        assert!(!args.loads.is_empty(), "--loads matched no load levels");
+        for (_, workload) in &args.tenants {
+            assert!(
+                by_name(&scale, workload).is_some(),
+                "unknown workload {workload:?}"
+            );
+        }
+        ServeSweepSpec {
+            system,
+            scale,
+            tenants: args.tenants.clone(),
+            policies: args.policies.clone(),
+            loads: args.loads.clone(),
+            requests: args.requests,
+            seed: args.seed,
+            partition: args.partition,
+            max_batch: args.max_batch,
+            budget: args.budget,
+            no_skip: args.no_skip,
+            check_invariants: args.check_invariants,
+        }
+    }
+
+    /// The job grid, policies outer and loads inner.
+    #[must_use]
+    pub fn jobs(&self) -> Vec<ServeJob> {
+        let mut jobs = Vec::with_capacity(self.policies.len() * self.loads.len());
+        for policy in &self.policies {
+            for &load in &self.loads {
+                jobs.push(ServeJob {
+                    id: jobs.len(),
+                    policy: *policy,
+                    load,
+                });
+            }
+        }
+        jobs
+    }
+
+    /// The equal-share L2 partition of tenant `i`, when partitioning is
+    /// on (the last tenant absorbs the remainder ways).
+    fn partition_of(&self, i: usize) -> Option<WayRange> {
+        if !self.partition {
+            return None;
+        }
+        let n = self.tenants.len();
+        let share = self.system.l2.ways / n;
+        assert!(share >= 1, "fewer L2 ways than tenants");
+        let count = if i == n - 1 {
+            self.system.l2.ways - i * share
+        } else {
+            share
+        };
+        Some(WayRange::new(i * share, count))
+    }
+
+    /// The arrival schedule of tenant `i` at load level `load`. Streams
+    /// are derived from the sweep seed, the tenant name, and the load —
+    /// but *not* the policy, so every policy in a column faces
+    /// byte-identical traffic.
+    #[must_use]
+    pub fn schedule_of(&self, i: usize, load: u64) -> ArrivalSchedule {
+        let stream = self.seed ^ fnv1a_64(format!("{}:{load}", self.tenants[i].0).as_bytes());
+        ArrivalSchedule::poisson(stream, load as f64, self.requests)
+    }
+
+    /// The full scenario for one job.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a tenant names an unknown workload (prevented by
+    /// [`ServeSweepSpec::from_args`]).
+    #[must_use]
+    pub fn serve_config(&self, job: &ServeJob) -> ServeConfig {
+        let tenants = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, (name, workload))| TenantSpec {
+                name: name.clone(),
+                workload: by_name(&self.scale, workload).expect("validated workload"),
+                policy: job.policy,
+                schedule: self.schedule_of(i, job.load),
+                l2_partition: self.partition_of(i),
+                max_batch: self.max_batch,
+            })
+            .collect();
+        ServeConfig {
+            system: self.system.clone(),
+            tenants,
+            max_cycles: self.budget,
+            no_skip: self.no_skip,
+            check_invariants: self.check_invariants,
+            telemetry_interval: None,
+        }
+    }
+
+    /// FNV-1a over every tenant's schedule at every load level — the
+    /// traffic identity of the whole sweep.
+    #[must_use]
+    pub fn arrivals_fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for &load in &self.loads {
+            for i in 0..self.tenants.len() {
+                h.write_u64(self.schedule_of(i, load).hash());
+            }
+        }
+        h.finish()
+    }
+
+    /// Fingerprint binding a journal to one exact serve sweep: machine,
+    /// schema, grid, tenant workload identities, run options, and the
+    /// arrival seed plus expanded-schedule hashes (so resumed traffic is
+    /// provably identical).
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let mut h = Fnv1a::new();
+        h.write(b"serve");
+        h.write(config_hash(&self.system).as_bytes());
+        h.write_u64(u64::from(SCHEMA_VERSION));
+        h.write_u64(u64::from(JOURNAL_VERSION));
+        let jobs = self.jobs();
+        h.write_u64(jobs.len() as u64);
+        for job in &jobs {
+            h.write(job.policy.label().as_bytes());
+            h.write_u64(job.load);
+        }
+        for (name, workload) in &self.tenants {
+            h.write(name.as_bytes());
+            h.write(
+                by_name(&self.scale, workload)
+                    .expect("validated workload")
+                    .stable_id()
+                    .as_bytes(),
+            );
+        }
+        h.write_u64(self.requests as u64);
+        h.write_u64(self.seed);
+        h.write_u64(u64::from(self.partition));
+        h.write_u64(u64::from(self.max_batch));
+        h.write_u64(self.budget);
+        h.write_u64(u64::from(self.no_skip));
+        h.write_u64(u64::from(self.check_invariants));
+        h.write_u64(self.arrivals_fingerprint());
+        format!("{:016x}", h.finish())
+    }
+}
+
+/// One tenant's results inside a [`ServeJobRecord`]. All fields are
+/// exact integers, so the serialized record is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantRecord {
+    /// Tenant name.
+    pub name: String,
+    /// Workload name.
+    pub workload: String,
+    /// Requests scheduled / completed.
+    pub requested: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Dispatches.
+    pub batches: u64,
+    /// Kernel launches.
+    pub kernels: u64,
+    /// Cycles the tenant's kernels held the GPU.
+    pub busy_cycles: u64,
+    /// Deepest queue observed.
+    pub queue_peak: u64,
+    /// DRAM read bursts attributed to the tenant.
+    pub dram_reads: u64,
+    /// DRAM write bursts attributed to the tenant.
+    pub dram_writes: u64,
+    /// Request-crossbar transfers attributed to the tenant.
+    pub noc_req_transfers: u64,
+    /// Response-crossbar transfers attributed to the tenant.
+    pub noc_resp_transfers: u64,
+    /// Sum of request latencies in cycles (mean = sum / completed).
+    pub latency_sum: u64,
+    /// p50 request latency in cycles.
+    pub p50: u64,
+    /// p95 request latency in cycles.
+    pub p95: u64,
+    /// p99 request latency in cycles.
+    pub p99: u64,
+}
+
+/// One job's entry in a serve sweep report. Contains no wall-clock
+/// fields: a resumed sweep reproduces these records byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeJobRecord {
+    /// Job id within the sweep.
+    pub id: usize,
+    /// Policy label.
+    pub policy: String,
+    /// Mean inter-arrival gap in cycles.
+    pub load: u64,
+    /// `"ok"`, or the failure description.
+    pub status: String,
+    /// Cycle at which the last dispatch completed (0 on failure).
+    pub cycles: u64,
+    /// Per-tenant results (empty on failure).
+    pub tenants: Vec<TenantRecord>,
+}
+
+impl ServeJobRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::U64(self.id as u64)),
+            ("policy", Json::str(&self.policy)),
+            ("load", Json::U64(self.load)),
+            ("status", Json::str(&self.status)),
+            ("cycles", Json::U64(self.cycles)),
+            (
+                "tenants",
+                Json::Arr(
+                    self.tenants
+                        .iter()
+                        .map(|t| {
+                            Json::obj([
+                                ("name", Json::str(&t.name)),
+                                ("workload", Json::str(&t.workload)),
+                                ("requested", Json::U64(t.requested)),
+                                ("completed", Json::U64(t.completed)),
+                                ("batches", Json::U64(t.batches)),
+                                ("kernels", Json::U64(t.kernels)),
+                                ("busy_cycles", Json::U64(t.busy_cycles)),
+                                ("queue_peak", Json::U64(t.queue_peak)),
+                                ("dram_reads", Json::U64(t.dram_reads)),
+                                ("dram_writes", Json::U64(t.dram_writes)),
+                                ("noc_req_transfers", Json::U64(t.noc_req_transfers)),
+                                ("noc_resp_transfers", Json::U64(t.noc_resp_transfers)),
+                                ("latency_sum", Json::U64(t.latency_sum)),
+                                ("p50", Json::U64(t.p50)),
+                                ("p95", Json::U64(t.p95)),
+                                ("p99", Json::U64(t.p99)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The record as one compact JSON line (the journal entry format).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        self.to_json().to_compact()
+    }
+
+    /// Rebuilds a record from its JSON form (journal replay).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn from_json(doc: &Json) -> Result<ServeJobRecord, String> {
+        let int = |doc: &Json, key: &str| {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or invalid `{key}`"))
+        };
+        let text = |doc: &Json, key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or invalid `{key}`"))
+        };
+        let mut tenants = Vec::new();
+        for t in doc
+            .get("tenants")
+            .and_then(Json::as_arr)
+            .ok_or("missing or invalid `tenants`")?
+        {
+            tenants.push(TenantRecord {
+                name: text(t, "name")?,
+                workload: text(t, "workload")?,
+                requested: int(t, "requested")?,
+                completed: int(t, "completed")?,
+                batches: int(t, "batches")?,
+                kernels: int(t, "kernels")?,
+                busy_cycles: int(t, "busy_cycles")?,
+                queue_peak: int(t, "queue_peak")?,
+                dram_reads: int(t, "dram_reads")?,
+                dram_writes: int(t, "dram_writes")?,
+                noc_req_transfers: int(t, "noc_req_transfers")?,
+                noc_resp_transfers: int(t, "noc_resp_transfers")?,
+                latency_sum: int(t, "latency_sum")?,
+                p50: int(t, "p50")?,
+                p95: int(t, "p95")?,
+                p99: int(t, "p99")?,
+            });
+        }
+        Ok(ServeJobRecord {
+            id: int(doc, "id")? as usize,
+            policy: text(doc, "policy")?,
+            load: int(doc, "load")?,
+            status: text(doc, "status")?,
+            cycles: int(doc, "cycles")?,
+            tenants,
+        })
+    }
+}
+
+/// Runs one grid cell.
+#[must_use]
+pub fn run_serve_job(spec: &ServeSweepSpec, job: &ServeJob) -> ServeJobRecord {
+    let cfg = spec.serve_config(job);
+    match miopt_serve::run(&cfg) {
+        Ok(result) => ServeJobRecord {
+            id: job.id,
+            policy: job.policy.label(),
+            load: job.load,
+            status: "ok".to_string(),
+            cycles: result.cycles,
+            tenants: result
+                .tenants
+                .iter()
+                .zip(&spec.tenants)
+                .map(|(t, (_, workload))| TenantRecord {
+                    name: t.name.clone(),
+                    workload: workload.clone(),
+                    requested: t.requested,
+                    completed: t.completed,
+                    batches: t.batches,
+                    kernels: t.kernels,
+                    busy_cycles: t.busy_cycles,
+                    queue_peak: t.queue_peak,
+                    dram_reads: t.dram_reads,
+                    dram_writes: t.dram_writes,
+                    noc_req_transfers: t.noc_req_transfers,
+                    noc_resp_transfers: t.noc_resp_transfers,
+                    latency_sum: u64::try_from(t.latency.sum()).unwrap_or(u64::MAX),
+                    p50: t.p50().unwrap_or(0),
+                    p95: t.p95().unwrap_or(0),
+                    p99: t.p99().unwrap_or(0),
+                })
+                .collect(),
+        },
+        Err(e) => ServeJobRecord {
+            id: job.id,
+            policy: job.policy.label(),
+            load: job.load,
+            status: e.to_string(),
+            cycles: 0,
+            tenants: Vec::new(),
+        },
+    }
+}
+
+/// Append-only journal writer for serve sweeps (same file layout as the
+/// figure sweeps': a fingerprinted header line, then one compact record
+/// per completed job).
+pub struct ServeJournalWriter {
+    file: Mutex<File>,
+}
+
+impl ServeJournalWriter {
+    /// Creates the journal (truncating any previous one of the same
+    /// name) and writes the header line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(
+        runs_dir: &Path,
+        name: &str,
+        spec: &ServeSweepSpec,
+    ) -> std::io::Result<ServeJournalWriter> {
+        std::fs::create_dir_all(runs_dir)?;
+        let mut file = File::create(journal_path(runs_dir, name))?;
+        let header = Json::obj([
+            ("journal", Json::str(name)),
+            ("kind", Json::str("serve")),
+            ("schema_version", Json::U64(u64::from(SCHEMA_VERSION))),
+            ("journal_version", Json::U64(u64::from(JOURNAL_VERSION))),
+            ("fingerprint", Json::str(spec.fingerprint())),
+            ("arrival_seed", Json::U64(spec.seed)),
+            (
+                "arrivals_fingerprint",
+                Json::str(format!("{:016x}", spec.arrivals_fingerprint())),
+            ),
+            ("jobs", Json::U64(spec.jobs().len() as u64)),
+        ]);
+        writeln!(file, "{}", header.to_compact())?;
+        file.flush()?;
+        Ok(ServeJournalWriter {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Reopens an existing journal for appending (resume).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append_to(runs_dir: &Path, name: &str) -> std::io::Result<ServeJournalWriter> {
+        let file = File::options()
+            .append(true)
+            .open(journal_path(runs_dir, name))?;
+        Ok(ServeJournalWriter {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends one record and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another writer panicked while holding the lock.
+    pub fn append(&self, record: &ServeJobRecord) -> std::io::Result<()> {
+        let mut file = self.file.lock().expect("serve journal lock");
+        writeln!(file, "{}", record.to_json_line())?;
+        file.flush()
+    }
+}
+
+/// Loads a serve journal for resume, validating its fingerprint against
+/// `spec` before trusting any entry. Torn trailing lines are tolerated
+/// and dropped, like the figure-sweep journal.
+///
+/// # Errors
+///
+/// Returns a description when the journal is missing, malformed, or was
+/// written by a different sweep (different grid, options, or traffic).
+pub fn load_serve_journal(
+    runs_dir: &Path,
+    name: &str,
+    spec: &ServeSweepSpec,
+) -> Result<Vec<ServeJobRecord>, String> {
+    let path = journal_path(runs_dir, name);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "no journal for serve run `{name}` at {}: {e} \
+             (was the sweep started without journaling, or already completed?)",
+            path.display()
+        )
+    })?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| format!("journal {} is empty", path.display()))?;
+    let header = Json::parse(header)
+        .map_err(|e| format!("journal {} has a malformed header: {e}", path.display()))?;
+    let fingerprint = header
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("journal {} header lacks a fingerprint", path.display()))?;
+    let expected = spec.fingerprint();
+    if fingerprint != expected {
+        return Err(format!(
+            "journal {} was written by a different serve sweep \
+             (fingerprint {fingerprint}, this invocation is {expected}); \
+             resume with the exact flags of the original run, or delete \
+             the journal to start over",
+            path.display()
+        ));
+    }
+    let total = spec.jobs().len();
+    let mut entries = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // A SIGKILL can truncate the final line mid-write; that job
+        // simply re-runs.
+        let Ok(doc) = Json::parse(line) else { continue };
+        let rec = ServeJobRecord::from_json(&doc)
+            .map_err(|e| format!("journal {} entry invalid: {e}", path.display()))?;
+        if rec.id >= total {
+            return Err(format!(
+                "journal {} names job {} but the sweep has {total} jobs",
+                path.display(),
+                rec.id
+            ));
+        }
+        entries.push(rec);
+    }
+    Ok(entries)
+}
+
+/// Executes the grid across `workers` threads, skipping ids present in
+/// `existing` (journal replay), and returns every record in job-id
+/// order. Results are byte-identical at any worker count: workers only
+/// race for *which* job to run next, never over a job's outcome.
+///
+/// # Panics
+///
+/// Panics if `existing` names a job id outside the grid.
+#[must_use]
+pub fn execute(
+    spec: &ServeSweepSpec,
+    workers: usize,
+    quiet: bool,
+    journal: Option<&ServeJournalWriter>,
+    existing: &[ServeJobRecord],
+) -> Vec<ServeJobRecord> {
+    let jobs = spec.jobs();
+    let mut slots: Vec<Option<ServeJobRecord>> = vec![None; jobs.len()];
+    for rec in existing {
+        slots[rec.id] = Some(rec.clone());
+    }
+    let todo: Vec<&ServeJob> = jobs.iter().filter(|j| slots[j.id].is_none()).collect();
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        workers
+    }
+    .min(todo.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::<ServeJobRecord>::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = todo.get(i) else { break };
+                let record = run_serve_job(spec, job);
+                if !quiet {
+                    eprintln!(
+                        "  [serve {}/{}] {} @ load {}: {}",
+                        job.id + 1,
+                        jobs.len(),
+                        record.policy,
+                        record.load,
+                        record.status
+                    );
+                }
+                if let Some(j) = journal {
+                    if let Err(e) = j.append(&record) {
+                        eprintln!("warning: journal append failed: {e}");
+                    }
+                }
+                done.lock().expect("serve results lock").push(record);
+            });
+        }
+    });
+    for record in done.into_inner().expect("serve results lock") {
+        let id = record.id;
+        slots[id] = Some(record);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job ran or was journaled"))
+        .collect()
+}
+
+/// The worst (maximum) tenant p99 of a job — the sweep's tail metric.
+fn worst_p99(rec: &ServeJobRecord) -> u64 {
+    rec.tenants.iter().map(|t| t.p99).max().unwrap_or(u64::MAX)
+}
+
+/// Per-load summary rows: which policy wins on tail latency (worst
+/// tenant p99) and which wins on mean dispatch runtime (GPU busy cycles
+/// per batch). When they differ, queueing has inverted the paper's
+/// isolated-runtime ranking — the effect the sweep exists to expose.
+#[must_use]
+pub fn summarize(spec: &ServeSweepSpec, records: &[ServeJobRecord]) -> Json {
+    let rows = spec
+        .loads
+        .iter()
+        .map(|&load| {
+            let at_load: Vec<&ServeJobRecord> = records
+                .iter()
+                .filter(|r| r.load == load && r.status == "ok")
+                .collect();
+            let by_p99 = at_load.iter().min_by_key(|r| worst_p99(r));
+            // Exact rational compare of busy/batches, no float rounding.
+            let by_mean = at_load.iter().min_by(|a, b| {
+                let (ab, an): (u128, u128) = (
+                    a.tenants.iter().map(|t| u128::from(t.busy_cycles)).sum(),
+                    a.tenants.iter().map(|t| u128::from(t.batches)).sum(),
+                );
+                let (bb, bn): (u128, u128) = (
+                    b.tenants.iter().map(|t| u128::from(t.busy_cycles)).sum(),
+                    b.tenants.iter().map(|t| u128::from(t.batches)).sum(),
+                );
+                (ab * bn.max(1)).cmp(&(bb * an.max(1)))
+            });
+            let best_p99 = by_p99.map_or("none", |r| r.policy.as_str());
+            let best_mean = by_mean.map_or("none", |r| r.policy.as_str());
+            Json::obj([
+                ("load", Json::U64(load)),
+                ("best_by_p99", Json::str(best_p99)),
+                ("best_by_mean_batch", Json::str(best_mean)),
+                ("tail_diverges_from_mean", Json::Bool(best_p99 != best_mean)),
+            ])
+        })
+        .collect();
+    Json::Arr(rows)
+}
+
+/// Assembles the full report document: provenance (including the
+/// arrival seed and schedule hash), the grid, per-job records, and the
+/// per-load summary.
+#[must_use]
+pub fn report_json(
+    spec: &ServeSweepSpec,
+    name: &str,
+    provenance: &Provenance,
+    records: &[ServeJobRecord],
+) -> Json {
+    let mut prov = provenance.to_json();
+    if let Json::Obj(pairs) = &mut prov {
+        pairs.push(("arrival_seed".to_string(), Json::U64(spec.seed)));
+        pairs.push((
+            "arrivals_fingerprint".to_string(),
+            Json::str(format!("{:016x}", spec.arrivals_fingerprint())),
+        ));
+    }
+    Json::obj([
+        ("sweep", Json::str(name)),
+        ("kind", Json::str("serve")),
+        ("schema_version", Json::U64(u64::from(SCHEMA_VERSION))),
+        ("provenance", prov),
+        (
+            "grid",
+            Json::obj([
+                (
+                    "tenants",
+                    Json::Arr(
+                        spec.tenants
+                            .iter()
+                            .map(|(n, w)| {
+                                Json::obj([("name", Json::str(n)), ("workload", Json::str(w))])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "policies",
+                    Json::Arr(spec.policies.iter().map(|p| Json::str(p.label())).collect()),
+                ),
+                (
+                    "loads",
+                    Json::Arr(spec.loads.iter().map(|&l| Json::U64(l)).collect()),
+                ),
+                ("requests", Json::U64(spec.requests as u64)),
+                ("max_batch", Json::U64(u64::from(spec.max_batch))),
+                ("partition", Json::Bool(spec.partition)),
+            ]),
+        ),
+        (
+            "jobs",
+            Json::Arr(records.iter().map(ServeJobRecord::to_json).collect()),
+        ),
+        ("summary", summarize(spec, records)),
+    ])
+}
+
+/// Prints the human-readable sweep table to stdout.
+fn print_table(spec: &ServeSweepSpec, records: &[ServeJobRecord]) {
+    println!("== serve: policy x load -> tail latency (cycles) ==");
+    println!(
+        "{:14} {:>10} {:>10}  per-tenant p50/p95/p99 (completed)",
+        "policy", "load", "cycles"
+    );
+    for r in records {
+        let tenants = if r.status == "ok" {
+            r.tenants
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{}: {}/{}/{} ({})",
+                        t.name, t.p50, t.p95, t.p99, t.completed
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        } else {
+            format!("FAILED: {}", r.status)
+        };
+        println!("{:14} {:>10} {:>10}  {tenants}", r.policy, r.load, r.cycles);
+    }
+    let summary = summarize(spec, records);
+    if let Json::Arr(rows) = &summary {
+        for row in rows {
+            let load = row.get("load").and_then(Json::as_u64).unwrap_or(0);
+            let p99 = row.get("best_by_p99").and_then(Json::as_str).unwrap_or("?");
+            let mean = row
+                .get("best_by_mean_batch")
+                .and_then(Json::as_str)
+                .unwrap_or("?");
+            let mark = if p99 == mean {
+                ""
+            } else {
+                "  <-- tail diverges"
+            };
+            println!("load {load}: best by p99 = {p99}, best by mean batch = {mean}{mark}");
+        }
+    }
+}
+
+/// Runs the `serve` subcommand. Returns the process exit code.
+#[must_use]
+pub fn run_serve(args: &ServeArgs) -> i32 {
+    let spec = ServeSweepSpec::from_args(args);
+    let jobs = spec.jobs();
+    eprintln!(
+        "running serve sweep: {} policies x {} loads = {} jobs, {} tenants ...",
+        spec.policies.len(),
+        spec.loads.len(),
+        jobs.len(),
+        spec.tenants.len()
+    );
+
+    let mut existing = Vec::new();
+    let journal = if args.no_journal {
+        None
+    } else if args.resume.is_some() {
+        match load_serve_journal(&args.runs_dir, &args.sweep_name, &spec) {
+            Ok(entries) => {
+                eprintln!(
+                    "resuming `{}`: {} of {} job(s) already journaled",
+                    args.sweep_name,
+                    entries.len(),
+                    jobs.len()
+                );
+                existing = entries;
+                match ServeJournalWriter::append_to(&args.runs_dir, &args.sweep_name) {
+                    Ok(w) => Some(w),
+                    Err(e) => {
+                        eprintln!("error: cannot reopen journal: {e}");
+                        return 1;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        }
+    } else {
+        eprintln!(
+            "run id: {} (resume an interrupted sweep with serve --resume {})",
+            args.sweep_name, args.sweep_name
+        );
+        match ServeJournalWriter::create(&args.runs_dir, &args.sweep_name, &spec) {
+            Ok(w) => Some(w),
+            Err(e) => {
+                eprintln!("warning: journaling disabled ({e})");
+                None
+            }
+        }
+    };
+
+    let mut provenance = Provenance::collect(&spec.system, args.jobs.max(1));
+    let t0 = Instant::now();
+    let records = execute(&spec, args.jobs, args.quiet, journal.as_ref(), &existing);
+    provenance.elapsed_ms = t0.elapsed().as_millis() as u64;
+    eprintln!("serve sweep done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let report = report_json(&spec, &args.sweep_name, &provenance, &records);
+    std::fs::create_dir_all(&args.runs_dir).ok();
+    let path = args.runs_dir.join(format!("{}.json", args.sweep_name));
+    match replace_file(&path, &report.to_pretty()) {
+        Ok(()) => {
+            eprintln!("(wrote {})", path.display());
+            // The final report is durable; drop the write-ahead state.
+            let _ = std::fs::remove_file(journal_path(&args.runs_dir, &args.sweep_name));
+            let _ = std::fs::remove_file(partial_path(&args.runs_dir, &args.sweep_name));
+        }
+        Err(e) => eprintln!("warning: could not write serve report: {e}"),
+    }
+
+    print_table(&spec, &records);
+    let failed = records.iter().filter(|r| r.status != "ok").count();
+    if failed > 0 {
+        eprintln!("error: {failed} serve job(s) failed");
+        return 1;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn tiny_spec() -> ServeSweepSpec {
+        ServeSweepSpec {
+            system: SystemConfig::small_test(),
+            scale: SuiteConfig::quick(),
+            tenants: vec![
+                ("t0".to_string(), "FwSoft".to_string()),
+                ("t1".to_string(), "FwPool".to_string()),
+            ],
+            policies: vec![
+                PolicyConfig::of(CachePolicy::CacheR),
+                PolicyConfig::of(CachePolicy::CacheRW),
+            ],
+            loads: vec![30_000],
+            requests: 3,
+            seed: 0,
+            partition: true,
+            max_batch: 2,
+            budget: 500_000_000,
+            no_skip: false,
+            check_invariants: false,
+        }
+    }
+
+    #[test]
+    fn serve_args_parse() {
+        let a = parse_serve_args(
+            [
+                "--system",
+                "paper",
+                "--scale",
+                "paper",
+                "--tenants",
+                "a=FwSoft,b=SGEMM",
+                "--policies",
+                "CacheR,CacheRW",
+                "--loads",
+                "50000,10000",
+                "--requests",
+                "8",
+                "--seed",
+                "9",
+                "--partition",
+                "--max-batch",
+                "2",
+                "--jobs",
+                "3",
+                "--sweep-name",
+                "myserve",
+            ]
+            .iter()
+            .map(|s| (*s).to_string()),
+        );
+        assert_eq!(a.system_name, "paper");
+        assert_eq!(a.tenants[1], ("b".to_string(), "SGEMM".to_string()));
+        assert_eq!(a.policies.len(), 2);
+        assert_eq!(a.loads, vec![50_000, 10_000]);
+        assert_eq!(a.requests, 8);
+        assert_eq!(a.seed, 9);
+        assert!(a.partition);
+        assert_eq!(a.max_batch, 2);
+        assert_eq!(a.jobs, 3);
+        assert_eq!(a.sweep_name, "myserve");
+        let d = parse_serve_args(std::iter::empty());
+        assert_eq!(d.sweep_name, "serve-small-quick");
+        assert_eq!(d.policies.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected argument")]
+    fn serve_rejects_unknown_flags() {
+        drop(parse_serve_args(
+            ["--frobnicate"].iter().map(|s| (*s).to_string()),
+        ));
+    }
+
+    #[test]
+    fn fingerprint_tracks_grid_options_and_traffic() {
+        let base = tiny_spec();
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        let mut seeded = base.clone();
+        seeded.seed = 1;
+        assert_ne!(base.fingerprint(), seeded.fingerprint());
+        let mut loaded = base.clone();
+        loaded.loads.push(10_000);
+        assert_ne!(base.fingerprint(), loaded.fingerprint());
+        let mut batched = base.clone();
+        batched.max_batch = 1;
+        assert_ne!(base.fingerprint(), batched.fingerprint());
+        // The traffic identity alone separates sweeps too.
+        assert_ne!(base.arrivals_fingerprint(), seeded.arrivals_fingerprint());
+    }
+
+    #[test]
+    fn schedules_are_shared_across_policies_not_tenants() {
+        let spec = tiny_spec();
+        let jobs = spec.jobs();
+        let a = spec.serve_config(&jobs[0]);
+        let b = spec.serve_config(&jobs[1]);
+        // Same load, different policy: byte-identical traffic.
+        assert_eq!(a.tenants[0].schedule, b.tenants[0].schedule);
+        // Different tenants: different streams.
+        assert_ne!(a.tenants[0].schedule, a.tenants[1].schedule);
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let spec = tiny_spec();
+        let rec = run_serve_job(&spec, &spec.jobs()[0]);
+        assert_eq!(rec.status, "ok");
+        let line = rec.to_json_line();
+        let back = ServeJobRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn equal_share_partitions_cover_the_l2() {
+        let spec = tiny_spec();
+        let p0 = spec.partition_of(0).unwrap();
+        let p1 = spec.partition_of(1).unwrap();
+        assert_eq!(p0.first, 0);
+        assert_eq!(p0.end(), p1.first);
+        assert_eq!(p1.end(), spec.system.l2.ways);
+    }
+}

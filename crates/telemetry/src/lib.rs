@@ -55,6 +55,10 @@
 // implement `StatSnapshot` without forming a dependency cycle.
 pub use miopt_engine::Cycle;
 
+pub mod hist;
+
+pub use hist::LatencyHistogram;
+
 /// A component whose statistics can be sampled into a telemetry frame.
 ///
 /// Implementations return every cumulative counter of the component as

@@ -101,6 +101,26 @@ diff <(grep '"cycles"\|"status"' "$smoke_dir/skip-on.json") \
      <(grep '"cycles"\|"status"' "$smoke_dir/skip-off.json")
 echo "time-skip equivalence ok"
 
+echo "== two-tenant serving smoke (miopt-harness serve) =="
+# A tiny invariant-checked serving sweep: two tenants with partitioned
+# L2 ways, one policy column, a handful of requests. Every job must
+# complete every request, and the report must carry the traffic
+# provenance that ties a resume to identical arrivals.
+cargo run --release -q -p miopt-harness -- serve \
+    --policies CacheR --loads 40000 --requests 4 --partition \
+    --check-invariants --budget 100000000 --quiet \
+    --out "$smoke_dir" --sweep-name serve-smoke >/dev/null
+test -s "$smoke_dir/serve-smoke.json"
+grep -q '"status": "ok"' "$smoke_dir/serve-smoke.json"
+grep -q '"arrivals_fingerprint"' "$smoke_dir/serve-smoke.json"
+if grep -q '"completed": 0' "$smoke_dir/serve-smoke.json"; then
+    echo "serve smoke: a tenant completed no requests" >&2
+    exit 1
+fi
+# The serve journal is cleaned up after a successful run.
+[[ ! -e "$smoke_dir/serve-smoke.journal.jsonl" ]]
+echo "serve smoke ok"
+
 echo "== time-skip perf smoke =="
 # The skipper must actually skip: a latency-bound uncached RNN run on
 # the paper machine warps a substantial share of its simulated cycles.

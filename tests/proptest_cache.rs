@@ -38,6 +38,7 @@ fn policy_strategy() -> impl Strategy<Value = LevelPolicy> {
             rinse: enabled && stores && rinse,
             pc_bypass: pcby.then(PredictorConfig::paper),
             row_map: (enabled && stores && rinse).then(|| RowMap::new(1, 2)),
+            partition: None,
         })
 }
 
