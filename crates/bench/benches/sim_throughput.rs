@@ -1,29 +1,37 @@
-//! Simulator throughput: simulated cycles per wall-second with
-//! event-driven time skipping on (the default) vs off (`--no-skip`).
+//! Simulator throughput: simulated cycles per wall-second with the
+//! discrete-event core (the default) vs `--no-skip` per-cycle stepping.
 //!
 //! Latency-bound runs — few wavefronts covering long DRAM round trips,
 //! the `Uncached` RNN configurations above all — spend most simulated
-//! cycles with every component provably idle, which is exactly what the
-//! time skipper warps over. Bandwidth-bound runs keep the hierarchy busy
-//! nearly every cycle, so their ratio stays near 1.0 and mostly measures
-//! the `next_event` overhead.
+//! cycles with every component provably idle. The per-cycle oracle pays
+//! ~12 stage polls on every one of those cycles; the event core never
+//! visits them at all, so its cost scales with *events dispatched*
+//! rather than *cycles simulated*. Bandwidth-bound runs keep the
+//! hierarchy busy nearly every cycle, so their ratio mostly measures
+//! dispatch overhead against straight-line polling.
+//!
+//! Besides wall time, each case reports the event core's work ratio:
+//! events dispatched vs cycles simulated (and the fraction of cycles
+//! that needed no event at all), which is the structural explanation
+//! for the speedup.
 //!
 //! Two machines are measured: the paper's Table 1 APU, and the same
 //! memory system seen from a 4x-clocked GPU (`latency4x`) — every
 //! interconnect/DRAM hop takes 4x as many core cycles, the modern-GPU
 //! regime where an uncached DRAM round trip costs several hundred
 //! cycles. The more latency-bound the machine, the larger the idle
-//! stretches and the bigger the win from skipping them.
+//! stretches and the bigger the win from never stepping through them.
 //!
-//! Pass a path argument to also write the measurements as JSON (the
-//! `results/BENCH_skipahead.json` trajectory file):
+//! Pass a path argument to also write the measurements as JSON; the
+//! event-core trajectory file `BENCH_eventcore.json` is written next to
+//! it:
 //!
 //! ```text
 //! cargo bench -p miopt-bench --bench sim_throughput -- results/BENCH_skipahead.json
 //! ```
 
 use miopt::runner::{run_one_with, RunOptions};
-use miopt::{CachePolicy, PolicyConfig, SystemConfig};
+use miopt::{ApuSystem, CachePolicy, PolicyConfig, SystemConfig};
 use miopt_bench::timing::measure;
 use miopt_workloads::{by_name, SuiteConfig};
 
@@ -32,6 +40,8 @@ struct Entry {
     workload: &'static str,
     policy: String,
     cycles: u64,
+    events: u64,
+    active_cycles: u64,
     skip_secs: f64,
     no_skip_secs: f64,
 }
@@ -74,7 +84,7 @@ fn main() {
         let p = PolicyConfig::of(policy);
         let mut cycles = 0u64;
         let label = format!("{cfg_name}/{name}/{p}");
-        let skip_secs = measure(&format!("{label} skip"), 3, || {
+        let skip_secs = measure(&format!("{label} events"), 3, || {
             let r = run_one_with(cfg, &w, p, &RunOptions::default()).expect("run");
             cycles = r.metrics.cycles;
         });
@@ -85,18 +95,31 @@ fn main() {
         let no_skip_secs = measure(&format!("{label} no-skip"), 3, || {
             run_one_with(cfg, &w, p, &per_cycle).expect("run");
         });
+        // One untimed run through `ApuSystem` directly for the event
+        // core's work counters (`run_one_with` reports only metrics).
+        let mut sys = ApuSystem::new((*cfg).clone(), p, &w);
+        sys.run_to_completion(per_cycle.max_cycles).expect("run");
+        let (events, active_cycles) = sys.event_stats();
         println!(
-            "{label}: {cycles} cycles; {:.1}M cyc/s skipped vs {:.1}M cyc/s per-cycle; \
+            "{label}: {cycles} cycles; {:.1}M cyc/s event-driven vs {:.1}M cyc/s per-cycle; \
              speedup {:.2}x",
             cycles as f64 / skip_secs / 1e6,
             cycles as f64 / no_skip_secs / 1e6,
             no_skip_secs / skip_secs.max(1e-12),
+        );
+        println!(
+            "{label}: {events} events over {active_cycles} active cycles \
+             ({:.1}% of cycles event-free, {:.3} events/cycle)",
+            100.0 * (1.0 - active_cycles as f64 / cycles.max(1) as f64),
+            events as f64 / cycles.max(1) as f64,
         );
         entries.push(Entry {
             config: cfg_name,
             workload: name,
             policy: p.label(),
             cycles,
+            events,
+            active_cycles,
             skip_secs,
             no_skip_secs,
         });
@@ -108,6 +131,19 @@ fn main() {
     println!("best speedup: {best:.2}x");
 
     if let Some(path) = out_path {
+        // Cargo runs benches from the package directory; resolve the
+        // documented `results/...` form against the workspace root.
+        let path = {
+            let p = std::path::PathBuf::from(&path);
+            if p.is_absolute() {
+                p
+            } else {
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join("../..")
+                    .join(p)
+            }
+        };
+        let path = path.to_string_lossy().into_owned();
         let unix_time = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.as_secs());
@@ -136,5 +172,44 @@ fn main() {
         );
         std::fs::write(&path, json).expect("write bench json");
         println!("(wrote {path})");
+
+        // The event-core trajectory file lives next to the skip-ahead
+        // one and additionally records the dispatch-work counters that
+        // explain each speedup.
+        let ev_path = std::path::Path::new(&path)
+            .parent()
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .join("BENCH_eventcore.json");
+        let rows: Vec<String> = entries
+            .iter()
+            .map(|e| {
+                format!(
+                    "    {{\"config\": \"{}\", \"workload\": \"{}\", \"policy\": \"{}\", \
+                     \"cycles\": {}, \"events\": {}, \"active_cycles\": {}, \
+                     \"events_per_cycle\": {:.4}, \"event_free_frac\": {:.4}, \
+                     \"event_secs\": {:.6}, \"no_skip_secs\": {:.6}, \"speedup\": {:.3}}}",
+                    e.config,
+                    e.workload,
+                    e.policy,
+                    e.cycles,
+                    e.events,
+                    e.active_cycles,
+                    e.events as f64 / e.cycles.max(1) as f64,
+                    1.0 - e.active_cycles as f64 / e.cycles.max(1) as f64,
+                    e.skip_secs,
+                    e.no_skip_secs,
+                    e.no_skip_secs / e.skip_secs.max(1e-12),
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"sim_throughput\",\n  \"schema\": \"miopt-eventcore-v1\",\n  \
+             \"unix_time\": {unix_time},\n  \"suite\": \"quick\",\n  \
+             \"entries\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n"),
+        );
+        let ev_display = ev_path.display().to_string();
+        std::fs::write(&ev_path, json).expect("write eventcore json");
+        println!("(wrote {ev_display})");
     }
 }

@@ -2,7 +2,7 @@ use crate::{Metrics, PolicyConfig, SystemConfig};
 use miopt_cache::{CacheStats, CacheUnit, LevelPolicy, WayRange};
 use miopt_dram::Dram;
 use miopt_engine::sentinel::{InvariantViolation, Sentinel};
-use miopt_engine::{Cycle, LineAddr, MemReq, MemResp, TimedQueue};
+use miopt_engine::{Cycle, EventWheel, LineAddr, MemReq, MemResp, TimedQueue};
 use miopt_gpu::{Gpu, KernelDesc};
 use miopt_noc::Crossbar;
 use miopt_telemetry::{Frame, Recorder, TelemetryRun};
@@ -193,6 +193,240 @@ impl SampleSink<'_> {
     }
 }
 
+// --- Event-core actors -------------------------------------------------
+//
+// The discrete-event core decomposes one simulated cycle into twelve
+// actors, one per stage of the per-cycle reference loop. The actor id IS
+// its dispatch priority within a cycle, and the ordering reproduces the
+// per-cycle simulator exactly: telemetry sampling and sentinel checks
+// observe the state *before* the cycle's actions (they fired after the
+// previous cycle's step in the per-cycle loop), then the memory
+// hierarchy ticks from DRAM upward (`tick_memory` stages 1-10), then the
+// phase machine (`advance_phase`) runs last.
+
+/// Telemetry epoch sample (fires at sampling-interval multiples).
+const A_TELEMETRY: usize = 0;
+/// Sentinel invariant sweep / watchdog fingerprint (fires at
+/// `next_check`).
+const A_SENTINEL: usize = 1;
+/// DRAM scheduling plus response drain toward the L2 slices (stages 1-2).
+const A_DRAM: usize = 2;
+/// L2 fills from DRAM responses (stage 3).
+const A_L2_FILL: usize = 3;
+/// L2 access servicing with miss-replay (stage 4).
+const A_L2_SERVICE: usize = 4;
+/// L2 writeback/miss traffic into DRAM (stage 5).
+const A_L2_TO_DRAM: usize = 5;
+/// Response crossbar, L2 slices toward L1s (stage 6).
+const A_RESP_XBAR: usize = 6;
+/// L1 fills from the response crossbar (stage 7).
+const A_L1_FILL: usize = 7;
+/// L1 access servicing with miss-replay (stage 8).
+const A_L1_SERVICE: usize = 8;
+/// Request crossbar, L1s toward L2 slices (stage 9).
+const A_REQ_XBAR: usize = 9;
+/// Response delivery from the L1s to the GPU (stage 10).
+const A_GPU_RESP: usize = 10;
+/// The phase machine: GPU execution, drains, flushes, launches.
+const A_PHASE: usize = 11;
+/// Number of actors (and the width of the scheduled-cycle table).
+const N_ACTORS: usize = 12;
+
+/// "Not scheduled" sentinel for [`EventCore::scheduled`].
+const NEVER: Cycle = Cycle(u64::MAX);
+
+/// Sentinel in [`UNIT_WHEEL`] for actors without unit-level scheduling.
+const NO_WHEEL: usize = usize::MAX;
+
+/// Unit-wheel index per actor. The six replicated-unit actors — the 16
+/// L2 slices' fill/service/writeback stages and the 64 L1s'
+/// fill/service/response stages — schedule *per unit*, so a dispatch
+/// walks only the slices or CUs with due work instead of all of them.
+/// The remaining actors (DRAM, crossbars, phase, telemetry, sentinel)
+/// are single components and stay actor-level.
+const UNIT_WHEEL: [usize; N_ACTORS] = {
+    let mut t = [NO_WHEEL; N_ACTORS];
+    t[A_L2_FILL] = 0;
+    t[A_L2_SERVICE] = 1;
+    t[A_L2_TO_DRAM] = 2;
+    t[A_L1_FILL] = 3;
+    t[A_L1_SERVICE] = 4;
+    t[A_GPU_RESP] = 5;
+    t
+};
+
+/// Number of unit wheels (distinct non-sentinel entries of [`UNIT_WHEEL`]).
+const N_UNIT_WHEELS: usize = 6;
+
+/// Display names for the per-actor dispatch histogram, indexed by actor id.
+const ACTOR_NAMES: [&str; N_ACTORS] = [
+    "telemetry",
+    "sentinel",
+    "dram",
+    "l2_fill",
+    "l2_service",
+    "l2_to_dram",
+    "resp_xbar",
+    "l1_fill",
+    "l1_service",
+    "req_xbar",
+    "gpu_resp",
+    "phase",
+];
+
+/// The event-driven scheduler: a calendar-queue wheel of actor wakeups
+/// plus the earliest pending wake per actor.
+///
+/// The `scheduled` table makes wheel entries *lazy*: waking an actor
+/// earlier than a cycle already in the wheel just inserts the earlier
+/// entry and lets the stale one pop as a no-op (it no longer matches
+/// `scheduled`). Within a dispatching cycle, an actor may wake another
+/// actor at the *same* cycle only if the target's priority is higher
+/// than the one currently dispatching (its stage is still to come, just
+/// as in the per-cycle stage order); otherwise the wake clamps to the
+/// next cycle.
+#[derive(Debug)]
+struct EventCore {
+    wheel: EventWheel,
+    /// Per-unit wakeups for the replicated-unit actors (see
+    /// [`UNIT_WHEEL`]): wheel `UNIT_WHEEL[a]` holds, per cycle, the mask
+    /// of actor `a`'s units due then. The actor-level `wheel` always
+    /// carries a matching entry at the *earliest* pending unit cycle
+    /// (kept by [`EventCore::wake_unit`] on insert and re-established by
+    /// [`EventCore::rearm_units`] after every dispatch), so no unit
+    /// entry is ever stranded behind a popped actor entry.
+    units: [EventWheel; N_UNIT_WHEELS],
+    /// Earliest pending wake per actor ([`NEVER`] when idle).
+    scheduled: [Cycle; N_ACTORS],
+    /// Actors still to dispatch in the cycle currently being processed.
+    due: u64,
+    /// The cycle currently being dispatched.
+    now: Cycle,
+    /// The actor currently dispatching (same-cycle wake arbitration).
+    current: usize,
+    /// Cumulative actor dispatches (the "events" of the event core).
+    events: u64,
+    /// Cumulative dispatches broken down by actor.
+    events_by_actor: [u64; N_ACTORS],
+    /// Cumulative cycles with at least one dispatch.
+    active_cycles: u64,
+}
+
+impl EventCore {
+    fn new() -> EventCore {
+        EventCore {
+            wheel: EventWheel::new(),
+            units: std::array::from_fn(|_| EventWheel::new()),
+            scheduled: [NEVER; N_ACTORS],
+            due: 0,
+            now: Cycle::ZERO,
+            current: N_ACTORS,
+            events: 0,
+            events_by_actor: [0; N_ACTORS],
+            active_cycles: 0,
+        }
+    }
+
+    /// Clears all pending wakes and rebases the wheels at `now` (run
+    /// entry).
+    fn reset(&mut self, now: Cycle) {
+        self.wheel.reset(now);
+        for w in &mut self.units {
+            w.reset(now);
+        }
+        self.scheduled = [NEVER; N_ACTORS];
+        self.due = 0;
+        self.now = now;
+        self.current = N_ACTORS;
+    }
+
+    /// Run-entry wake: schedules `actor` no earlier than the rebased
+    /// `now` (dispatch *at* `now` is allowed before the loop starts).
+    fn seed(&mut self, actor: usize, at: Cycle) {
+        let at = at.max(self.now);
+        if at < self.scheduled[actor] {
+            self.scheduled[actor] = at;
+            self.wheel.insert(at, actor as u8);
+        }
+    }
+
+    /// Run-entry wake of one unit of a replicated-unit actor.
+    fn seed_unit(&mut self, actor: usize, at: Cycle, unit: usize) {
+        let at = at.max(self.now);
+        self.units[UNIT_WHEEL[actor]].insert(at, unit as u8);
+        self.seed(actor, at);
+    }
+
+    /// Mid-run wake: schedules `actor` at `at`, clamped to the currently
+    /// dispatching cycle's successor unless the target's stage for this
+    /// cycle is still to come (strictly higher priority than the actor
+    /// dispatching now).
+    fn wake(&mut self, actor: usize, at: Cycle) {
+        if at <= self.now {
+            if actor > self.current {
+                self.scheduled[actor] = self.now;
+                self.due |= 1 << actor;
+                return;
+            }
+            let at = self.now + 1;
+            if at < self.scheduled[actor] {
+                self.scheduled[actor] = at;
+                self.wheel.insert(at, actor as u8);
+            }
+            return;
+        }
+        if at < self.scheduled[actor] {
+            self.scheduled[actor] = at;
+            self.wheel.insert(at, actor as u8);
+        }
+    }
+
+    /// Mid-run wake of one unit of a replicated-unit actor, with the
+    /// same same-cycle clamping as [`EventCore::wake`]. The unit entry
+    /// lands in the actor's unit wheel; the actor-level wake keeps the
+    /// earliest-pending invariant.
+    fn wake_unit(&mut self, actor: usize, at: Cycle, unit: usize) {
+        let at = if at <= self.now {
+            if actor > self.current {
+                self.now
+            } else {
+                self.now + 1
+            }
+        } else {
+            at
+        };
+        self.units[UNIT_WHEEL[actor]].insert(at, unit as u8);
+        self.wake(actor, at);
+    }
+
+    /// Pops every unit of `actor` due at or before the dispatching
+    /// cycle, as a bitmask over unit indices. A unit walked as a no-op
+    /// (its stale entry outlived an earlier reschedule) is harmless:
+    /// every unit stage is a pure no-op without ready input.
+    fn due_units(&mut self, actor: usize) -> u64 {
+        let w = &mut self.units[UNIT_WHEEL[actor]];
+        let mut mask = 0u64;
+        while let Some(c) = w.next_cycle() {
+            if c > self.now {
+                break;
+            }
+            mask |= w.pop_next().expect("cycle just observed").1;
+        }
+        mask
+    }
+
+    /// Re-arms `actor` at its unit wheel's earliest pending cycle, run
+    /// after each of its dispatches. This repairs the one case the lazy
+    /// actor-level minimum drops: a unit pending at `t2` whose actor
+    /// entry went stale when a later `t1 < t2` wake superseded it —
+    /// without the re-arm that unit would sleep until the *next* wake.
+    fn rearm_units(&mut self, actor: usize) {
+        if let Some(c) = self.units[UNIT_WHEEL[actor]].next_cycle() {
+            self.wake(actor, c);
+        }
+    }
+}
+
 /// Where the system is in the kernel-boundary protocol (paper Section
 /// III): launch → run → drain → release flush → drain → self-invalidate →
 /// next launch.
@@ -259,13 +493,23 @@ pub struct ApuSystem {
     /// Invariant checker and watchdog; `None` in release builds unless
     /// explicitly enabled, `Some` in debug builds always.
     sentinel: Option<Box<SentinelState>>,
-    /// Event-driven time skipping: when true (the default),
-    /// [`ApuSystem::run_to_completion`] warps `now` over provably idle
-    /// stretches instead of stepping through them one cycle at a time.
+    /// Engine selection: when true (the default),
+    /// [`ApuSystem::run_to_completion`] runs the discrete-event core
+    /// (pop-min → dispatch → reschedule on the calendar wheel); when
+    /// false it steps every cycle — the `--no-skip` validation oracle.
     /// See [`ApuSystem::set_time_skip`].
     skip: bool,
-    /// Number of warps taken and total cycles warped over (diagnostics
-    /// for [`ApuSystem::time_skip_stats`]).
+    /// The discrete-event scheduler driving the event-core run loop.
+    ev: EventCore,
+    /// First cycle whose request-crossbar tick is still unaccounted: the
+    /// event core ticks a crossbar only when an input head is ready, and
+    /// compensates the round-robin cursor for the skipped idle rotations
+    /// just before the next real tick (and at run exit).
+    req_synced: Cycle,
+    /// As [`ApuSystem::req_synced`], for the response crossbar.
+    resp_synced: Cycle,
+    /// Number of inter-event gaps crossed and total cycles in them
+    /// (diagnostics for [`ApuSystem::time_skip_stats`]).
     warps: u64,
     warped_cycles: u64,
     /// Scratch buffer for steady-state telemetry samples, reused across
@@ -327,6 +571,10 @@ impl ApuSystem {
         cfg.validate().expect("invalid system config");
         let n = cfg.n_cus;
         let s = cfg.l2_slices;
+        // Per-unit event scheduling (and the crossbar/GPU activity
+        // masks) index units by bit in a u64.
+        assert!(n <= 64, "at most 64 CUs supported, got {n}");
+        assert!(s <= 64, "at most 64 L2 slices supported, got {s}");
         let row_map = cfg.row_map();
         let l1_policy = policy.l1_policy();
         let l2_policy = policy.l2_policy(row_map);
@@ -374,38 +622,70 @@ impl ApuSystem {
                 ))
             }),
             skip: true,
+            ev: EventCore::new(),
+            req_synced: Cycle::ZERO,
+            resp_synced: Cycle::ZERO,
             warps: 0,
             warped_cycles: 0,
             frame_values: Vec::new(),
         }
     }
 
-    /// Enables or disables event-driven time skipping inside
-    /// [`ApuSystem::run_to_completion`] (the `--no-skip` escape hatch).
+    /// Selects the execution engine for
+    /// [`ApuSystem::run_to_completion`]: the discrete-event core when
+    /// enabled (the default), per-cycle stepping when disabled (the
+    /// `--no-skip` validation oracle).
     ///
-    /// Skipping is on by default. The two modes are bit-identical — a
-    /// warp only ever crosses cycles in which no component can act, and
-    /// it lands one cycle short of every telemetry sample, sentinel
-    /// check, and the cycle budget so periodic work fires at exactly the
-    /// per-cycle simulator's cycles. Disabling it therefore only trades
-    /// away wall-clock speed; it exists for equivalence testing and for
-    /// debugging the skip logic itself.
+    /// The two engines are bit-identical. Every actor in the event core
+    /// dispatches at exactly the cycles on which the per-cycle loop's
+    /// corresponding stage would have done work, in the same intra-cycle
+    /// order, and telemetry samples, sentinel checks, and the cycle
+    /// budget fire as scheduled events at exactly the per-cycle
+    /// simulator's cycles. Disabling the event core therefore only
+    /// trades away wall-clock speed; it exists for equivalence testing
+    /// and for debugging the event core itself.
     pub fn set_time_skip(&mut self, enabled: bool) {
         self.skip = enabled;
     }
 
-    /// Whether event-driven time skipping is enabled.
+    /// Whether the discrete-event core is enabled.
     #[must_use]
     pub fn time_skip_enabled(&self) -> bool {
         self.skip
     }
 
-    /// Skip-ahead effectiveness: `(warps_taken, cycles_warped_over)`.
-    /// `cycles_warped_over / now().0` is the fraction of simulated time
-    /// that was skipped rather than stepped.
+    /// Idle-time effectiveness: `(gaps_crossed, cycles_in_gaps)` — the
+    /// number of inter-event gaps the event core jumped over and the
+    /// total cycles inside them ([`ApuSystem::idle_until`] warps count
+    /// too). `cycles_in_gaps / now().0` is the fraction of simulated
+    /// time that cost nothing at all.
     #[must_use]
     pub fn time_skip_stats(&self) -> (u64, u64) {
         (self.warps, self.warped_cycles)
+    }
+
+    /// Event-core workload: `(events_dispatched, active_cycles)` —
+    /// cumulative actor dispatches and the number of simulated cycles
+    /// with at least one dispatch. `events_dispatched / active_cycles`
+    /// is the mean events per busy cycle (the per-cycle oracle pays ~12
+    /// stage polls every cycle, busy or not); `1 - active_cycles /
+    /// now().0` is the fraction of cycles the event core never touched.
+    #[must_use]
+    pub fn event_stats(&self) -> (u64, u64) {
+        (self.ev.events, self.ev.active_cycles)
+    }
+
+    /// Per-actor breakdown of [`ApuSystem::event_stats`]: one
+    /// `(stage name, dispatches)` pair per event-core actor, in dispatch
+    /// order. The histogram shows where the event core spends its
+    /// dispatches — the first place to look when profiling it.
+    #[must_use]
+    pub fn event_stats_by_actor(&self) -> [(&'static str, u64); 12] {
+        let mut out = [("", 0u64); N_ACTORS];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = (ACTOR_NAMES[i], self.ev.events_by_actor[i]);
+        }
+        out
     }
 
     /// Turns on telemetry recording, sampling every counter in the system
@@ -798,8 +1078,7 @@ impl ApuSystem {
             }
             let mut to = target.0;
             if let Some(rec) = self.telemetry.as_deref() {
-                let next_due = (self.now.0 / rec.interval() + 1) * rec.interval();
-                to = to.min(next_due - 1);
+                to = to.min(rec.next_due(self.now.0) - 1);
             }
             if to > self.now.0 {
                 let skipped = to - self.now.0;
@@ -877,40 +1156,586 @@ impl ApuSystem {
     /// invariant check fails or the watchdog detects a wedge. The error
     /// carries a [`StallDiagnostic`] either way.
     pub fn run_to_completion(&mut self, max_cycles: u64) -> Result<Metrics, SimTimeoutError> {
-        if self.sentinel.is_none() {
-            // Unchecked path: one budget compare per cycle, exactly the
-            // pre-sentinel loop. Diagnostics are only built on failure.
-            while !self.is_done() {
-                if self.now.0 >= max_cycles {
-                    return Err(self.stall_error(max_cycles, StallReason::CycleBudget));
-                }
-                // Probe for a warp only after a provable no-op cycle: on
-                // busy cycles `next_event` would just answer "now", so
-                // gating the probe keeps its cost off the critical path.
-                if !self.step() {
-                    self.try_warp(max_cycles);
-                }
-            }
-            return Ok(self.metrics());
+        if self.skip {
+            self.run_events(max_cycles)?;
+        } else {
+            self.run_per_cycle(max_cycles)?;
         }
+        // Final sweep at completion: quiescence invariants (every issued
+        // request retired, MSHRs empty, queues drained) must hold.
+        if self.sentinel.is_some() && !self.check_invariants_now().is_empty() {
+            return Err(self.stall_error(max_cycles, StallReason::InvariantViolation));
+        }
+        Ok(self.metrics())
+    }
+
+    /// The `--no-skip` oracle: steps every cycle, polling the sentinel
+    /// after each step. The event core must be bit-identical to this
+    /// loop; it exists for that equivalence pin and for debugging.
+    fn run_per_cycle(&mut self, max_cycles: u64) -> Result<(), SimTimeoutError> {
         while !self.is_done() {
             if self.now.0 >= max_cycles {
                 return Err(self.stall_error(max_cycles, StallReason::CycleBudget));
             }
-            let acted = self.step();
+            self.step();
             if let Some(reason) = self.sentinel_poll() {
                 return Err(self.stall_error(max_cycles, reason));
             }
-            if !acted {
-                self.try_warp(max_cycles);
+        }
+        Ok(())
+    }
+
+    /// The discrete-event run loop: pop the earliest scheduled cycle off
+    /// the wheel, dispatch its due actors in priority order, let each
+    /// handler reschedule its own wakeups. Cycles with no events cost
+    /// nothing — there is no per-cycle probing at all.
+    fn run_events(&mut self, max_cycles: u64) -> Result<(), SimTimeoutError> {
+        if !self.is_done() && self.now.0 >= max_cycles {
+            return Err(self.stall_error(max_cycles, StallReason::CycleBudget));
+        }
+        self.seed_schedule();
+        while !self.is_done() {
+            let next = self.ev.wheel.pop_next();
+            let (t, ids) = match next {
+                // Quiescent with no periodic work pending: only the
+                // budget can end the run (as in per-cycle no-op laps).
+                None => return Err(self.budget_stall(max_cycles)),
+                Some((t, _)) if t.0 >= max_cycles => return Err(self.budget_stall(max_cycles)),
+                Some(pair) => pair,
+            };
+            let gap = t.since(self.now);
+            if gap > 0 {
+                self.warps += 1;
+                self.warped_cycles += gap;
+            }
+            self.now = t;
+            self.ev.now = t;
+            self.ev.due = ids;
+            loop {
+                let due = self.ev.due;
+                if due == 0 {
+                    break;
+                }
+                let a = due.trailing_zeros() as usize;
+                self.ev.due &= !(1u64 << a);
+                if self.ev.scheduled[a] != t {
+                    continue; // stale wheel entry, superseded by an earlier wake
+                }
+                self.ev.scheduled[a] = NEVER;
+                self.ev.current = a;
+                self.ev.events += 1;
+                self.ev.events_by_actor[a] += 1;
+                if let Some(reason) = self.dispatch(a, t) {
+                    // Halt with `now` at the check cycle, exactly where
+                    // the per-cycle loop's post-step poll would stop.
+                    self.sync_xbars_through(t);
+                    return Err(self.stall_error(max_cycles, reason));
+                }
+            }
+            self.ev.current = N_ACTORS;
+            self.ev.active_cycles += 1;
+            self.now = t + 1;
+        }
+        self.sync_xbars_through(self.now);
+        Ok(())
+    }
+
+    /// Runs out the clock to the budget boundary and builds the halt
+    /// error, replicating the per-cycle loop's boundary order: the
+    /// telemetry sample due at `max_cycles` fires, then a sentinel check
+    /// due there runs (its halt reason wins over the budget), then the
+    /// budget error is built with the diagnostic at `max_cycles`.
+    fn budget_stall(&mut self, max_cycles: u64) -> SimTimeoutError {
+        let m = Cycle(max_cycles);
+        let gap = m.since(self.now);
+        if gap > 0 {
+            self.warps += 1;
+            self.warped_cycles += gap;
+        }
+        self.now = m;
+        if self.ev.scheduled[A_TELEMETRY] == m {
+            self.ev.scheduled[A_TELEMETRY] = NEVER;
+            self.record_sample();
+        }
+        let mut reason = StallReason::CycleBudget;
+        if self.ev.scheduled[A_SENTINEL] == m {
+            self.ev.scheduled[A_SENTINEL] = NEVER;
+            if let Some(r) = self.sentinel_poll() {
+                reason = r;
             }
         }
-        // Final sweep at completion: quiescence invariants (every issued
-        // request retired, MSHRs empty, queues drained) must hold.
-        if !self.check_invariants_now().is_empty() {
-            return Err(self.stall_error(max_cycles, StallReason::InvariantViolation));
+        self.sync_xbars_through(m);
+        self.stall_error(max_cycles, reason)
+    }
+
+    /// Accounts the crossbars' idle rotations through every cycle before
+    /// `end` (exclusive), so their round-robin cursors match a per-cycle
+    /// run that really ticked them every cycle.
+    fn sync_xbars_through(&mut self, end: Cycle) {
+        let gap = end.since(self.req_synced);
+        if gap > 0 {
+            self.req_xbar.advance_idle_cycles(gap);
         }
-        Ok(self.metrics())
+        self.req_synced = end;
+        let gap = end.since(self.resp_synced);
+        if gap > 0 {
+            self.resp_xbar.advance_idle_cycles(gap);
+        }
+        self.resp_synced = end;
+    }
+
+    /// Seeds the wheel from the system's current state at run entry:
+    /// every queue's head-ready time, every component's `next_event`,
+    /// the phase machine, and the periodic telemetry/sentinel cadence.
+    fn seed_schedule(&mut self) {
+        let t0 = self.now;
+        self.ev.reset(t0);
+        self.req_synced = t0;
+        self.resp_synced = t0;
+        if let Some(rec) = self.telemetry.as_deref() {
+            let at = Cycle(rec.next_due(t0.0));
+            self.ev.seed(A_TELEMETRY, at);
+        }
+        if let Some(s) = self.sentinel.as_deref() {
+            // The per-cycle loop polls only after a step, so the first
+            // check of a run is never earlier than `t0 + 1`.
+            let at = s.next_check.max(t0 + 1);
+            self.ev.seed(A_SENTINEL, at);
+        }
+        if let Some(at) = self.dram.next_event(t0) {
+            self.ev.seed(A_DRAM, at);
+        }
+        if !self.resp_holdover.is_empty() {
+            self.ev.seed(A_DRAM, t0);
+        }
+        for s in 0..self.dram_resp.len() {
+            if let Some(at) = self.dram_resp[s].next_ready() {
+                self.ev.seed_unit(A_L2_FILL, at, s);
+            }
+        }
+        for s in 0..self.l2_in.len() {
+            if let Some(at) = self.l2_in[s].next_ready() {
+                self.ev.seed_unit(A_L2_SERVICE, at, s);
+            }
+        }
+        for s in 0..self.l2s.len() {
+            if let Some(at) = self.l2s[s].next_event(t0) {
+                self.ev.seed_unit(A_L2_SERVICE, at, s);
+            }
+        }
+        for s in 0..self.l2_down.len() {
+            if let Some(at) = self.l2_down[s].next_ready() {
+                self.ev.seed_unit(A_L2_TO_DRAM, at, s);
+            }
+        }
+        for s in 0..self.l2_up.len() {
+            if let Some(at) = self.l2_up[s].next_ready() {
+                self.ev.seed(A_RESP_XBAR, at);
+            }
+        }
+        for i in 0..self.l1_fill_in.len() {
+            if let Some(at) = self.l1_fill_in[i].next_ready() {
+                self.ev.seed_unit(A_L1_FILL, at, i);
+            }
+        }
+        for i in 0..self.l1_in.len() {
+            if let Some(at) = self.l1_in[i].next_ready() {
+                self.ev.seed_unit(A_L1_SERVICE, at, i);
+            }
+        }
+        for i in 0..self.l1s.len() {
+            if let Some(at) = self.l1s[i].next_event(t0) {
+                self.ev.seed_unit(A_L1_SERVICE, at, i);
+            }
+        }
+        for i in 0..self.l1_down.len() {
+            if let Some(at) = self.l1_down[i].next_ready() {
+                self.ev.seed(A_REQ_XBAR, at);
+            }
+        }
+        for i in 0..self.l1_up.len() {
+            if let Some(at) = self.l1_up[i].next_ready() {
+                self.ev.seed_unit(A_GPU_RESP, at, i);
+            }
+        }
+        match self.phase {
+            Phase::Launching { until } => self.ev.seed(A_PHASE, until),
+            Phase::Running => {
+                if let Some(at) = self.gpu.next_event(t0) {
+                    self.ev.seed(A_PHASE, at);
+                }
+            }
+            // A flush retries blocked writebacks every cycle.
+            Phase::Flushing => self.ev.seed(A_PHASE, t0),
+            // An already-empty drain transitions immediately; a busy one
+            // is woken by the piggyback in `dispatch`.
+            Phase::DrainKernel | Phase::DrainFlush => {
+                if !self.hierarchy_busy() {
+                    self.ev.seed(A_PHASE, t0);
+                }
+            }
+            Phase::Finished => {}
+        }
+    }
+
+    /// Dispatches one actor at cycle `now`. Returns a halt reason only
+    /// from the sentinel actor.
+    fn dispatch(&mut self, actor: usize, now: Cycle) -> Option<StallReason> {
+        if actor == A_SENTINEL {
+            return self.ev_sentinel();
+        }
+        match actor {
+            A_TELEMETRY => self.ev_telemetry(now),
+            A_DRAM => self.ev_dram(now),
+            A_L2_FILL => self.ev_l2_fill(now),
+            A_L2_SERVICE => self.ev_l2_service(now),
+            A_L2_TO_DRAM => self.ev_l2_to_dram(now),
+            A_RESP_XBAR => self.ev_resp_xbar(now),
+            A_L1_FILL => self.ev_l1_fill(now),
+            A_L1_SERVICE => self.ev_l1_service(now),
+            A_REQ_XBAR => self.ev_req_xbar(now),
+            A_GPU_RESP => self.ev_gpu_resp(now),
+            _ => self.ev_phase(now),
+        }
+        // A replicated-unit actor's lazy actor-level entry tracks only
+        // its earliest pending unit; re-arm it at the next one now that
+        // this dispatch consumed the minimum.
+        if UNIT_WHEEL[actor] != NO_WHEEL {
+            self.ev.rearm_units(actor);
+        }
+        // A drain ends on the cycle the hierarchy empties, which is
+        // always a cycle some memory actor dispatched on — piggyback the
+        // phase machine's busyness check onto every such cycle rather
+        // than polling it.
+        if (A_DRAM..=A_GPU_RESP).contains(&actor)
+            && matches!(self.phase, Phase::DrainKernel | Phase::DrainFlush)
+        {
+            self.ev.wake(A_PHASE, now);
+        }
+        None
+    }
+
+    /// Actor 0: one telemetry sample, then reschedule at the next due
+    /// epoch boundary.
+    fn ev_telemetry(&mut self, now: Cycle) {
+        self.record_sample();
+        let at = self
+            .telemetry
+            .as_deref()
+            .expect("telemetry enabled")
+            .next_due(now.0);
+        self.ev.wake(A_TELEMETRY, Cycle(at));
+    }
+
+    /// Actor 1: one sentinel check, rescheduling at its own next cadence
+    /// unless it halts the run.
+    fn ev_sentinel(&mut self) -> Option<StallReason> {
+        let reason = self.sentinel_poll();
+        if reason.is_none() {
+            let at = self
+                .sentinel
+                .as_deref()
+                .expect("sentinel enabled")
+                .next_check;
+            self.ev.wake(A_SENTINEL, at);
+        }
+        reason
+    }
+
+    /// Actor 2 (stages 1-2): DRAM scheduling and the response drain.
+    ///
+    /// DRAM reschedules on the *activity heuristic*: while it acted it
+    /// wakes itself at `now + 1` — a conservative-early guess that costs
+    /// at most one no-op dispatch — and only on going idle pays the
+    /// exact per-bank `next_event` walk. Busy stretches thus cost one
+    /// O(1) reschedule per dispatch instead of a 256-bank scan. The L2
+    /// fill wakes are per-slice: only slices that received a response
+    /// this dispatch are scheduled.
+    fn ev_dram(&mut self, now: Cycle) {
+        let (acted, pushed) = self.stage_dram(now);
+        if acted {
+            let mut m = pushed;
+            while m != 0 {
+                let s = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if let Some(at) = self.dram_resp[s].next_ready() {
+                    self.ev.wake_unit(A_L2_FILL, at, s);
+                }
+            }
+            self.ev.wake(A_DRAM, now + 1);
+            return;
+        }
+        if !self.resp_holdover.is_empty() {
+            self.ev.wake(A_DRAM, now + 1);
+        }
+        if let Some(at) = self.dram.next_event(now + 1) {
+            self.ev.wake(A_DRAM, at);
+        }
+    }
+
+    /// Actor 3 (stage 3): L2 fills from DRAM responses. Walks only the
+    /// slices due this cycle and reschedules each exactly from its own
+    /// response queue (O(1) per slice).
+    fn ev_l2_fill(&mut self, now: Cycle) {
+        let mut m = self.ev.due_units(A_L2_FILL);
+        while m != 0 {
+            let s = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.fill_l2_unit(now, s) {
+                // A fill can free cache resources that the service stage
+                // — still to run this cycle, as in the per-cycle order —
+                // may use, and can produce an upward response.
+                self.ev.wake_unit(A_L2_SERVICE, now, s);
+                if let Some(at) = self.l2_up[s].next_ready() {
+                    self.ev.wake(A_RESP_XBAR, at);
+                }
+            }
+            if let Some(at) = self.dram_resp[s].next_ready() {
+                self.ev.wake_unit(A_L2_FILL, at, s);
+            }
+        }
+    }
+
+    /// Actor 4 (stage 4): L2 access servicing, per due slice.
+    fn ev_l2_service(&mut self, now: Cycle) {
+        let mut m = self.ev.due_units(A_L2_SERVICE);
+        while m != 0 {
+            let s = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let acted = self.l2s[s].service(
+                now,
+                &mut self.l2_in[s],
+                &mut self.l2_down[s],
+                &mut self.l2_up[s],
+            );
+            if acted {
+                // Downstream wakes are needed only when something moved;
+                // earlier pushes already scheduled their consumers.
+                if let Some(at) = self.l2_down[s].next_ready() {
+                    self.ev.wake_unit(A_L2_TO_DRAM, at, s);
+                }
+                if let Some(at) = self.l2_up[s].next_ready() {
+                    self.ev.wake(A_RESP_XBAR, at);
+                }
+            }
+            if let Some(at) = self.l2_in[s].next_ready() {
+                self.ev.wake_unit(A_L2_SERVICE, at, s);
+            }
+            if let Some(at) = self.l2s[s].next_event(now + 1) {
+                self.ev.wake_unit(A_L2_SERVICE, at, s);
+            }
+        }
+    }
+
+    /// Actor 5 (stage 5): L2 writeback/miss traffic into DRAM, per due
+    /// slice.
+    fn ev_l2_to_dram(&mut self, now: Cycle) {
+        let mut m = self.ev.due_units(A_L2_TO_DRAM);
+        let mut any = false;
+        while m != 0 {
+            let s = m.trailing_zeros() as usize;
+            m &= m - 1;
+            any |= self.l2_to_dram_unit(now, s);
+            if let Some(at) = self.l2_down[s].next_ready() {
+                self.ev.wake_unit(A_L2_TO_DRAM, at, s);
+            }
+        }
+        if any {
+            // A request entered DRAM: waking it at `now + 1` is
+            // conservative-early and far cheaper than the exact
+            // per-channel `next_event` walk (the idle transition pays
+            // that walk once, in `ev_dram`).
+            self.ev.wake(A_DRAM, now + 1);
+        }
+    }
+
+    /// Actor 6 (stage 6): response crossbar, with idle-rotation catch-up.
+    /// Wakes only the L1 fill units whose queues received a response.
+    fn ev_resp_xbar(&mut self, now: Cycle) {
+        let gap = now.since(self.resp_synced);
+        if gap > 0 {
+            self.resp_xbar.advance_idle_cycles(gap);
+        }
+        let (moved, dsts) = self.stage_resp_xbar_tracked(now);
+        self.resp_synced = now + 1;
+        if moved > 0 {
+            let mut m = dsts;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if let Some(at) = self.l1_fill_in[i].next_ready() {
+                    self.ev.wake_unit(A_L1_FILL, at, i);
+                }
+            }
+            // A spurious self-dispatch with no ready head is exactly an
+            // idle rotation (`tick` then touches no statistic), so the
+            // conservative `now + 1` wake stays bit-identical.
+            self.ev.wake(A_RESP_XBAR, now + 1);
+            return;
+        }
+        for s in 0..self.l2_up.len() {
+            if let Some(at) = self.l2_up[s].next_ready() {
+                self.ev.wake(A_RESP_XBAR, at);
+            }
+        }
+    }
+
+    /// Actor 7 (stage 7): L1 fills from the response crossbar, per due
+    /// CU.
+    fn ev_l1_fill(&mut self, now: Cycle) {
+        let mut m = self.ev.due_units(A_L1_FILL);
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.fill_l1_unit(now, i) {
+                self.ev.wake_unit(A_L1_SERVICE, now, i);
+                if let Some(at) = self.l1_up[i].next_ready() {
+                    self.ev.wake_unit(A_GPU_RESP, at, i);
+                }
+            }
+            if let Some(at) = self.l1_fill_in[i].next_ready() {
+                self.ev.wake_unit(A_L1_FILL, at, i);
+            }
+        }
+    }
+
+    /// Actor 8 (stage 8): L1 access servicing, per due CU.
+    fn ev_l1_service(&mut self, now: Cycle) {
+        let mut m = self.ev.due_units(A_L1_SERVICE);
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let acted = self.l1s[i].service(
+                now,
+                &mut self.l1_in[i],
+                &mut self.l1_down[i],
+                &mut self.l1_up[i],
+            );
+            if acted {
+                if let Some(at) = self.l1_down[i].next_ready() {
+                    self.ev.wake(A_REQ_XBAR, at);
+                }
+                if let Some(at) = self.l1_up[i].next_ready() {
+                    self.ev.wake_unit(A_GPU_RESP, at, i);
+                }
+            }
+            if let Some(at) = self.l1_in[i].next_ready() {
+                self.ev.wake_unit(A_L1_SERVICE, at, i);
+            }
+            if let Some(at) = self.l1s[i].next_event(now + 1) {
+                self.ev.wake_unit(A_L1_SERVICE, at, i);
+            }
+        }
+    }
+
+    /// Actor 9 (stage 9): request crossbar, with idle-rotation catch-up.
+    /// Wakes only the L2 service slices whose input queues received a
+    /// request.
+    fn ev_req_xbar(&mut self, now: Cycle) {
+        let gap = now.since(self.req_synced);
+        if gap > 0 {
+            self.req_xbar.advance_idle_cycles(gap);
+        }
+        let (moved, dsts) = self.stage_req_xbar_tracked(now);
+        self.req_synced = now + 1;
+        if moved > 0 {
+            let mut m = dsts;
+            while m != 0 {
+                let s = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if let Some(at) = self.l2_in[s].next_ready() {
+                    self.ev.wake_unit(A_L2_SERVICE, at, s);
+                }
+            }
+            self.ev.wake(A_REQ_XBAR, now + 1);
+            return;
+        }
+        for i in 0..self.l1_down.len() {
+            if let Some(at) = self.l1_down[i].next_ready() {
+                self.ev.wake(A_REQ_XBAR, at);
+            }
+        }
+    }
+
+    /// Actor 10 (stage 10): response delivery to the GPU, per due CU.
+    fn ev_gpu_resp(&mut self, now: Cycle) {
+        let mut m = self.ev.due_units(A_GPU_RESP);
+        let mut any = false;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            any |= self.gpu_resp_unit(now, i);
+            if let Some(at) = self.l1_up[i].next_ready() {
+                self.ev.wake_unit(A_GPU_RESP, at, i);
+            }
+        }
+        if any {
+            // The phase machine runs after this stage within the cycle;
+            // a delivered response can unblock a wavefront immediately.
+            self.ev.wake(A_PHASE, now);
+        }
+    }
+
+    /// Actor 11: the phase machine, and the only actor that reschedules
+    /// across phase transitions.
+    fn ev_phase(&mut self, now: Cycle) {
+        let before = self.phase;
+        let (acted, issued) = self.advance_phase(now);
+        let after = self.phase;
+        if before != after && after != Phase::Finished {
+            // The final phase's span stays open; `take_telemetry` closes
+            // it at the run's last cycle so spans tile `[0, cycles]`.
+            if let Some(rec) = self.telemetry.as_deref_mut() {
+                rec.enter_phase(Self::phase_label(after), now.0);
+            }
+        }
+        match before {
+            // The GPU may have issued loads into the L1 input queues
+            // (including on the tick that finished the kernel); only the
+            // CUs that acted can have pushed.
+            Phase::Running if acted => {
+                let mut m = issued;
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if let Some(at) = self.l1_in[i].next_ready() {
+                        self.ev.wake_unit(A_L1_SERVICE, at, i);
+                    }
+                }
+            }
+            // A flush tick pushes writebacks toward DRAM.
+            Phase::Flushing => {
+                for s in 0..self.l2_down.len() {
+                    if let Some(at) = self.l2_down[s].next_ready() {
+                        self.ev.wake_unit(A_L2_TO_DRAM, at, s);
+                    }
+                }
+            }
+            _ => {}
+        }
+        if before != after {
+            if after != Phase::Finished {
+                self.ev.wake(A_PHASE, now + 1);
+            }
+            return;
+        }
+        match after {
+            Phase::Launching { until } => self.ev.wake(A_PHASE, until.max(now + 1)),
+            Phase::Running => {
+                if acted {
+                    self.ev.wake(A_PHASE, now + 1);
+                } else if let Some(at) = self.gpu.next_event(now + 1) {
+                    self.ev.wake(A_PHASE, at);
+                }
+                // Neither branch scheduling anything means every
+                // wavefront is blocked on memory; actor 10 wakes the
+                // phase machine when a response arrives.
+            }
+            Phase::Flushing => self.ev.wake(A_PHASE, now + 1),
+            // Busy drains wait for the dispatch piggyback; Finished ends
+            // the run.
+            Phase::DrainKernel | Phase::DrainFlush | Phase::Finished => {}
+        }
     }
 
     /// A snapshot of all statistics at the current cycle.
@@ -934,187 +1759,58 @@ impl ApuSystem {
         )
     }
 
-    /// Advances the system one cycle.
-    ///
-    /// Returns whether any component acted — moved a message, issued or
-    /// retired an instruction, scheduled DRAM work, or changed phase.
-    /// `false` means the cycle was a provable no-op; the run loop uses
-    /// that as its cue to probe `next_event` for a time warp, so busy
-    /// cycles never pay the probe's cost.
-    pub fn step(&mut self) -> bool {
+    /// Advances the system one cycle: the full memory hierarchy tick,
+    /// the phase machine, and any telemetry sample falling due — the
+    /// per-cycle reference semantics the event core reproduces.
+    pub fn step(&mut self) {
         let now = self.now;
-        let mut acted = self.tick_memory(now);
-        if self.telemetry.is_none() {
-            // Fast path: identical to the pre-telemetry simulator — one
-            // branch per cycle, no sampling machinery in sight.
-            acted |= self.advance_phase(now);
-            self.now += 1;
-            return acted;
-        }
+        self.tick_memory(now);
         let before = self.phase;
-        acted |= self.advance_phase(now);
+        self.advance_phase(now);
         let after = self.phase;
         if before != after && after != Phase::Finished {
             // The final phase's span stays open; `take_telemetry` closes
             // it at the run's last cycle so spans tile `[0, cycles]`.
-            self.telemetry
-                .as_mut()
-                .expect("telemetry enabled")
-                .enter_phase(Self::phase_label(after), now.0);
+            if let Some(rec) = self.telemetry.as_deref_mut() {
+                rec.enter_phase(Self::phase_label(after), now.0);
+            }
         }
         self.now += 1;
         if self
             .telemetry
-            .as_ref()
+            .as_deref()
             .is_some_and(|rec| rec.due(self.now.0))
         {
-            if self
-                .telemetry
-                .as_deref()
-                .expect("telemetry enabled")
-                .registry_fixed()
-            {
-                // Steady state: values only, into the reused scratch
-                // buffer — no allocation per sample.
-                let mut values = std::mem::take(&mut self.frame_values);
-                values.clear();
-                self.sample_into(&mut SampleSink::Values(&mut values));
-                self.telemetry
-                    .as_deref_mut()
-                    .expect("telemetry enabled")
-                    .record_values(self.now.0, &values);
-                self.frame_values = values;
-            } else {
-                let frame = self.sample_frame();
-                self.telemetry
-                    .as_mut()
-                    .expect("telemetry enabled")
-                    .record_frame(self.now.0, frame);
-            }
+            self.record_sample();
         }
-        acted
     }
 
-    /// The earliest cycle at or after `now` at which any component might
-    /// act, or `None` when the whole system is quiescent (nothing will
-    /// ever act again without external input — only the cycle budget or
-    /// the watchdog can end the run).
-    ///
-    /// The estimate is conservative: a component may report a cycle at
-    /// which it turns out to do nothing (costing one ordinary no-op
-    /// step), but must never act before its reported cycle. `Some(now)`
-    /// means "active right now — do not skip".
-    fn next_event(&self) -> Option<Cycle> {
-        let now = self.now;
-        // Cheap always-active states first.
-        if !self.resp_holdover.is_empty() {
-            return Some(now);
-        }
-        match self.phase {
-            // The flush loop retries blocked writebacks every cycle.
-            Phase::Flushing => return Some(now),
-            Phase::DrainKernel | Phase::DrainFlush if !self.hierarchy_busy() => {
-                return Some(now); // phase transition pending
-            }
-            _ => {}
-        }
-        let mut next: Option<Cycle> = None;
-        let consider = |next: &mut Option<Cycle>, at: Cycle| {
-            let at = at.max(now);
-            if next.is_none_or(|n| at < n) {
-                *next = Some(at);
-            }
-        };
-        for q in self.l1_in.iter().chain(&self.l1_down) {
-            if let Some(at) = q.next_ready() {
-                consider(&mut next, at);
-            }
-        }
-        for q in self.l2_in.iter().chain(&self.l2_down) {
-            if let Some(at) = q.next_ready() {
-                consider(&mut next, at);
-            }
-        }
-        for q in self
-            .dram_resp
-            .iter()
-            .chain(&self.l2_up)
-            .chain(&self.l1_fill_in)
-            .chain(&self.l1_up)
+    /// Records one telemetry sample at the current cycle (the due check
+    /// is the caller's; telemetry must be enabled).
+    fn record_sample(&mut self) {
+        if self
+            .telemetry
+            .as_deref()
+            .expect("telemetry enabled")
+            .registry_fixed()
         {
-            if let Some(at) = q.next_ready() {
-                consider(&mut next, at);
-            }
+            // Steady state: values only, into the reused scratch
+            // buffer — no allocation per sample.
+            let mut values = std::mem::take(&mut self.frame_values);
+            values.clear();
+            self.sample_into(&mut SampleSink::Values(&mut values));
+            self.telemetry
+                .as_deref_mut()
+                .expect("telemetry enabled")
+                .record_values(self.now.0, &values);
+            self.frame_values = values;
+        } else {
+            let frame = self.sample_frame();
+            self.telemetry
+                .as_mut()
+                .expect("telemetry enabled")
+                .record_frame(self.now.0, frame);
         }
-        if next == Some(now) {
-            return next;
-        }
-        if let Some(at) = self.dram.next_event(now) {
-            consider(&mut next, at);
-        }
-        for c in self.l1s.iter().chain(&self.l2s) {
-            if let Some(at) = c.next_event(now) {
-                consider(&mut next, at);
-            }
-        }
-        if next == Some(now) {
-            return next;
-        }
-        match self.phase {
-            Phase::Launching { until } => consider(&mut next, until),
-            Phase::Running => {
-                if let Some(at) = self.gpu.next_event(now) {
-                    consider(&mut next, at);
-                }
-            }
-            // Busy drains were handled above; while the hierarchy is
-            // busy the queue / DRAM / cache sources cover every cycle
-            // that could empty it.
-            Phase::DrainKernel | Phase::DrainFlush | Phase::Flushing | Phase::Finished => {}
-        }
-        next
-    }
-
-    /// Event-driven fast-forward: if no component can act strictly
-    /// before a known future cycle, jumps `now` straight to it instead
-    /// of stepping through the idle stretch one cycle at a time.
-    ///
-    /// A warp never crosses a periodic boundary: it lands one cycle
-    /// short of the next telemetry sample, the next sentinel check, and
-    /// the cycle budget, so the landing step fires each at exactly the
-    /// cycle the per-cycle simulator would. Combined with compensating
-    /// the crossbars' round-robin cursors for the skipped idle ticks,
-    /// warped runs are bit-identical to `--no-skip` runs.
-    fn try_warp(&mut self, max_cycles: u64) {
-        if !self.skip || self.phase == Phase::Finished {
-            return;
-        }
-        let mut target = match self.next_event() {
-            Some(at) if at <= self.now => return,
-            Some(at) => at.0.min(max_cycles),
-            // Quiescent: nothing will ever act again. Run out the clock
-            // so the budget (or the watchdog, at its own cadence) fires
-            // at exactly the per-cycle simulator's cycle.
-            None => max_cycles,
-        };
-        if let Some(rec) = self.telemetry.as_deref() {
-            let next_due = (self.now.0 / rec.interval() + 1) * rec.interval();
-            target = target.min(next_due - 1);
-        }
-        if let Some(s) = self.sentinel.as_deref() {
-            target = target.min(s.next_check.0.saturating_sub(1));
-        }
-        if target <= self.now.0 {
-            return;
-        }
-        let skipped = target - self.now.0;
-        // Idle ticks still rotate the crossbar round-robin cursors; keep
-        // the warped run's arbitration identical to per-cycle stepping.
-        self.req_xbar.advance_idle_cycles(skipped);
-        self.resp_xbar.advance_idle_cycles(skipped);
-        self.now = Cycle(target);
-        self.warps += 1;
-        self.warped_cycles += skipped;
     }
 
     /// Whether any request or response is anywhere in the hierarchy.
@@ -1135,7 +1831,11 @@ impl ApuSystem {
 
     /// Returns whether the phase machine did anything this cycle: ticked
     /// the GPU to some effect, made a transition, or worked on a flush.
-    fn advance_phase(&mut self, now: Cycle) -> bool {
+    /// Returns `(acted, issued)`: whether the phase machine did anything
+    /// this cycle, and — in [`Phase::Running`] — the mask of CUs that
+    /// acted (the only ones that can have pushed new L1 requests, which
+    /// is what the event core wakes on).
+    fn advance_phase(&mut self, now: Cycle) -> (bool, u64) {
         match self.phase {
             Phase::Launching { until } => {
                 if now >= until {
@@ -1149,18 +1849,18 @@ impl ApuSystem {
                         }
                         None => self.phase = Phase::Finished,
                     }
-                    true
+                    (true, 0)
                 } else {
-                    false
+                    (false, 0)
                 }
             }
             Phase::Running => {
-                let acted = self.gpu.tick(now, &mut self.l1_in);
+                let (acted, issued) = self.gpu.tick_tracked(now, &mut self.l1_in);
                 if self.gpu.kernel_done() {
                     self.phase = Phase::DrainKernel;
-                    return true;
+                    return (true, issued);
                 }
-                acted
+                (acted, issued)
             }
             Phase::DrainKernel => {
                 if !self.hierarchy_busy() {
@@ -1170,9 +1870,9 @@ impl ApuSystem {
                         c.start_flush();
                     }
                     self.phase = Phase::Flushing;
-                    true
+                    (true, 0)
                 } else {
-                    false
+                    (false, 0)
                 }
             }
             Phase::Flushing => {
@@ -1186,7 +1886,7 @@ impl ApuSystem {
                 }
                 // A flush in progress retries blocked writebacks every
                 // cycle; `next_event` pins this phase to `now` anyway.
-                true
+                (true, 0)
             }
             Phase::DrainFlush => {
                 if !self.hierarchy_busy() {
@@ -1208,23 +1908,36 @@ impl ApuSystem {
                             until: now + self.cfg.launch_overhead,
                         }
                     };
-                    true
+                    (true, 0)
                 } else {
-                    false
+                    (false, 0)
                 }
             }
-            Phase::Finished => false,
+            Phase::Finished => (false, 0),
         }
     }
 
-    /// One cycle of the memory hierarchy, ticked from DRAM upward.
-    ///
-    /// Returns whether any stage moved, scheduled, or serviced anything.
-    fn tick_memory(&mut self, now: Cycle) -> bool {
-        // 1. DRAM scheduling.
-        let mut acted = self.dram.tick(now);
+    /// One cycle of the memory hierarchy, ticked from DRAM upward — the
+    /// per-cycle reference order. The event core dispatches the same
+    /// stage helpers individually, in the same order within a cycle.
+    fn tick_memory(&mut self, now: Cycle) {
+        self.stage_dram(now);
+        self.stage_l2_fills(now);
+        self.stage_l2_service(now);
+        self.stage_l2_to_dram(now);
+        self.stage_resp_xbar(now);
+        self.stage_l1_fills(now);
+        self.stage_l1_service(now);
+        self.stage_req_xbar(now);
+        self.stage_gpu_resp(now);
+    }
 
-        // 2. DRAM responses toward their L2 slice (holdover first).
+    /// Stages 1-2: DRAM scheduling, then responses toward their L2 slice
+    /// (holdover first). Returns whether anything happened and the mask
+    /// of slices that received a response this cycle.
+    fn stage_dram(&mut self, now: Cycle) -> (bool, u64) {
+        let mut acted = self.dram.tick(now);
+        let mut pushed = 0u64;
         while let Some(resp) = self.resp_holdover.pop_front() {
             let slice = self.cfg.l2_slice_of(resp.line);
             if self.dram_resp[slice].can_push() {
@@ -1232,6 +1945,7 @@ impl ApuSystem {
                     .push(now, resp)
                     .unwrap_or_else(|_| unreachable!("checked can_push"));
                 acted = true;
+                pushed |= 1 << slice;
             } else {
                 self.resp_holdover.push_front(resp);
                 break;
@@ -1246,6 +1960,7 @@ impl ApuSystem {
                         self.dram_resp[slice]
                             .push(now, resp)
                             .unwrap_or_else(|_| unreachable!("checked can_push"));
+                        pushed |= 1 << slice;
                     } else {
                         self.resp_holdover.push_back(resp);
                     }
@@ -1253,24 +1968,41 @@ impl ApuSystem {
                 None => break,
             }
         }
+        (acted, pushed)
+    }
 
-        // 3. L2 fills from DRAM responses.
-        for s in 0..self.l2s.len() {
-            for _ in 0..2 {
-                let Some(&resp) = self.dram_resp[s].ready_front(now) else {
-                    break;
-                };
-                match self.l2s[s].fill(now, resp, &mut self.l2_up[s]) {
-                    Ok(()) => {
-                        self.dram_resp[s].pop_ready(now);
-                        acted = true;
-                    }
-                    Err(_) => break, // response queue full; retry next cycle
+    /// Stage 3 for one L2 slice: up to two fills from its DRAM response
+    /// queue.
+    fn fill_l2_unit(&mut self, now: Cycle, s: usize) -> bool {
+        let mut acted = false;
+        for _ in 0..2 {
+            let Some(&resp) = self.dram_resp[s].ready_front(now) else {
+                break;
+            };
+            match self.l2s[s].fill(now, resp, &mut self.l2_up[s]) {
+                Ok(()) => {
+                    self.dram_resp[s].pop_ready(now);
+                    acted = true;
                 }
+                Err(_) => break, // response queue full; retry next cycle
             }
         }
+        acted
+    }
 
-        // 4. L2 accesses (with miss-replay, up to the slice's port width).
+    /// Stage 3: L2 fills from DRAM responses.
+    fn stage_l2_fills(&mut self, now: Cycle) -> bool {
+        let mut acted = false;
+        for s in 0..self.l2s.len() {
+            acted |= self.fill_l2_unit(now, s);
+        }
+        acted
+    }
+
+    /// Stage 4: L2 accesses (with miss-replay, up to the slice's port
+    /// width).
+    fn stage_l2_service(&mut self, now: Cycle) -> bool {
+        let mut acted = false;
         for s in 0..self.l2s.len() {
             let (slice, l2_in, l2_down, l2_up) = (
                 &mut self.l2s[s],
@@ -1280,50 +2012,84 @@ impl ApuSystem {
             );
             acted |= slice.service(now, l2_in, l2_down, l2_up);
         }
+        acted
+    }
 
-        // 5. L2 -> DRAM.
-        for q in &mut self.l2_down {
-            while let Some(req) = q.ready_front(now) {
-                if self.dram.can_accept(req) {
-                    let req = q.pop_ready(now).expect("head ready");
-                    self.dram
-                        .push(now, req)
-                        .unwrap_or_else(|_| unreachable!("checked can_accept"));
-                    acted = true;
-                } else {
-                    break;
-                }
+    /// Stage 5: L2 writeback/miss traffic into DRAM.
+    fn stage_l2_to_dram(&mut self, now: Cycle) -> bool {
+        let mut acted = false;
+        for s in 0..self.l2_down.len() {
+            acted |= self.l2_to_dram_unit(now, s);
+        }
+        acted
+    }
+
+    /// Stage 5 for one L2 slice: drain its writeback queue into DRAM
+    /// while DRAM accepts.
+    fn l2_to_dram_unit(&mut self, now: Cycle, s: usize) -> bool {
+        let mut acted = false;
+        let q = &mut self.l2_down[s];
+        while let Some(req) = q.ready_front(now) {
+            if self.dram.can_accept(req) {
+                let req = q.pop_ready(now).expect("head ready");
+                self.dram
+                    .push(now, req)
+                    .unwrap_or_else(|_| unreachable!("checked can_accept"));
+                acted = true;
+            } else {
+                break;
             }
         }
+        acted
+    }
 
-        // 6. Response crossbar (L2 -> L1s).
-        acted |= self
-            .resp_xbar
-            .tick(now, &mut self.l2_up, &mut self.l1_fill_in, |r| {
+    /// Stage 6: response crossbar (L2 -> L1s).
+    fn stage_resp_xbar(&mut self, now: Cycle) -> bool {
+        self.stage_resp_xbar_tracked(now).0 > 0
+    }
+
+    /// Stage 6, with the mask of L1 fill queues that received a
+    /// response.
+    fn stage_resp_xbar_tracked(&mut self, now: Cycle) -> (u64, u64) {
+        self.resp_xbar
+            .tick_tracked(now, &mut self.l2_up, &mut self.l1_fill_in, |r| {
                 match r.origin {
                     miopt_engine::Origin::Wavefront { cu, .. } => cu as usize,
                     miopt_engine::Origin::Internal => 0,
                 }
             })
-            > 0;
+    }
 
-        // 7. L1 fills.
-        for i in 0..self.l1s.len() {
-            for _ in 0..2 {
-                let Some(&resp) = self.l1_fill_in[i].ready_front(now) else {
-                    break;
-                };
-                match self.l1s[i].fill(now, resp, &mut self.l1_up[i]) {
-                    Ok(()) => {
-                        self.l1_fill_in[i].pop_ready(now);
-                        acted = true;
-                    }
-                    Err(_) => break,
+    /// Stage 7 for one CU: up to two L1 fills from its response queue.
+    fn fill_l1_unit(&mut self, now: Cycle, i: usize) -> bool {
+        let mut acted = false;
+        for _ in 0..2 {
+            let Some(&resp) = self.l1_fill_in[i].ready_front(now) else {
+                break;
+            };
+            match self.l1s[i].fill(now, resp, &mut self.l1_up[i]) {
+                Ok(()) => {
+                    self.l1_fill_in[i].pop_ready(now);
+                    acted = true;
                 }
+                Err(_) => break,
             }
         }
+        acted
+    }
 
-        // 8. L1 accesses (with miss-replay).
+    /// Stage 7: L1 fills.
+    fn stage_l1_fills(&mut self, now: Cycle) -> bool {
+        let mut acted = false;
+        for i in 0..self.l1s.len() {
+            acted |= self.fill_l1_unit(now, i);
+        }
+        acted
+    }
+
+    /// Stage 8: L1 accesses (with miss-replay).
+    fn stage_l1_service(&mut self, now: Cycle) -> bool {
+        let mut acted = false;
         for i in 0..self.l1s.len() {
             acted |= self.l1s[i].service(
                 now,
@@ -1332,22 +2098,39 @@ impl ApuSystem {
                 &mut self.l1_up[i],
             );
         }
+        acted
+    }
 
-        // 9. Request crossbar (L1s -> L2 slices).
+    /// Stage 9: request crossbar (L1s -> L2 slices).
+    fn stage_req_xbar(&mut self, now: Cycle) -> bool {
+        self.stage_req_xbar_tracked(now).0 > 0
+    }
+
+    /// Stage 9, with the mask of L2 input queues that received a
+    /// request.
+    fn stage_req_xbar_tracked(&mut self, now: Cycle) -> (u64, u64) {
         let cfg = &self.cfg;
-        acted |= self
-            .req_xbar
-            .tick(now, &mut self.l1_down, &mut self.l2_in, |r| {
+        self.req_xbar
+            .tick_tracked(now, &mut self.l1_down, &mut self.l2_in, |r| {
                 cfg.l2_slice_of(r.line)
             })
-            > 0;
+    }
 
-        // 10. Responses to the GPU.
+    /// Stage 10 for one CU: deliver its ready L1 responses to the GPU.
+    fn gpu_resp_unit(&mut self, now: Cycle, i: usize) -> bool {
+        let mut acted = false;
+        while let Some(resp) = self.l1_up[i].pop_ready(now) {
+            self.gpu.on_response(resp);
+            acted = true;
+        }
+        acted
+    }
+
+    /// Stage 10: responses to the GPU.
+    fn stage_gpu_resp(&mut self, now: Cycle) -> bool {
+        let mut acted = false;
         for i in 0..self.l1_up.len() {
-            while let Some(resp) = self.l1_up[i].pop_ready(now) {
-                self.gpu.on_response(resp);
-                acted = true;
-            }
+            acted |= self.gpu_resp_unit(now, i);
         }
         acted
     }

@@ -10,6 +10,9 @@
 //!   between compute units, caches, the crossbar and DRAM.
 //! * [`TimedQueue`] — a latency- and capacity-bounded FIFO used to model
 //!   every pipeline stage and wire in the system.
+//! * [`EventWheel`] — the calendar queue that drives the discrete-event
+//!   execution core (components schedule their own wakeups instead of
+//!   being polled every cycle).
 //! * Deterministic pseudo-random number generation ([`rng::SplitMix64`]).
 //! * Small statistics helpers ([`stats`]).
 //! * The [`Sentinel`] trait and [`InvariantViolation`] type used by every
@@ -31,6 +34,7 @@
 
 mod addr;
 mod cycle;
+mod event;
 mod queue;
 mod req;
 pub mod rng;
@@ -40,6 +44,7 @@ pub mod util;
 
 pub use addr::{Addr, LineAddr, LINE_BYTES};
 pub use cycle::Cycle;
+pub use event::EventWheel;
 pub use queue::{PushFullError, TimedQueue};
 pub use req::{AccessKind, MemReq, MemResp, Origin, Pc, ReqId};
 pub use sentinel::{InvariantViolation, Sentinel};

@@ -189,12 +189,28 @@ impl Gpu {
     ///
     /// Panics if `l1_ins.len()` differs from the CU count.
     pub fn tick(&mut self, now: Cycle, l1_ins: &mut [TimedQueue<MemReq>]) -> bool {
+        self.tick_tracked(now, l1_ins).0
+    }
+
+    /// [`Gpu::tick`], additionally reporting *which* CUs acted this
+    /// cycle, as a bitmask over CU indices. A CU pushes into its L1
+    /// queue only on a cycle it acted, so the mask bounds the set of L1
+    /// queues with new input — the event-driven core uses it to wake
+    /// only those L1s. CUs at index 64 and above are not representable
+    /// (the modelled device tops out at 64).
+    pub fn tick_tracked(&mut self, now: Cycle, l1_ins: &mut [TimedQueue<MemReq>]) -> (bool, u64) {
         assert_eq!(l1_ins.len(), self.cus.len(), "one L1 queue per CU");
         let mut acted = self.dispatch();
-        for (cu, q) in self.cus.iter_mut().zip(l1_ins.iter_mut()) {
-            acted |= cu.tick(now, q);
+        let mut mask = 0u64;
+        for (i, (cu, q)) in self.cus.iter_mut().zip(l1_ins.iter_mut()).enumerate() {
+            if cu.tick(now, q) {
+                acted = true;
+                if i < 64 {
+                    mask |= 1 << i;
+                }
+            }
         }
-        acted
+        (acted, mask)
     }
 
     /// Assigns pending work-groups to CUs with free slots. Returns

@@ -115,6 +115,21 @@ impl Crossbar {
         outputs: &mut [TimedQueue<T>],
         route: impl Fn(&T) -> usize,
     ) -> u64 {
+        self.tick_tracked(now, inputs, outputs, route).0
+    }
+
+    /// [`Crossbar::tick`], additionally reporting *which* output ports
+    /// received a message this cycle, as a bitmask over port indices —
+    /// the event-driven core uses it to wake only the consumers that
+    /// actually have new input. Ports at index 64 and above are not
+    /// representable in the mask (the modelled networks top out at 64).
+    pub fn tick_tracked<T>(
+        &mut self,
+        now: Cycle,
+        inputs: &mut [TimedQueue<T>],
+        outputs: &mut [TimedQueue<T>],
+        route: impl Fn(&T) -> usize,
+    ) -> (u64, u64) {
         assert_eq!(inputs.len(), self.inputs, "input port count mismatch");
         assert_eq!(outputs.len(), self.outputs, "output port count mismatch");
         for b in &mut self.budget {
@@ -124,6 +139,7 @@ impl Crossbar {
         let start = self.rr_start;
         self.rr_start = (self.rr_start + 1) % n;
         let mut moved = 0;
+        let mut pushed = 0u64;
         for i in 0..n {
             let idx = (start + i) % n;
             let Some(head) = inputs[idx].ready_front(now) else {
@@ -138,12 +154,15 @@ impl Crossbar {
                 }
                 self.budget[o] -= 1;
                 moved += 1;
+                if o < 64 {
+                    pushed |= 1 << o;
+                }
             } else {
                 self.stats.blocked.inc();
             }
         }
         self.stats.moved.add(moved);
-        moved
+        (moved, pushed)
     }
 
     /// Advances the round-robin cursor as if [`Crossbar::tick`] had been

@@ -248,6 +248,14 @@ impl Recorder {
         cycle > 0 && cycle.is_multiple_of(self.interval)
     }
 
+    /// The first cycle strictly after `cycle` at which a frame is due —
+    /// the event core schedules its sampling wakeups with this, and the
+    /// idle-clock warp lands one cycle short of it.
+    #[must_use]
+    pub fn next_due(&self, cycle: u64) -> u64 {
+        (cycle / self.interval + 1) * self.interval
+    }
+
     /// Closes the epoch ending at `end_cycle` with the counters in
     /// `frame`.
     ///

@@ -1,11 +1,12 @@
-//! Event-driven time-skipping effectiveness: how much of a run's
-//! simulated time is warped over rather than stepped, per workload and
-//! policy.
+//! Event-core effectiveness: how many events the discrete-event engine
+//! dispatched versus the cycles it simulated, per workload and policy —
+//! the ratio that explains the speedup over `--no-skip` per-cycle
+//! stepping (which pays ~12 stage polls every cycle, busy or not).
 //!
 //! ```text
-//! cargo run --release --example skip_stats
-//! cargo run --release --example skip_stats -- FwGRU Uncached
-//! cargo run --release --example skip_stats -- FwGRU Uncached latency4x
+//! cargo run --release --example event_stats
+//! cargo run --release --example event_stats -- FwGRU Uncached
+//! cargo run --release --example event_stats -- FwGRU Uncached latency4x
 //! ```
 
 use miopt::{ApuSystem, CachePolicy, PolicyConfig, SystemConfig};
@@ -13,9 +14,9 @@ use miopt_workloads::{by_name, SuiteConfig};
 
 /// `paper` is the Table 1 machine: its realistic interconnect/DRAM
 /// latencies and 3000-cycle launch overhead are what make MI workloads
-/// latency-bound (and skip-ahead effective). `latency4x` is the same
-/// memory system seen from a 4x-clocked GPU — every latency in core
-/// cycles scaled by 4.
+/// latency-bound (and event-driven execution effective). `latency4x` is
+/// the same memory system seen from a 4x-clocked GPU — every latency in
+/// core cycles scaled by 4.
 fn config(name: &str) -> SystemConfig {
     let mut cfg = SystemConfig::paper_table1();
     match name {
@@ -38,16 +39,24 @@ fn report(name: &str, policy: CachePolicy, cfg_name: &str) {
     let w = by_name(&SuiteConfig::quick(), name).expect("suite workload");
     let mut sys = ApuSystem::new(config(cfg_name), PolicyConfig::of(policy), &w);
     let m = sys.run_to_completion(20_000_000_000).expect("run finished");
-    let (warps, warped) = sys.time_skip_stats();
+    let (events, active) = sys.event_stats();
+    let quiet = 100.0 * (1.0 - active as f64 / m.cycles as f64);
     println!(
-        "{name:8} {:12} {:>10} cycles  {:>8} warps  {:>10} warped ({:>5.1}% skipped, avg {:.1})",
+        "{name:8} {:12} {:>10} cycles  {:>10} events  {:>9} active ({:>5.1}% event-free, {:.2} events/active cycle)",
         PolicyConfig::of(policy).label(),
         m.cycles,
-        warps,
-        warped,
-        100.0 * warped as f64 / m.cycles as f64,
-        warped as f64 / warps.max(1) as f64,
+        events,
+        active,
+        quiet,
+        events as f64 / active.max(1) as f64,
     );
+    let mut by_actor = sys.event_stats_by_actor();
+    by_actor.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    print!("         dispatches by stage:");
+    for (stage, n) in by_actor.iter().filter(|&&(_, n)| n > 0) {
+        print!("  {stage}={:.1}%", 100.0 * *n as f64 / events.max(1) as f64);
+    }
+    println!();
 }
 
 fn main() {

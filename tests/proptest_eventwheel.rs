@@ -1,0 +1,171 @@
+//! Property-based tests on the engine's `EventWheel` calendar queue,
+//! differenced against an ordered-map reference model (`BTreeMap` keyed by
+//! cycle, one id-bitmask per cycle — the semantics a `BinaryHeap` of
+//! `(cycle, id)` pairs with same-cycle batching would give): insert, pop,
+//! reschedule-by-insert, cancel, same-cycle ascending-id batching, ring
+//! rotation across the 4096-slot window boundary, and the far-future
+//! overflow path.
+
+// Compiled only with `--features proptest-tests` (requires the external
+// `proptest`/`rand` dev-dependencies, unavailable offline).
+#![cfg(feature = "proptest-tests")]
+
+use miopt_engine::{Cycle, EventWheel};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Insert id at `base + offset` — offsets beyond the 4096-cycle
+    /// window exercise the overflow map.
+    Insert { id: u8, offset: u64 },
+    /// Cancel id at `base + offset` (whether or not it is pending).
+    Cancel { id: u8, offset: u64 },
+    /// Pop the earliest cycle's whole batch.
+    Pop,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    // Offsets cluster near the window edge (4096) and reach far past it,
+    // so bucket rotation and overflow-drain interleave with dense
+    // near-term traffic.
+    let offset = prop_oneof![
+        4 => 0u64..64,
+        2 => 4000u64..4200,
+        1 => 8000u64..20000,
+    ];
+    prop_oneof![
+        6 => (0u8..64, offset.clone()).prop_map(|(id, offset)| Step::Insert { id, offset }),
+        1 => (0u8..64, offset).prop_map(|(id, offset)| Step::Cancel { id, offset }),
+        3 => Just(Step::Pop),
+    ]
+}
+
+/// Reference model: an ordered map from cycle to id-bitmask. Popping
+/// takes the whole earliest batch, exactly the wheel's contract.
+#[derive(Default)]
+struct Model {
+    pending: BTreeMap<u64, u64>,
+    base: u64,
+}
+
+impl Model {
+    fn insert(&mut self, at: u64, id: u8) {
+        let at = at.max(self.base);
+        *self.pending.entry(at).or_insert(0) |= 1u64 << id;
+    }
+
+    fn cancel(&mut self, at: u64, id: u8) {
+        if let Some(mask) = self.pending.get_mut(&at) {
+            *mask &= !(1u64 << id);
+            if *mask == 0 {
+                self.pending.remove(&at);
+            }
+        }
+    }
+
+    fn pop_next(&mut self) -> Option<(u64, u64)> {
+        let (&at, &mask) = self.pending.iter().next()?;
+        self.pending.remove(&at);
+        self.base = at + 1;
+        Some((at, mask))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wheel_matches_the_ordered_map_reference(
+        start in 0u64..100_000,
+        steps in prop::collection::vec(step_strategy(), 1..400),
+    ) {
+        let mut wheel = EventWheel::new();
+        wheel.reset(Cycle(start));
+        let mut model = Model { pending: BTreeMap::new(), base: start };
+
+        for step in steps {
+            match step {
+                Step::Insert { id, offset } => {
+                    let at = model.base + offset;
+                    wheel.insert(Cycle(at), id);
+                    model.insert(at, id);
+                }
+                Step::Cancel { id, offset } => {
+                    let at = model.base + offset;
+                    wheel.cancel(Cycle(at), id);
+                    model.cancel(at, id);
+                }
+                Step::Pop => {
+                    let got = wheel.pop_next();
+                    let want = model.pop_next();
+                    prop_assert_eq!(
+                        got,
+                        want.map(|(at, mask)| (Cycle(at), mask)),
+                        "pop diverged from the reference model"
+                    );
+                }
+            }
+            prop_assert_eq!(wheel.next_cycle(),
+                model.pending.keys().next().map(|&c| Cycle(c)),
+                "peek diverged from the reference model");
+            prop_assert_eq!(wheel.is_empty(), model.pending.is_empty());
+        }
+
+        // Drain both to empty: every remaining batch must match, in
+        // ascending cycle order with same-cycle ids batched together.
+        loop {
+            let got = wheel.pop_next();
+            let want = model.pop_next().map(|(at, mask)| (Cycle(at), mask));
+            prop_assert_eq!(got, want, "drain diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_pop_batches_ascending_ids(
+        start in 0u64..10_000,
+        ids in prop::collection::vec(0u8..64, 1..32),
+        offset in 0u64..6000,
+    ) {
+        // All ids land on one cycle (duplicates included); one pop must
+        // return the whole batch as a mask, then the wheel is empty.
+        let mut wheel = EventWheel::new();
+        wheel.reset(Cycle(start));
+        let at = Cycle(start + offset);
+        let mut mask = 0u64;
+        for &id in &ids {
+            wheel.insert(at, id);
+            wheel.insert(at, id); // duplicate: must be a no-op
+            mask |= 1u64 << id;
+        }
+        prop_assert_eq!(wheel.pop_next(), Some((at, mask)));
+        prop_assert_eq!(wheel.pop_next(), None);
+        prop_assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn base_only_moves_forward_across_any_op_sequence(
+        start in 0u64..10_000,
+        steps in prop::collection::vec(step_strategy(), 1..200),
+    ) {
+        let mut wheel = EventWheel::new();
+        wheel.reset(Cycle(start));
+        let mut floor = Cycle(start);
+        for step in steps {
+            match step {
+                Step::Insert { id, offset } => wheel.insert(wheel.base() + offset, id),
+                Step::Cancel { id, offset } => wheel.cancel(wheel.base() + offset, id),
+                Step::Pop => {
+                    if let Some((at, _)) = wheel.pop_next() {
+                        prop_assert!(at >= floor, "pop went backwards in time");
+                        floor = at + 1;
+                    }
+                }
+            }
+            prop_assert!(wheel.base() >= floor.max(Cycle(start)));
+        }
+    }
+}
