@@ -1,21 +1,34 @@
-//! Crash-resilient sweeps: a write-ahead job journal and partial
-//! reports.
+//! Crash-resilient sweeps: a checksummed write-ahead job journal and
+//! partial reports.
 //!
-//! A journaled sweep appends one JSON line per completed job to
-//! `results/runs/<name>.journal.jsonl` *before* the sweep finishes, so a
-//! sweep killed mid-flight (OOM killer, Ctrl-C, a power cut) leaves a
-//! durable record of everything already computed. Re-running with
-//! `miopt-harness --resume <name>` replays the journaled outcomes —
-//! successes *and* failures — without re-simulating them, runs only the
-//! missing jobs, and produces a final report identical to an
-//! uninterrupted run modulo timing fields.
+//! A journaled sweep appends one record per completed job to the
+//! result store at `results/runs/<name>.journal/` *before* the sweep
+//! finishes, so a sweep killed mid-flight (OOM killer, Ctrl-C, a power
+//! cut) leaves a durable record of everything already computed.
+//! Re-running with `miopt-harness --resume <name>` replays the
+//! journaled outcomes — successes *and* failures — without
+//! re-simulating them, runs only the missing jobs, and produces a
+//! final report identical to an uninterrupted run modulo timing
+//! fields.
 //!
-//! Layout of the journal file:
+//! The journal is a [`miopt_store::Wal`] — a segmented log where every
+//! record carries a length prefix, a monotonic sequence number, and an
+//! FNV-1a checksum (see `miopt-store` for the format and the recovery
+//! state machine):
 //!
-//! * Line 1 — a header object: `{"journal": <name>, "schema_version": …,
-//!   "fingerprint": <sweep fingerprint>, "jobs": <total job count>}`.
-//! * Lines 2.. — one compact [`JobRecord`] per completed job, in
+//! * Record 1 — a header object: `{"journal": <name>,
+//!   "schema_version": …, "journal_version": …, "fingerprint": <sweep
+//!   fingerprint>, "jobs": <total job count>}`.
+//! * Records 2.. — one compact [`JobRecord`] per completed job, in
 //!   completion order (job ids make the order irrelevant on replay).
+//!
+//! On resume, a torn final record (the in-flight write at kill time)
+//! is truncated away and the sweep continues; *interior* damage — a
+//! bit flip, a missing record in the middle — is refused with a
+//! descriptive error naming the byte offset, and the damaged file is
+//! quarantined for forensics. The v1 plain-JSONL journal format
+//! (`<name>.journal.jsonl`) is migrated to the store automatically the
+//! first time it is resumed.
 //!
 //! The [`sweep_fingerprint`] ties a journal to the exact sweep that
 //! wrote it: the machine config, the job grid (workload identities and
@@ -25,30 +38,38 @@
 //! from two different experiments.
 //!
 //! Alongside the journal, the sweep rewrites
-//! `results/runs/<name>.partial.json` (write-then-rename, so readers
-//! never observe a torn file) after every job. This is the
-//! graceful-interruption story: the simulator forbids `unsafe` and links
-//! no signal-handling crate, so instead of intercepting Ctrl-C the
-//! harness makes sure a current partial report *already* exists at every
-//! instant one could arrive. Both files are removed once the final
-//! report is safely on disk.
+//! `results/runs/<name>.partial.json` (write-fsync-rename, so readers
+//! never observe a torn file and a power cut never loses the previous
+//! version) after every job. This is the graceful-interruption story:
+//! the simulator forbids `unsafe` and links no signal-handling crate,
+//! so instead of intercepting Ctrl-C the harness makes sure a current
+//! partial report *already* exists at every instant one could arrive.
+//! Both files are removed once the final report is safely on disk.
 
 use crate::json::Json;
 use crate::provenance::config_hash;
 use crate::results::{JobRecord, SCHEMA_VERSION};
 use miopt::runner::SweepSpec;
 use miopt_engine::util::Fnv1a;
-use std::fs::File;
-use std::io::Write as _;
+use miopt_store::{Durability, RecoveryKind, StoreOptions, Wal};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
-/// Version tag of the journal file layout.
-pub const JOURNAL_VERSION: u32 = 1;
+/// Version tag of the journal layout. Version 1 was a plain JSONL
+/// file; version 2 is the checksummed segmented store.
+pub const JOURNAL_VERSION: u32 = 2;
 
-/// The journal path for a sweep named `name` under `runs_dir`.
+/// The journal store directory for a sweep named `name` under
+/// `runs_dir`.
 #[must_use]
-pub fn journal_path(runs_dir: &Path, name: &str) -> PathBuf {
+pub fn journal_dir(runs_dir: &Path, name: &str) -> PathBuf {
+    runs_dir.join(format!("{name}.journal"))
+}
+
+/// The legacy (version 1) plain-JSONL journal path. Only consulted to
+/// migrate interrupted v1 runs; new journals are stores under
+/// [`journal_dir`].
+#[must_use]
+pub fn journal_v1_path(runs_dir: &Path, name: &str) -> PathBuf {
     runs_dir.join(format!("{name}.journal.jsonl"))
 }
 
@@ -58,16 +79,22 @@ pub fn partial_path(runs_dir: &Path, name: &str) -> PathBuf {
     runs_dir.join(format!("{name}.partial.json"))
 }
 
-/// Fingerprint binding a journal to one exact sweep: the machine
-/// config, results schema, job grid (stable workload ids × policy
-/// labels), run options, and injected faults. Any difference means the
-/// journaled outcomes are not interchangeable with the new sweep's.
+/// The store configuration every harness journal uses: fsync per
+/// record (a kill loses at most the in-flight job), small segments so
+/// long sweeps exercise sealing and compaction.
 #[must_use]
-pub fn sweep_fingerprint(spec: &SweepSpec) -> String {
+pub fn journal_store_options() -> StoreOptions {
+    StoreOptions {
+        durability: Durability::PerRecord,
+        segment_bytes: 256 * 1024,
+    }
+}
+
+fn fingerprint_versioned(spec: &SweepSpec, journal_version: u32) -> String {
     let mut h = Fnv1a::new();
     h.write(config_hash(&spec.cfg).as_bytes());
     h.write_u64(u64::from(SCHEMA_VERSION));
-    h.write_u64(u64::from(JOURNAL_VERSION));
+    h.write_u64(u64::from(journal_version));
     let jobs = spec.jobs();
     h.write_u64(jobs.len() as u64);
     for job in &jobs {
@@ -79,63 +106,103 @@ pub fn sweep_fingerprint(spec: &SweepSpec) -> String {
     format!("{:016x}", h.finish())
 }
 
-/// An append-only journal writer. Each appended record is flushed
-/// immediately so a `SIGKILL` loses at most the in-flight line.
+/// Fingerprint binding a journal to one exact sweep: the machine
+/// config, results schema, job grid (stable workload ids × policy
+/// labels), run options, and injected faults. Any difference means the
+/// journaled outcomes are not interchangeable with the new sweep's.
+#[must_use]
+pub fn sweep_fingerprint(spec: &SweepSpec) -> String {
+    fingerprint_versioned(spec, JOURNAL_VERSION)
+}
+
+/// The fingerprint a version-1 journal of this sweep would carry (the
+/// journal version participates in the hash, so v1 files need their own
+/// expectation during migration).
+pub(crate) fn sweep_fingerprint_v1(spec: &SweepSpec) -> String {
+    fingerprint_versioned(spec, 1)
+}
+
+/// Builds the header payload (record 1 of every journal store).
+fn header_json(name: &str, fingerprint: &str, jobs: u64) -> String {
+    Json::obj([
+        ("journal", Json::str(name)),
+        ("schema_version", Json::U64(u64::from(SCHEMA_VERSION))),
+        ("journal_version", Json::U64(u64::from(JOURNAL_VERSION))),
+        ("fingerprint", Json::str(fingerprint)),
+        ("jobs", Json::U64(jobs)),
+    ])
+    .to_compact()
+}
+
+/// An append-only journal writer. Each appended record is checksummed,
+/// sequence-numbered, and fsynced before `append` returns, so a
+/// `SIGKILL` loses at most the in-flight record.
 pub struct JournalWriter {
-    file: Mutex<File>,
+    wal: Wal,
 }
 
 impl JournalWriter {
-    /// Creates (truncating any previous journal of the same name) the
-    /// journal for `spec` and writes the header line.
+    /// Creates (replacing any previous journal of the same name, v1 or
+    /// v2) the journal store for `spec` and writes the header record.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn create(runs_dir: &Path, name: &str, spec: &SweepSpec) -> std::io::Result<JournalWriter> {
         std::fs::create_dir_all(runs_dir)?;
-        let mut file = File::create(journal_path(runs_dir, name))?;
-        let header = Json::obj([
-            ("journal", Json::str(name)),
-            ("schema_version", Json::U64(u64::from(SCHEMA_VERSION))),
-            ("journal_version", Json::U64(u64::from(JOURNAL_VERSION))),
-            ("fingerprint", Json::str(sweep_fingerprint(spec))),
-            ("jobs", Json::U64(spec.jobs().len() as u64)),
-        ]);
-        writeln!(file, "{}", header.to_compact())?;
-        file.flush()?;
-        Ok(JournalWriter {
-            file: Mutex::new(file),
-        })
+        let dir = journal_dir(runs_dir, name);
+        if dir.is_dir() {
+            std::fs::remove_dir_all(&dir)?;
+        }
+        let v1 = journal_v1_path(runs_dir, name);
+        if v1.is_file() {
+            std::fs::remove_file(&v1)?;
+        }
+        let opened = Wal::open(&dir, journal_store_options())?;
+        let header = header_json(name, &sweep_fingerprint(spec), spec.jobs().len() as u64);
+        opened.wal.append(header.as_bytes())?;
+        Ok(JournalWriter { wal: opened.wal })
     }
 
-    /// Reopens an existing journal for appending (resume).
+    /// Reopens an existing journal store for appending (resume),
+    /// repairing a torn tail if the previous run was killed mid-append.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors; a missing journal or interior
+    /// corruption is an error here too (the caller validates first via
+    /// [`Journal::load`], which also migrates v1 journals).
     pub fn append_to(runs_dir: &Path, name: &str) -> std::io::Result<JournalWriter> {
-        let file = File::options()
-            .append(true)
-            .open(journal_path(runs_dir, name))?;
-        Ok(JournalWriter {
-            file: Mutex::new(file),
-        })
+        let dir = journal_dir(runs_dir, name);
+        if !dir.is_dir() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no journal store at {}", dir.display()),
+            ));
+        }
+        let opened = Wal::open(&dir, journal_store_options())?;
+        Ok(JournalWriter { wal: opened.wal })
     }
 
-    /// Appends one job record and flushes it to the OS.
+    /// Appends one job record, fsyncing it before returning. When
+    /// enough records have accumulated to seal segments, they are
+    /// folded into a snapshot in the background of the append path
+    /// (compaction never blocks other appenders).
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if another writer panicked while holding the lock.
     pub fn append(&self, record: &JobRecord) -> std::io::Result<()> {
-        let mut file = self.file.lock().expect("journal lock");
-        writeln!(file, "{}", record.to_json_line())?;
-        file.flush()
+        self.wal.append(record.to_json_line().as_bytes())?;
+        if self.wal.sealed_segments() > 0 {
+            if let Err(e) = self.wal.compact() {
+                // Compaction is an optimization; the sealed segments
+                // remain readable, so a failed fold must not kill the
+                // sweep.
+                eprintln!("warning: journal compaction failed: {e}");
+            }
+        }
+        Ok(())
     }
 }
 
@@ -148,35 +215,58 @@ pub struct Journal {
 }
 
 impl Journal {
-    /// Loads `<runs_dir>/<name>.journal.jsonl` and validates that it
-    /// belongs to `spec` (same fingerprint) before trusting any entry.
-    /// Truncated trailing lines (the in-flight write at kill time) are
-    /// tolerated and dropped; a malformed header or fingerprint mismatch
-    /// is a hard error.
+    /// Loads the journal store at `<runs_dir>/<name>.journal/` and
+    /// validates that it belongs to `spec` (same fingerprint) before
+    /// trusting any entry. A torn final record (the in-flight write at
+    /// kill time) is repaired and dropped; interior corruption is a
+    /// hard error naming the damaged file and byte offset (the file is
+    /// quarantined with a `.quarantined` suffix). A legacy v1 JSONL
+    /// journal is migrated to the store first.
     ///
     /// # Errors
     ///
     /// Returns a description when the journal is missing, unreadable,
-    /// malformed, or was written by a different sweep.
+    /// corrupt, or was written by a different sweep.
     pub fn load(runs_dir: &Path, name: &str, spec: &SweepSpec) -> Result<Journal, String> {
-        let path = journal_path(runs_dir, name);
-        let text = std::fs::read_to_string(&path).map_err(|e| {
-            format!(
-                "no journal for run `{name}` at {}: {e} \
-                 (was the sweep started without journaling, or already completed?)",
-                path.display()
-            )
-        })?;
-        let mut lines = text.lines();
-        let header = lines
+        let dir = journal_dir(runs_dir, name);
+        if !dir.is_dir() {
+            let v1 = journal_v1_path(runs_dir, name);
+            if v1.is_file() {
+                migrate_v1(runs_dir, name, spec)?;
+            } else {
+                return Err(format!(
+                    "no journal for run `{name}` at {} \
+                     (was the sweep started without journaling, or already completed?)",
+                    dir.display()
+                ));
+            }
+        }
+        let opened = Wal::open(&dir, journal_store_options())
+            .map_err(|e| format!("journal {} is damaged: {e}", dir.display()))?;
+        if let RecoveryKind::TornTail {
+            file,
+            offset,
+            dropped_bytes,
+        } = &opened.recovery.kind
+        {
+            eprintln!(
+                "note: journal {}: torn tail repaired at byte {offset} \
+                 ({dropped_bytes} byte(s) from the in-flight record dropped)",
+                file.display()
+            );
+        }
+        let mut records = opened.records.iter();
+        let header = records
             .next()
-            .ok_or_else(|| format!("journal {} is empty", path.display()))?;
-        let header = Json::parse(header)
-            .map_err(|e| format!("journal {} has a malformed header: {e}", path.display()))?;
+            .ok_or_else(|| format!("journal {} is empty", dir.display()))?;
+        let header_text = std::str::from_utf8(&header.payload)
+            .map_err(|_| format!("journal {} has a non-UTF-8 header", dir.display()))?;
+        let header = Json::parse(header_text)
+            .map_err(|e| format!("journal {} has a malformed header: {e}", dir.display()))?;
         let fingerprint = header
             .get("fingerprint")
             .and_then(Json::as_str)
-            .ok_or_else(|| format!("journal {} header lacks a fingerprint", path.display()))?;
+            .ok_or_else(|| format!("journal {} header lacks a fingerprint", dir.display()))?;
         let expected = sweep_fingerprint(spec);
         if fingerprint != expected {
             return Err(format!(
@@ -184,24 +274,26 @@ impl Journal {
                  (fingerprint {fingerprint}, this invocation is {expected}); \
                  resume with the exact flags of the original run, or delete \
                  the journal to start over",
-                path.display()
+                dir.display()
             ));
         }
         let total = spec.jobs().len();
         let mut entries = Vec::new();
-        for line in lines {
-            if line.trim().is_empty() {
-                continue;
-            }
-            // A SIGKILL can truncate the final line mid-write; that job
-            // simply re-runs.
-            let Ok(doc) = Json::parse(line) else { continue };
+        for rec in records {
+            // Every payload here survived a checksum, so parse failures
+            // are logic errors, not torn writes: refuse loudly.
+            let text = std::str::from_utf8(&rec.payload).map_err(|_| {
+                format!("journal {} record {} is not UTF-8", dir.display(), rec.seq)
+            })?;
+            let doc = Json::parse(text).map_err(|e| {
+                format!("journal {} record {} invalid: {e}", dir.display(), rec.seq)
+            })?;
             let rec = JobRecord::from_json(&doc)
-                .map_err(|e| format!("journal {} entry invalid: {e}", path.display()))?;
+                .map_err(|e| format!("journal {} entry invalid: {e}", dir.display()))?;
             if rec.id >= total {
                 return Err(format!(
                     "journal {} names job {} but the sweep has {total} jobs",
-                    path.display(),
+                    dir.display(),
                     rec.id
                 ));
             }
@@ -211,15 +303,92 @@ impl Journal {
     }
 }
 
-/// Atomically (write-then-rename) replaces `path` with `contents`.
+/// Migrates a version-1 plain-JSONL journal into a journal store, then
+/// removes the v1 file. Torn trailing lines (the v1 crash artifact)
+/// are dropped, exactly as the v1 loader did.
+fn migrate_v1(runs_dir: &Path, name: &str, spec: &SweepSpec) -> Result<(), String> {
+    let path = journal_v1_path(runs_dir, name);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read v1 journal {}: {e}", path.display()))?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| format!("journal {} is empty", path.display()))?;
+    let header = Json::parse(header)
+        .map_err(|e| format!("journal {} has a malformed header: {e}", path.display()))?;
+    let fingerprint = header
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("journal {} header lacks a fingerprint", path.display()))?;
+    let expected = sweep_fingerprint_v1(spec);
+    if fingerprint != expected {
+        return Err(format!(
+            "journal {} was written by a different sweep \
+             (fingerprint {fingerprint}, this invocation is {expected}); \
+             resume with the exact flags of the original run, or delete \
+             the journal to start over",
+            path.display()
+        ));
+    }
+    let total = spec.jobs().len();
+    let mut entry_lines = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // A SIGKILL could truncate the final v1 line mid-write; that
+        // job simply re-runs.
+        let Ok(doc) = Json::parse(line) else { continue };
+        let rec = JobRecord::from_json(&doc)
+            .map_err(|e| format!("journal {} entry invalid: {e}", path.display()))?;
+        if rec.id >= total {
+            return Err(format!(
+                "journal {} names job {} but the sweep has {total} jobs",
+                path.display(),
+                rec.id
+            ));
+        }
+        entry_lines.push(rec.to_json_line());
+    }
+    let dir = journal_dir(runs_dir, name);
+    if dir.is_dir() {
+        std::fs::remove_dir_all(&dir)
+            .map_err(|e| format!("cannot replace journal store {}: {e}", dir.display()))?;
+    }
+    let opened = Wal::open(&dir, journal_store_options())
+        .map_err(|e| format!("cannot create journal store {}: {e}", dir.display()))?;
+    let store_err =
+        |e: miopt_store::StoreError| format!("cannot write journal store {}: {e}", dir.display());
+    opened
+        .wal
+        .append(header_json(name, &sweep_fingerprint(spec), total as u64).as_bytes())
+        .map_err(store_err)?;
+    for line in &entry_lines {
+        opened.wal.append(line.as_bytes()).map_err(store_err)?;
+    }
+    opened.wal.sync().map_err(store_err)?;
+    std::fs::remove_file(&path)
+        .map_err(|e| format!("cannot remove migrated v1 journal {}: {e}", path.display()))?;
+    let _ = miopt_store::sync_dir(runs_dir);
+    eprintln!(
+        "note: migrated v1 journal {} ({} entries) to {}",
+        path.display(),
+        entry_lines.len(),
+        dir.display()
+    );
+    Ok(())
+}
+
+/// Durably replaces `path` with `contents`: write-fsync-rename, then
+/// fsync the parent directory. Readers never observe a torn file, and
+/// a power cut at any instant leaves either the old or the new
+/// complete file.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
 pub fn replace_file(path: &Path, contents: &str) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
+    miopt_store::atomic_replace(path, contents.as_bytes())
 }
 
 #[cfg(test)]
@@ -227,6 +396,7 @@ mod tests {
     use super::*;
     use miopt::SystemConfig;
     use miopt_workloads::{by_name, SuiteConfig};
+    use std::io::Write as _;
 
     fn spec() -> SweepSpec {
         let s = SuiteConfig::quick();
@@ -252,6 +422,17 @@ mod tests {
         }
     }
 
+    fn only_segment(dir: &Path) -> PathBuf {
+        let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+            .collect();
+        segs.sort();
+        assert_eq!(segs.len(), 1);
+        segs.pop().unwrap()
+    }
+
     #[test]
     fn fingerprint_tracks_the_grid_and_options() {
         let base = spec();
@@ -265,6 +446,9 @@ mod tests {
         let mut checked = base.clone();
         checked.run_opts.check_invariants = true;
         assert_ne!(sweep_fingerprint(&base), sweep_fingerprint(&checked));
+        // The journal format version participates too: a v1 journal of
+        // the same sweep carries a different fingerprint.
+        assert_ne!(sweep_fingerprint(&base), sweep_fingerprint_v1(&base));
     }
 
     #[test]
@@ -276,11 +460,11 @@ mod tests {
         w.append(&record(0)).unwrap();
         w.append(&record(2)).unwrap();
         drop(w);
-        // Simulate a SIGKILL mid-append: a torn trailing line.
-        let path = journal_path(&dir, "t");
-        let mut text = std::fs::read_to_string(&path).unwrap();
-        text.push_str("{\"id\": 1, \"workl");
-        std::fs::write(&path, &text).unwrap();
+        // Simulate a SIGKILL mid-append: a torn trailing frame.
+        let seg = only_segment(&journal_dir(&dir, "t"));
+        let mut f = std::fs::OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0x2a, 0x00, 0x00, 0x00, 0x03]).unwrap(); // 5 of 20 header bytes
+        drop(f);
         let j = Journal::load(&dir, "t", &spec).unwrap();
         assert_eq!(
             j.entries.iter().map(|r| r.id).collect::<Vec<_>>(),
@@ -288,6 +472,36 @@ mod tests {
             "torn tail dropped, intact entries kept"
         );
         assert_eq!(j.entries[0].status, "ok");
+        // After repair the journal accepts appends again.
+        let w = JournalWriter::append_to(&dir, "t").unwrap();
+        w.append(&record(1)).unwrap();
+        drop(w);
+        let j = Journal::load(&dir, "t", &spec).unwrap();
+        assert_eq!(
+            j.entries.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 2, 1]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interior_corruption_is_refused_with_the_byte_offset() {
+        let dir = std::env::temp_dir().join("miopt-journal-corrupt-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = spec();
+        let w = JournalWriter::create(&dir, "t", &spec).unwrap();
+        w.append(&record(0)).unwrap();
+        w.append(&record(1)).unwrap();
+        drop(w);
+        let seg = only_segment(&journal_dir(&dir, "t"));
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&seg, &bytes).unwrap();
+        let err = Journal::load(&dir, "t", &spec).unwrap_err();
+        assert!(err.contains("damaged"), "{err}");
+        assert!(err.contains("byte offset"), "{err}");
+        assert!(err.contains("quarantined"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -304,6 +518,63 @@ mod tests {
         // Missing journals get a descriptive error, not a panic.
         let err = Journal::load(&dir, "absent", &original).unwrap_err();
         assert!(err.contains("no journal"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The v1 migration path: a plain-JSONL journal left by an older
+    /// build — torn tail and all — loads through migration, lands in
+    /// the store, and keeps resuming identically.
+    #[test]
+    fn v1_jsonl_journals_migrate_and_resume_identically() {
+        let dir = std::env::temp_dir().join("miopt-journal-migrate-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = spec();
+        // Hand-write the v1 file exactly as the old writer did.
+        let v1 = journal_v1_path(&dir, "old");
+        let header = Json::obj([
+            ("journal", Json::str("old")),
+            ("schema_version", Json::U64(u64::from(SCHEMA_VERSION))),
+            ("journal_version", Json::U64(1)),
+            ("fingerprint", Json::str(sweep_fingerprint_v1(&spec))),
+            ("jobs", Json::U64(spec.jobs().len() as u64)),
+        ]);
+        let mut text = format!("{}\n", header.to_compact());
+        text.push_str(&format!("{}\n", record(0).to_json_line()));
+        text.push_str(&format!("{}\n", record(2).to_json_line()));
+        text.push_str("{\"id\": 1, \"workl"); // torn at kill time
+        std::fs::write(&v1, &text).unwrap();
+
+        let j = Journal::load(&dir, "old", &spec).unwrap();
+        assert_eq!(
+            j.entries.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 2],
+            "v1 entries survive migration; the torn line is dropped"
+        );
+        assert!(!v1.exists(), "the v1 file is consumed by migration");
+        assert!(journal_dir(&dir, "old").is_dir());
+        // The migrated journal behaves like a native v2 one.
+        let w = JournalWriter::append_to(&dir, "old").unwrap();
+        w.append(&record(1)).unwrap();
+        drop(w);
+        let j = Journal::load(&dir, "old", &spec).unwrap();
+        assert_eq!(
+            j.entries.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 2, 1]
+        );
+
+        // A v1 journal from a *different* sweep is refused, unmigrated.
+        let mut other = spec.clone();
+        other.run_opts.max_cycles /= 2;
+        let v1b = journal_v1_path(&dir, "foreign");
+        let header = Json::obj([
+            ("fingerprint", Json::str(sweep_fingerprint_v1(&other))),
+            ("jobs", Json::U64(other.jobs().len() as u64)),
+        ]);
+        std::fs::write(&v1b, format!("{}\n", header.to_compact())).unwrap();
+        let err = Journal::load(&dir, "foreign", &spec).unwrap_err();
+        assert!(err.contains("different sweep"), "{err}");
+        assert!(v1b.exists(), "a refused v1 journal is left untouched");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

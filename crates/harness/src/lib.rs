@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod cache;
 pub mod cli;
 pub mod figures;
@@ -40,11 +41,13 @@ pub mod json;
 pub mod pool;
 pub mod progress;
 pub mod provenance;
+pub mod query;
 pub mod results;
 pub mod serve;
 pub mod sweep;
 pub mod telemetry;
 
+pub use backoff::Backoff;
 pub use cache::{CacheKey, ResultCache};
 pub use figures::FigureData;
 pub use journal::{Journal, JournalWriter};

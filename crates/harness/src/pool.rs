@@ -23,6 +23,7 @@
 //! * **Failure propagation.** A job whose dependency failed is not run;
 //!   it reports [`JobError::DepFailed`].
 
+use crate::backoff::Backoff;
 use crate::progress::Progress;
 use miopt::runner::{Job, RunResult, SimError, SweepSpec};
 use std::cmp::Reverse;
@@ -124,8 +125,9 @@ pub struct JobOutcome {
 pub struct RetryPolicy {
     /// Total attempts per job (1 = no retry, the default).
     pub max_attempts: usize,
-    /// Backoff before the first retry; doubles on each further retry.
-    pub backoff: Duration,
+    /// Shared backoff schedule ([`crate::backoff::Backoff`]): capped
+    /// exponential growth with deterministic per-job jitter.
+    pub backoff: Backoff,
     /// Double the job's wall-clock budget after each timed-out attempt,
     /// so a job that was merely slow (a loaded machine, a pessimal
     /// schedule) gets room to finish.
@@ -136,7 +138,7 @@ impl Default for RetryPolicy {
     fn default() -> RetryPolicy {
         RetryPolicy {
             max_attempts: 1,
-            backoff: Duration::from_millis(100),
+            backoff: Backoff::default(),
             escalate_timeout: true,
         }
     }
@@ -402,7 +404,6 @@ fn execute_with_retry(
     let policy = &opts.retry;
     let budget = policy.max_attempts.max(1);
     let mut timeout = opts.job_timeout;
-    let mut backoff = policy.backoff;
     let mut attempt = 0;
     loop {
         attempt += 1;
@@ -428,8 +429,7 @@ fn execute_with_retry(
                 if policy.escalate_timeout && matches!(e, JobError::TimedOut(_)) {
                     timeout = timeout.map(|t| t.saturating_mul(2));
                 }
-                std::thread::sleep(backoff);
-                backoff = backoff.saturating_mul(2);
+                std::thread::sleep(policy.backoff.delay(job.id as u64, attempt as u32));
             }
         }
     }
@@ -493,7 +493,7 @@ fn panicked(spec: &SweepSpec, job: &Job, message: String) -> JobError {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -707,7 +707,7 @@ mod tests {
             job_timeout: Some(Duration::from_millis(50)),
             retry: RetryPolicy {
                 max_attempts: 2,
-                backoff: Duration::from_millis(5),
+                backoff: Backoff::new(Duration::from_millis(5)),
                 escalate_timeout: true,
             },
             ..PoolOptions::default()

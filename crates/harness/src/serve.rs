@@ -19,21 +19,25 @@
 //! miopt-harness serve [--system small|paper] [--scale quick|paper]
 //!     [--tenants name=Workload,name=Workload] [--policies P,P,...]
 //!     [--loads N,N,...] [--requests N] [--seed N] [--partition]
-//!     [--max-batch N] [--budget N] [--jobs N] [--serial] [--no-skip]
-//!     [--check-invariants] [--out <dir>] [--sweep-name <name>]
-//!     [--resume <run-id>] [--no-journal] [--quiet]
+//!     [--max-batch N] [--budget N] [--jobs N] [--serial] [--retries N]
+//!     [--no-skip] [--check-invariants] [--out <dir>]
+//!     [--sweep-name <name>] [--resume <run-id>] [--no-journal] [--quiet]
 //! ```
 
-use crate::journal::{journal_path, partial_path, replace_file, JOURNAL_VERSION};
+use crate::journal::{
+    journal_dir, journal_store_options, journal_v1_path, partial_path, replace_file,
+    JOURNAL_VERSION,
+};
 use crate::json::Json;
+use crate::pool::{panic_message, RetryPolicy};
 use crate::provenance::{config_hash, Provenance, GLOBAL_SEED};
 use crate::results::SCHEMA_VERSION;
 use miopt::{CachePolicy, PolicyConfig, SystemConfig, WayRange};
 use miopt_engine::util::{fnv1a_64, Fnv1a};
 use miopt_serve::{ArrivalSchedule, ServeConfig, TenantSpec};
+use miopt_store::{RecoveryKind, Wal};
 use miopt_workloads::{by_name, SuiteConfig};
-use std::fs::File;
-use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -65,6 +69,10 @@ pub struct ServeArgs {
     pub budget: u64,
     /// Worker threads (0 = all available cores).
     pub jobs: usize,
+    /// Extra attempts for panicked jobs (total attempts = retries + 1).
+    /// Not part of the journal fingerprint: retry budget may change
+    /// between a run and its resume.
+    pub retries: usize,
     /// Force per-cycle stepping.
     pub no_skip: bool,
     /// Enable sentinel invariant checking per job.
@@ -108,6 +116,7 @@ pub fn parse_serve_args(args: impl Iterator<Item = String>) -> ServeArgs {
         max_batch: 4,
         budget: 2_000_000_000,
         jobs: 0,
+        retries: 0,
         no_skip: false,
         check_invariants: false,
         runs_dir: PathBuf::from("results/runs"),
@@ -184,6 +193,11 @@ pub fn parse_serve_args(args: impl Iterator<Item = String>) -> ServeArgs {
             }
             "--jobs" => out.jobs = value("--jobs").parse().expect("--jobs needs a number"),
             "--serial" => out.jobs = 1,
+            "--retries" => {
+                out.retries = value("--retries")
+                    .parse()
+                    .expect("--retries needs a number");
+            }
             "--no-skip" => out.no_skip = true,
             "--check-invariants" => out.check_invariants = true,
             "--out" => out.runs_dir = PathBuf::from(value("--out")),
@@ -379,11 +393,22 @@ impl ServeSweepSpec {
     /// provably identical).
     #[must_use]
     pub fn fingerprint(&self) -> String {
+        self.fingerprint_versioned(JOURNAL_VERSION)
+    }
+
+    /// The fingerprint a version-1 (plain JSONL) journal of this sweep
+    /// carries — the journal version participates in the hash, so v1
+    /// files must be validated against the v1 value before migration.
+    pub(crate) fn fingerprint_v1(&self) -> String {
+        self.fingerprint_versioned(1)
+    }
+
+    fn fingerprint_versioned(&self, journal_version: u32) -> String {
         let mut h = Fnv1a::new();
         h.write(b"serve");
         h.write(config_hash(&self.system).as_bytes());
         h.write_u64(u64::from(SCHEMA_VERSION));
-        h.write_u64(u64::from(JOURNAL_VERSION));
+        h.write_u64(u64::from(journal_version));
         let jobs = self.jobs();
         h.write_u64(jobs.len() as u64);
         for job in &jobs {
@@ -611,16 +636,37 @@ pub fn run_serve_job(spec: &ServeSweepSpec, job: &ServeJob) -> ServeJobRecord {
     }
 }
 
-/// Append-only journal writer for serve sweeps (same file layout as the
-/// figure sweeps': a fingerprinted header line, then one compact record
-/// per completed job).
+/// The serve journal's header record (record 1 of the store): the
+/// fingerprint plus the traffic identity, so a resumed run can prove it
+/// replays the same arrivals.
+fn serve_header_json(name: &str, spec: &ServeSweepSpec) -> String {
+    Json::obj([
+        ("journal", Json::str(name)),
+        ("kind", Json::str("serve")),
+        ("schema_version", Json::U64(u64::from(SCHEMA_VERSION))),
+        ("journal_version", Json::U64(u64::from(JOURNAL_VERSION))),
+        ("fingerprint", Json::str(spec.fingerprint())),
+        ("arrival_seed", Json::U64(spec.seed)),
+        (
+            "arrivals_fingerprint",
+            Json::str(format!("{:016x}", spec.arrivals_fingerprint())),
+        ),
+        ("jobs", Json::U64(spec.jobs().len() as u64)),
+    ])
+    .to_compact()
+}
+
+/// Append-only journal writer for serve sweeps, backed by the same
+/// checksummed [`miopt_store`] write-ahead log as the figure sweeps.
+/// Record 1 is the serve header; each completed job appends one compact
+/// JSON record, fsynced before `append` returns.
 pub struct ServeJournalWriter {
-    file: Mutex<File>,
+    wal: Wal,
 }
 
 impl ServeJournalWriter {
-    /// Creates the journal (truncating any previous one of the same
-    /// name) and writes the header line.
+    /// Creates the journal store (replacing any previous journal of the
+    /// same name, v1 or v2) and writes the header record.
     ///
     /// # Errors
     ///
@@ -631,78 +677,155 @@ impl ServeJournalWriter {
         spec: &ServeSweepSpec,
     ) -> std::io::Result<ServeJournalWriter> {
         std::fs::create_dir_all(runs_dir)?;
-        let mut file = File::create(journal_path(runs_dir, name))?;
-        let header = Json::obj([
-            ("journal", Json::str(name)),
-            ("kind", Json::str("serve")),
-            ("schema_version", Json::U64(u64::from(SCHEMA_VERSION))),
-            ("journal_version", Json::U64(u64::from(JOURNAL_VERSION))),
-            ("fingerprint", Json::str(spec.fingerprint())),
-            ("arrival_seed", Json::U64(spec.seed)),
-            (
-                "arrivals_fingerprint",
-                Json::str(format!("{:016x}", spec.arrivals_fingerprint())),
-            ),
-            ("jobs", Json::U64(spec.jobs().len() as u64)),
-        ]);
-        writeln!(file, "{}", header.to_compact())?;
-        file.flush()?;
-        Ok(ServeJournalWriter {
-            file: Mutex::new(file),
-        })
+        let dir = journal_dir(runs_dir, name);
+        if dir.is_dir() {
+            std::fs::remove_dir_all(&dir)?;
+        }
+        let v1 = journal_v1_path(runs_dir, name);
+        if v1.is_file() {
+            std::fs::remove_file(&v1)?;
+        }
+        let opened = Wal::open(&dir, journal_store_options())?;
+        opened
+            .wal
+            .append(serve_header_json(name, spec).as_bytes())?;
+        Ok(ServeJournalWriter { wal: opened.wal })
     }
 
-    /// Reopens an existing journal for appending (resume).
+    /// Reopens an existing journal store for appending (resume),
+    /// repairing a torn tail if the previous run was killed mid-append.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors; the caller validates the journal
+    /// first via [`load_serve_journal`], which also migrates v1 files.
     pub fn append_to(runs_dir: &Path, name: &str) -> std::io::Result<ServeJournalWriter> {
-        let file = File::options()
-            .append(true)
-            .open(journal_path(runs_dir, name))?;
-        Ok(ServeJournalWriter {
-            file: Mutex::new(file),
-        })
+        let dir = journal_dir(runs_dir, name);
+        if !dir.is_dir() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no journal store at {}", dir.display()),
+            ));
+        }
+        let opened = Wal::open(&dir, journal_store_options())?;
+        Ok(ServeJournalWriter { wal: opened.wal })
     }
 
-    /// Appends one record and flushes it to the OS.
+    /// Appends one record, fsyncing it before returning, and folds
+    /// sealed segments into a snapshot when any have accumulated.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if another writer panicked while holding the lock.
     pub fn append(&self, record: &ServeJobRecord) -> std::io::Result<()> {
-        let mut file = self.file.lock().expect("serve journal lock");
-        writeln!(file, "{}", record.to_json_line())?;
-        file.flush()
+        self.wal.append(record.to_json_line().as_bytes())?;
+        if self.wal.sealed_segments() > 0 {
+            if let Err(e) = self.wal.compact() {
+                // Compaction is an optimization; the sealed segments
+                // remain readable, so a failed fold must not kill the
+                // sweep.
+                eprintln!("warning: serve journal compaction failed: {e}");
+            }
+        }
+        Ok(())
     }
 }
 
 /// Loads a serve journal for resume, validating its fingerprint against
-/// `spec` before trusting any entry. Torn trailing lines are tolerated
-/// and dropped, like the figure-sweep journal.
+/// `spec` before trusting any entry. A torn final record (the in-flight
+/// write at kill time) is repaired and dropped; interior corruption is
+/// a hard error naming the damaged file and byte offset (the file is
+/// quarantined with a `.quarantined` suffix). A legacy v1 JSONL journal
+/// is migrated to the store first.
 ///
 /// # Errors
 ///
-/// Returns a description when the journal is missing, malformed, or was
+/// Returns a description when the journal is missing, corrupt, or was
 /// written by a different sweep (different grid, options, or traffic).
 pub fn load_serve_journal(
     runs_dir: &Path,
     name: &str,
     spec: &ServeSweepSpec,
 ) -> Result<Vec<ServeJobRecord>, String> {
-    let path = journal_path(runs_dir, name);
-    let text = std::fs::read_to_string(&path).map_err(|e| {
-        format!(
-            "no journal for serve run `{name}` at {}: {e} \
-             (was the sweep started without journaling, or already completed?)",
-            path.display()
-        )
-    })?;
+    let dir = journal_dir(runs_dir, name);
+    if !dir.is_dir() {
+        let v1 = journal_v1_path(runs_dir, name);
+        if v1.is_file() {
+            migrate_serve_v1(runs_dir, name, spec)?;
+        } else {
+            return Err(format!(
+                "no journal for serve run `{name}` at {} \
+                 (was the sweep started without journaling, or already completed?)",
+                dir.display()
+            ));
+        }
+    }
+    let opened = Wal::open(&dir, journal_store_options())
+        .map_err(|e| format!("journal {} is damaged: {e}", dir.display()))?;
+    if let RecoveryKind::TornTail {
+        file,
+        offset,
+        dropped_bytes,
+    } = &opened.recovery.kind
+    {
+        eprintln!(
+            "note: journal {}: torn tail repaired at byte {offset} \
+             ({dropped_bytes} byte(s) from the in-flight record dropped)",
+            file.display()
+        );
+    }
+    let mut records = opened.records.iter();
+    let header = records
+        .next()
+        .ok_or_else(|| format!("journal {} is empty", dir.display()))?;
+    let header_text = std::str::from_utf8(&header.payload)
+        .map_err(|_| format!("journal {} has a non-UTF-8 header", dir.display()))?;
+    let header = Json::parse(header_text)
+        .map_err(|e| format!("journal {} has a malformed header: {e}", dir.display()))?;
+    let fingerprint = header
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("journal {} header lacks a fingerprint", dir.display()))?;
+    let expected = spec.fingerprint();
+    if fingerprint != expected {
+        return Err(format!(
+            "journal {} was written by a different serve sweep \
+             (fingerprint {fingerprint}, this invocation is {expected}); \
+             resume with the exact flags of the original run, or delete \
+             the journal to start over",
+            dir.display()
+        ));
+    }
+    let total = spec.jobs().len();
+    let mut entries = Vec::new();
+    for rec in records {
+        // Every payload here survived a checksum, so parse failures are
+        // logic errors, not torn writes: refuse loudly.
+        let text = std::str::from_utf8(&rec.payload)
+            .map_err(|_| format!("journal {} record {} is not UTF-8", dir.display(), rec.seq))?;
+        let doc = Json::parse(text)
+            .map_err(|e| format!("journal {} record {} invalid: {e}", dir.display(), rec.seq))?;
+        let rec = ServeJobRecord::from_json(&doc)
+            .map_err(|e| format!("journal {} entry invalid: {e}", dir.display()))?;
+        if rec.id >= total {
+            return Err(format!(
+                "journal {} names job {} but the sweep has {total} jobs",
+                dir.display(),
+                rec.id
+            ));
+        }
+        entries.push(rec);
+    }
+    Ok(entries)
+}
+
+/// Migrates a version-1 plain-JSONL serve journal into a journal store,
+/// then removes the v1 file. Torn trailing lines (the v1 crash
+/// artifact) are dropped, exactly as the v1 loader did.
+fn migrate_serve_v1(runs_dir: &Path, name: &str, spec: &ServeSweepSpec) -> Result<(), String> {
+    let path = journal_v1_path(runs_dir, name);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read v1 journal {}: {e}", path.display()))?;
     let mut lines = text.lines();
     let header = lines
         .next()
@@ -713,7 +836,7 @@ pub fn load_serve_journal(
         .get("fingerprint")
         .and_then(Json::as_str)
         .ok_or_else(|| format!("journal {} header lacks a fingerprint", path.display()))?;
-    let expected = spec.fingerprint();
+    let expected = spec.fingerprint_v1();
     if fingerprint != expected {
         return Err(format!(
             "journal {} was written by a different serve sweep \
@@ -724,13 +847,13 @@ pub fn load_serve_journal(
         ));
     }
     let total = spec.jobs().len();
-    let mut entries = Vec::new();
+    let mut entry_lines = Vec::new();
     for line in lines {
         if line.trim().is_empty() {
             continue;
         }
-        // A SIGKILL can truncate the final line mid-write; that job
-        // simply re-runs.
+        // A SIGKILL could truncate the final v1 line mid-write; that
+        // job simply re-runs.
         let Ok(doc) = Json::parse(line) else { continue };
         let rec = ServeJobRecord::from_json(&doc)
             .map_err(|e| format!("journal {} entry invalid: {e}", path.display()))?;
@@ -741,9 +864,76 @@ pub fn load_serve_journal(
                 rec.id
             ));
         }
-        entries.push(rec);
+        entry_lines.push(rec.to_json_line());
     }
-    Ok(entries)
+    let dir = journal_dir(runs_dir, name);
+    if dir.is_dir() {
+        std::fs::remove_dir_all(&dir)
+            .map_err(|e| format!("cannot replace journal store {}: {e}", dir.display()))?;
+    }
+    let opened = Wal::open(&dir, journal_store_options())
+        .map_err(|e| format!("cannot create journal store {}: {e}", dir.display()))?;
+    let store_err =
+        |e: miopt_store::StoreError| format!("cannot write journal store {}: {e}", dir.display());
+    opened
+        .wal
+        .append(serve_header_json(name, spec).as_bytes())
+        .map_err(store_err)?;
+    for line in &entry_lines {
+        opened.wal.append(line.as_bytes()).map_err(store_err)?;
+    }
+    opened.wal.sync().map_err(store_err)?;
+    std::fs::remove_file(&path)
+        .map_err(|e| format!("cannot remove migrated v1 journal {}: {e}", path.display()))?;
+    let _ = miopt_store::sync_dir(runs_dir);
+    eprintln!(
+        "note: migrated v1 serve journal {} ({} entries) to {}",
+        path.display(),
+        entry_lines.len(),
+        dir.display()
+    );
+    Ok(())
+}
+
+/// Runs one grid cell under the retry policy. Panics are the only
+/// transient failure mode a serve job has (the simulator is
+/// deterministic, so a sim-level error repeats identically and is
+/// reported, not retried); each retry waits on the shared
+/// [`crate::backoff::Backoff`] schedule, and an exhausted budget turns
+/// the last panic into the record's `status`.
+fn run_serve_job_with_retry(
+    spec: &ServeSweepSpec,
+    job: &ServeJob,
+    retry: &RetryPolicy,
+) -> ServeJobRecord {
+    let budget = retry.max_attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match catch_unwind(AssertUnwindSafe(|| run_serve_job(spec, job))) {
+            Ok(record) => return record,
+            Err(payload) => {
+                let message = panic_message(&*payload);
+                if attempt >= budget {
+                    return ServeJobRecord {
+                        id: job.id,
+                        policy: job.policy.label(),
+                        load: job.load,
+                        status: format!("panicked: {message}"),
+                        cycles: 0,
+                        tenants: Vec::new(),
+                    };
+                }
+                eprintln!(
+                    "warning: serve job {} panicked ({message}); retrying \
+                     (attempt {} of {budget})",
+                    job.id,
+                    attempt + 1
+                );
+                std::thread::sleep(retry.backoff.delay(job.id as u64, attempt as u32));
+            }
+        }
+    }
 }
 
 /// Executes the grid across `workers` threads, skipping ids present in
@@ -761,6 +951,7 @@ pub fn execute(
     quiet: bool,
     journal: Option<&ServeJournalWriter>,
     existing: &[ServeJobRecord],
+    retry: &RetryPolicy,
 ) -> Vec<ServeJobRecord> {
     let jobs = spec.jobs();
     let mut slots: Vec<Option<ServeJobRecord>> = vec![None; jobs.len()];
@@ -782,7 +973,7 @@ pub fn execute(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = todo.get(i) else { break };
-                let record = run_serve_job(spec, job);
+                let record = run_serve_job_with_retry(spec, job, retry);
                 if !quiet {
                     eprintln!(
                         "  [serve {}/{}] {} @ load {}: {}",
@@ -1012,8 +1203,19 @@ pub fn run_serve(args: &ServeArgs) -> i32 {
     };
 
     let mut provenance = Provenance::collect(&spec.system, args.jobs.max(1));
+    let retry = RetryPolicy {
+        max_attempts: args.retries + 1,
+        ..RetryPolicy::default()
+    };
     let t0 = Instant::now();
-    let records = execute(&spec, args.jobs, args.quiet, journal.as_ref(), &existing);
+    let records = execute(
+        &spec,
+        args.jobs,
+        args.quiet,
+        journal.as_ref(),
+        &existing,
+        &retry,
+    );
     provenance.elapsed_ms = t0.elapsed().as_millis() as u64;
     eprintln!("serve sweep done in {:.1}s", t0.elapsed().as_secs_f64());
 
@@ -1023,8 +1225,11 @@ pub fn run_serve(args: &ServeArgs) -> i32 {
     match replace_file(&path, &report.to_pretty()) {
         Ok(()) => {
             eprintln!("(wrote {})", path.display());
-            // The final report is durable; drop the write-ahead state.
-            let _ = std::fs::remove_file(journal_path(&args.runs_dir, &args.sweep_name));
+            // The final report is durable; drop the write-ahead state
+            // (the v2 store directory, any unmigrated v1 file, and the
+            // partial report).
+            let _ = std::fs::remove_dir_all(journal_dir(&args.runs_dir, &args.sweep_name));
+            let _ = std::fs::remove_file(journal_v1_path(&args.runs_dir, &args.sweep_name));
             let _ = std::fs::remove_file(partial_path(&args.runs_dir, &args.sweep_name));
         }
         Err(e) => eprintln!("warning: could not write serve report: {e}"),
@@ -1089,6 +1294,8 @@ mod tests {
                 "2",
                 "--jobs",
                 "3",
+                "--retries",
+                "2",
                 "--sweep-name",
                 "myserve",
             ]
@@ -1104,6 +1311,7 @@ mod tests {
         assert!(a.partition);
         assert_eq!(a.max_batch, 2);
         assert_eq!(a.jobs, 3);
+        assert_eq!(a.retries, 2);
         assert_eq!(a.sweep_name, "myserve");
         let d = parse_serve_args(std::iter::empty());
         assert_eq!(d.sweep_name, "serve-small-quick");
@@ -1155,6 +1363,74 @@ mod tests {
         let line = rec.to_json_line();
         let back = ServeJobRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn v1_jsonl_serve_journals_migrate_and_resume_identically() {
+        let dir = std::env::temp_dir().join(format!("miopt-serve-v1-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = tiny_spec();
+        let jobs = spec.jobs();
+        let rec0 = run_serve_job(&spec, &jobs[0]);
+        let mut text = format!(
+            "{{\"journal\":\"legacy\",\"kind\":\"serve\",\"fingerprint\":\"{}\"}}\n",
+            spec.fingerprint_v1()
+        );
+        text.push_str(&rec0.to_json_line());
+        text.push('\n');
+        text.push_str("{\"id\": 1, \"poli"); // torn v1 tail
+        std::fs::write(journal_v1_path(&dir, "legacy"), &text).unwrap();
+
+        let entries = load_serve_journal(&dir, "legacy", &spec).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0], rec0);
+        assert!(
+            !journal_v1_path(&dir, "legacy").exists(),
+            "the v1 file is consumed by migration"
+        );
+        assert!(journal_dir(&dir, "legacy").is_dir(), "v2 store created");
+
+        // The migrated store keeps accepting appends and replays both
+        // the migrated and the new record.
+        let w = ServeJournalWriter::append_to(&dir, "legacy").unwrap();
+        w.append(&run_serve_job(&spec, &jobs[1])).unwrap();
+        let entries = load_serve_journal(&dir, "legacy", &spec).unwrap();
+        assert_eq!(entries.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+
+        // A v1 journal from a different sweep is refused, untouched.
+        let mut foreign = spec.clone();
+        foreign.seed = 99;
+        std::fs::write(journal_v1_path(&dir, "other"), &text).unwrap();
+        let err = load_serve_journal(&dir, "other", &foreign).unwrap_err();
+        assert!(err.contains("different serve sweep"), "{err}");
+        assert!(journal_v1_path(&dir, "other").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicking_jobs_are_retried_then_reported_not_propagated() {
+        use crate::backoff::Backoff;
+        use std::time::Duration;
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            backoff: Backoff::new(Duration::from_millis(1)),
+            escalate_timeout: true,
+        };
+        let spec = tiny_spec();
+        let rec = run_serve_job_with_retry(&spec, &spec.jobs()[0], &retry);
+        assert_eq!(rec.status, "ok", "healthy jobs are unaffected by retry");
+
+        // An unknown tenant workload makes serve_config panic; the
+        // executor must retry it (a real panic could be a transient,
+        // e.g. allocation failure) and then report, not propagate.
+        let mut broken = tiny_spec();
+        broken.tenants[1].1 = "Nonexistent".to_string();
+        let job = broken.jobs().remove(0);
+        let rec = run_serve_job_with_retry(&broken, &job, &retry);
+        assert!(rec.status.starts_with("panicked:"), "{}", rec.status);
+        assert_eq!(rec.id, job.id);
+        assert!(rec.tenants.is_empty());
     }
 
     #[test]

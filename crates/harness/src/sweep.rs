@@ -67,11 +67,16 @@ impl SweepRun {
         }
     }
 
-    /// Removes journal/partial files left behind by a journaled sweep.
-    /// Call only after the final report has been written.
+    /// Removes journal/partial state left behind by a journaled sweep
+    /// (the journal store directory and the partial report). Call only
+    /// after the final report has been written.
     pub fn remove_journal_state(&self) {
         for path in &self.cleanup {
-            let _ = std::fs::remove_file(path);
+            if path.is_dir() {
+                let _ = std::fs::remove_dir_all(path);
+            } else {
+                let _ = std::fs::remove_file(path);
+            }
         }
     }
 }
@@ -312,7 +317,7 @@ fn run_sweep_core(
             let id = rec.id;
             jobs[id] = rec;
         }
-        cleanup.push(journal::journal_path(&dir, name));
+        cleanup.push(journal::journal_dir(&dir, name));
         cleanup.push(journal::partial_path(&dir, name));
     }
     provenance.quarantined = jobs
@@ -428,11 +433,11 @@ mod tests {
             .expect("journaled sweep runs");
         assert!(full.report.jobs.iter().all(|j| j.status == "ok"));
         assert!(
-            journal::journal_path(&dir, "ref").exists(),
+            journal::journal_dir(&dir, "ref").exists(),
             "journal exists until explicitly cleaned up"
         );
         full.remove_journal_state();
-        assert!(!journal::journal_path(&dir, "ref").exists());
+        assert!(!journal::journal_dir(&dir, "ref").exists());
 
         // Simulate a SIGKILL after two jobs: hand-build the journal an
         // interrupted run would have left behind.

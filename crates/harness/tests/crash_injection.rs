@@ -1,0 +1,199 @@
+//! Deterministic crash injection across the journaled sweep: the
+//! on-disk journal is cut at every record boundary (a kill between
+//! appends) and at seeded offsets inside records (a kill mid-write),
+//! and every cut must recover to exactly the durable prefix and resume
+//! to a report byte-identical to the uninterrupted run.
+//!
+//! The byte-exhaustive versions of these cuts — every offset of the
+//! write stream, via the fault-point I/O layer — live in
+//! `crates/store/tests/store.rs`; this test proves the same guarantee
+//! end-to-end through the sweep orchestrator.
+
+use miopt::runner::SweepSpec;
+use miopt::SystemConfig;
+use miopt_engine::rng::SplitMix64;
+use miopt_harness::json::Json;
+use miopt_harness::results::SweepReport;
+use miopt_harness::sweep::{run_sweep_journaled, JournalOptions, SweepOptions};
+use miopt_store::Wal;
+use miopt_workloads::{by_name, SuiteConfig};
+use std::path::Path;
+use std::sync::Arc;
+
+fn test_spec() -> Arc<SweepSpec> {
+    Arc::new(SweepSpec::statics(
+        SystemConfig::small_test(),
+        vec![by_name(&SuiteConfig::quick(), "FwSoft").unwrap()],
+    ))
+}
+
+/// Strips the timing fields a resume legitimately changes, leaving
+/// everything that must be byte-identical.
+fn stable_json(report: &SweepReport) -> String {
+    let mut doc = report.to_json();
+    fn scrub(doc: &mut Json) {
+        if let Json::Obj(pairs) = doc {
+            pairs.retain(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "elapsed_ms" | "started_unix_ms" | "git_dirty" | "git_rev"
+                )
+            });
+            for (_, v) in pairs.iter_mut() {
+                scrub(v);
+            }
+        }
+        if let Json::Arr(items) = doc {
+            for v in items.iter_mut() {
+                scrub(v);
+            }
+        }
+    }
+    scrub(&mut doc);
+    doc.to_pretty()
+}
+
+fn journal_options(dir: &Path, resume: bool) -> JournalOptions {
+    JournalOptions {
+        dir: dir.to_path_buf(),
+        resume,
+    }
+}
+
+#[test]
+fn every_kill_point_recovers_and_resumes_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("miopt-crash-inject-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = test_spec();
+
+    // The uninterrupted reference run, journal left in place: its one
+    // segment is the complete write stream a crash would have cut.
+    let full = run_sweep_journaled(
+        &spec,
+        "victim",
+        &SweepOptions::default(),
+        &journal_options(&dir, false),
+    )
+    .expect("journaled sweep runs");
+    assert!(full.report.jobs.iter().all(|j| j.status == "ok"));
+    let reference = stable_json(&full.report);
+
+    let store = dir.join("victim.journal");
+    let intact = Wal::inspect(&store).expect("intact journal inspects");
+    assert!(intact.healthy, "state: {}", intact.state);
+    assert_eq!(intact.state, "clean");
+    assert_eq!(
+        intact.records.len(),
+        spec.job_count() + 1,
+        "header + one record per job"
+    );
+    assert_eq!(intact.segments.len(), 1, "small sweeps stay in one segment");
+    let seg_path = intact.segments[0].path.clone();
+    let bytes = std::fs::read(&seg_path).unwrap();
+    let ends = intact.segments[0].record_ends.clone();
+    assert_eq!(*ends.last().unwrap() as usize, bytes.len());
+
+    // Kill points: every record boundary (a crash between appends), and
+    // one seeded offset strictly inside every record after the header (a
+    // crash mid-append). ends[0] closes the header record — below that
+    // the journal loses its identity and resume must refuse, which is
+    // covered separately below.
+    let mut rng = SplitMix64::new(0xC8A5_11ED);
+    let mut cuts: Vec<u64> = ends.clone();
+    for pair in ends.windows(2) {
+        let (lo, hi) = (pair[0], pair[1]);
+        cuts.push(lo + 1 + rng.next_below(hi - lo - 1));
+    }
+    cuts.sort_unstable();
+
+    for &cut in &cuts {
+        // Restore the intact journal, then cut it: the exact on-disk
+        // state a SIGKILL at this point of the write stream leaves.
+        std::fs::write(&seg_path, &bytes[..cut as usize]).unwrap();
+
+        let info = Wal::inspect(&store).expect("cut journal inspects");
+        assert!(info.healthy, "cut {cut}: state {}", info.state);
+        let boundary = ends.contains(&cut);
+        assert_eq!(
+            info.state == "clean",
+            boundary,
+            "cut {cut}: boundary cuts are clean, interior cuts torn (state: {})",
+            info.state
+        );
+        // Recovery reports exactly the durable prefix: all records
+        // whose frames fit wholly below the cut.
+        let durable = ends.iter().filter(|&&e| e <= cut).count();
+        assert_eq!(info.records.len(), durable, "cut {cut}");
+
+        let resumed = run_sweep_journaled(
+            &spec,
+            "victim",
+            &SweepOptions::default(),
+            &journal_options(&dir, true),
+        )
+        .unwrap_or_else(|e| panic!("cut {cut}: resume failed: {e}"));
+        let replayed = resumed.outcomes.iter().filter(|o| o.cached).count();
+        assert_eq!(replayed, durable - 1, "cut {cut}: journaled jobs replay");
+        assert_eq!(
+            stable_json(&resumed.report),
+            reference,
+            "cut {cut}: resumed report must be byte-identical"
+        );
+    }
+
+    // A cut inside the header record destroys the journal's identity:
+    // resume must refuse with a descriptive error, not fabricate state.
+    std::fs::write(&seg_path, &bytes[..(ends[0] - 3) as usize]).unwrap();
+    let info = Wal::inspect(&store).unwrap();
+    assert!(info.records.is_empty());
+    let err = run_sweep_journaled(
+        &spec,
+        "victim",
+        &SweepOptions::default(),
+        &journal_options(&dir, true),
+    )
+    .unwrap_err();
+    assert!(err.contains("is empty"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corruption_below_the_cut_refuses_resume_with_the_byte_offset() {
+    let dir = std::env::temp_dir().join(format!("miopt-crash-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = test_spec();
+    let _full = run_sweep_journaled(
+        &spec,
+        "victim",
+        &SweepOptions::default(),
+        &journal_options(&dir, false),
+    )
+    .expect("journaled sweep runs");
+
+    let store = dir.join("victim.journal");
+    let intact = Wal::inspect(&store).unwrap();
+    let seg_path = intact.segments[0].path.clone();
+    let mut bytes = std::fs::read(&seg_path).unwrap();
+    // Flip one payload byte in the middle of the second record: a
+    // complete frame with a bad checksum is damage, never a torn tail.
+    let mid =
+        ((intact.segments[0].record_ends[0] + intact.segments[0].record_ends[1]) / 2) as usize;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&seg_path, &bytes).unwrap();
+
+    let info = Wal::inspect(&store).unwrap();
+    assert!(!info.healthy);
+    assert!(info.state.contains("corrupt"), "{}", info.state);
+    let err = run_sweep_journaled(
+        &spec,
+        "victim",
+        &SweepOptions::default(),
+        &journal_options(&dir, true),
+    )
+    .unwrap_err();
+    assert!(err.contains("damaged"), "{err}");
+    assert!(err.contains("byte offset"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -8,7 +8,12 @@ use miopt_harness::provenance::Provenance;
 use miopt_harness::serve::{
     execute, load_serve_journal, report_json, run_serve_job, ServeJournalWriter, ServeSweepSpec,
 };
+use miopt_harness::RetryPolicy;
 use miopt_workloads::SuiteConfig;
+
+fn no_retry() -> RetryPolicy {
+    RetryPolicy::default()
+}
 
 fn tiny_spec() -> ServeSweepSpec {
     ServeSweepSpec {
@@ -47,8 +52,8 @@ fn stable_report_slice(doc: &Json) -> String {
 #[test]
 fn serve_sweep_is_byte_identical_across_worker_counts() {
     let spec = tiny_spec();
-    let serial = execute(&spec, 1, true, None, &[]);
-    let parallel = execute(&spec, 4, true, None, &[]);
+    let serial = execute(&spec, 1, true, None, &[], &no_retry());
+    let parallel = execute(&spec, 4, true, None, &[], &no_retry());
     assert_eq!(serial, parallel);
     for (i, rec) in serial.iter().enumerate() {
         assert_eq!(rec.id, i, "records must come back in job-id order");
@@ -65,9 +70,9 @@ fn serve_sweep_is_byte_identical_across_skip_modes() {
     let mut spec = tiny_spec();
     // One load level keeps the no-skip (per-cycle) arm affordable.
     spec.loads = vec![30_000];
-    let skipped = execute(&spec, 2, true, None, &[]);
+    let skipped = execute(&spec, 2, true, None, &[], &no_retry());
     spec.no_skip = true;
-    let stepped = execute(&spec, 2, true, None, &[]);
+    let stepped = execute(&spec, 2, true, None, &[], &no_retry());
     // no_skip is part of the journal fingerprint but must not change a
     // single simulated number.
     assert_eq!(skipped, stepped);
@@ -80,20 +85,27 @@ fn resumed_serve_sweep_reproduces_the_full_report() {
     let spec = tiny_spec();
 
     // The uninterrupted reference run.
-    let full = execute(&spec, 2, true, None, &[]);
+    let full = execute(&spec, 2, true, None, &[], &no_retry());
     let reference = report_json(&spec, "ref", &Provenance::collect(&spec.system, 2), &full);
 
     // A run that "dies" after two journaled jobs (we just stop driving
-    // it), leaving a torn trailing line like a real SIGKILL would.
+    // it), leaving a torn trailing frame like a real SIGKILL would: the
+    // first bytes of record 4's header, cut mid-write.
     let writer = ServeJournalWriter::create(&dir, "victim", &spec).unwrap();
     let jobs = spec.jobs();
     writer.append(&run_serve_job(&spec, &jobs[0])).unwrap();
     writer.append(&run_serve_job(&spec, &jobs[3])).unwrap();
     drop(writer);
-    let path = dir.join("victim.journal.jsonl");
-    let mut text = std::fs::read_to_string(&path).unwrap();
-    text.push_str("{\"id\": 1, \"poli");
-    std::fs::write(&path, &text).unwrap();
+    let store = dir.join("victim.journal");
+    let seg = std::fs::read_dir(&store)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "seg"))
+        .expect("the journal store has a segment");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    bytes.extend_from_slice(&[0x2a, 0x00, 0x00, 0x00, 0x03]);
+    std::fs::write(&seg, &bytes).unwrap();
 
     // Resume: replay the journal, run only the missing jobs.
     let journaled = load_serve_journal(&dir, "victim", &spec).unwrap();
@@ -102,7 +114,7 @@ fn resumed_serve_sweep_reproduces_the_full_report() {
         vec![0, 3],
         "torn tail dropped, intact entries kept"
     );
-    let resumed = execute(&spec, 2, true, None, &journaled);
+    let resumed = execute(&spec, 2, true, None, &journaled, &no_retry());
     assert_eq!(resumed, full, "resume must not change any record");
     let resumed_report = report_json(
         &spec,
@@ -165,7 +177,7 @@ fn tail_diverges_from_mean_at_the_documented_config() {
     spec.seed = 1;
     spec.partition = false;
     spec.max_batch = 4;
-    let records = execute(&spec, 0, true, None, &[]);
+    let records = execute(&spec, 0, true, None, &[], &no_retry());
     let summary = report_json(
         &spec,
         "div",
@@ -192,7 +204,7 @@ fn tail_diverges_from_mean_at_the_documented_config() {
 #[test]
 fn report_carries_traffic_provenance() {
     let spec = tiny_spec();
-    let records = execute(&spec, 2, true, None, &[]);
+    let records = execute(&spec, 2, true, None, &[], &no_retry());
     let doc = report_json(&spec, "t", &Provenance::collect(&spec.system, 2), &records);
     let prov = doc.get("provenance").expect("report has provenance");
     assert_eq!(

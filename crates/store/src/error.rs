@@ -1,0 +1,115 @@
+//! The typed error surface of the result store.
+
+use std::path::PathBuf;
+
+/// Why a store operation failed.
+///
+/// The interesting variant is [`StoreError::Corrupt`]: recovery found
+/// damage it refuses to repair silently (a checksum mismatch in the
+/// middle of a segment, a sequence gap, a mangled header). The damaged
+/// segment is quarantined on disk (renamed with a `.quarantined`
+/// suffix) so the bytes survive for forensics, and the error carries
+/// the byte offset and the sequence numbers needed to say exactly what
+/// was lost.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io {
+        /// What the store was doing (`"create"`, `"read"`, `"append"`,
+        /// `"fsync"`, `"rename"`, …).
+        op: &'static str,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Recovery found damage that is not a torn tail: the store refuses
+    /// to open rather than silently dropping interior records.
+    Corrupt {
+        /// The damaged segment or snapshot file (its original path;
+        /// when `quarantined` is set the file now carries a
+        /// `.quarantined` suffix).
+        file: PathBuf,
+        /// Byte offset of the damage within the file.
+        offset: u64,
+        /// The sequence number recovery expected at that offset.
+        expected_seq: u64,
+        /// The sequence number actually found, when the frame was
+        /// readable at all.
+        found_seq: Option<u64>,
+        /// Human-readable description of the damage.
+        detail: String,
+        /// Whether the damaged file was renamed aside.
+        quarantined: bool,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "store {op} failed for {}: {source}", path.display())
+            }
+            StoreError::Corrupt {
+                file,
+                offset,
+                expected_seq,
+                found_seq,
+                detail,
+                quarantined,
+            } => {
+                write!(
+                    f,
+                    "store corruption in {} at byte offset {offset}: {detail} \
+                     (expected sequence {expected_seq}",
+                    file.display()
+                )?;
+                match found_seq {
+                    Some(found) => write!(f, ", found {found})")?,
+                    None => write!(f, ", frame unreadable)")?,
+                }
+                if *quarantined {
+                    write!(
+                        f,
+                        "; the damaged file was quarantined as {}.quarantined",
+                        file.display()
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<StoreError> for std::io::Error {
+    fn from(e: StoreError) -> std::io::Error {
+        match e {
+            StoreError::Io { source, .. } => source,
+            corrupt => std::io::Error::new(std::io::ErrorKind::InvalidData, corrupt.to_string()),
+        }
+    }
+}
+
+impl StoreError {
+    /// Shorthand for wrapping an I/O error with operation context.
+    pub(crate) fn io(
+        op: &'static str,
+        path: &std::path::Path,
+        source: std::io::Error,
+    ) -> StoreError {
+        StoreError::Io {
+            op,
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}

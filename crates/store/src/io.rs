@@ -1,0 +1,324 @@
+//! The store's filesystem seam: a small trait the WAL writes through,
+//! a production implementation, and a deterministic crash-injecting
+//! implementation for tests.
+//!
+//! Everything the WAL does to disk goes through [`WalIo`], so the
+//! crash-injection harness can cut the write path at an exact byte
+//! offset — at a record boundary, or in the middle of a frame — and
+//! then prove that recovery reopens the store and reports exactly the
+//! durable prefix. Production code uses [`StdIo`]; tests construct a
+//! [`FaultIo`] with a byte budget.
+//!
+//! The module also hosts the two durability helpers the rest of the
+//! workspace reuses directly: [`sync_dir`] (fsync a directory so a
+//! create/rename is durable, not just ordered) and [`atomic_replace`]
+//! (write-fsync-rename-fsync, so a power cut can never leave a missing
+//! or half-written file where a complete one was promised).
+
+use std::fs::File;
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An open, append-only file handle.
+pub trait WalFile: Send {
+    /// Writes all of `buf` (or fails).
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()>;
+    /// Flushes the file's data and metadata to stable storage (fsync).
+    fn sync(&mut self) -> std::io::Result<()>;
+}
+
+/// The filesystem operations a WAL performs.
+pub trait WalIo: Send + Sync {
+    /// Creates the directory (and parents) if missing.
+    fn create_dir_all(&self, dir: &Path) -> std::io::Result<()>;
+    /// Creates (truncating) a file for appending.
+    fn create(&self, path: &Path) -> std::io::Result<Box<dyn WalFile>>;
+    /// Opens an existing file for appending.
+    fn open_append(&self, path: &Path) -> std::io::Result<Box<dyn WalFile>>;
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>>;
+    /// Truncates a file to `len` bytes.
+    fn set_len(&self, path: &Path, len: u64) -> std::io::Result<()>;
+    /// Renames a file (atomic within a directory on POSIX).
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+    /// Removes a file.
+    fn remove(&self, path: &Path) -> std::io::Result<()>;
+    /// Lists the entries of a directory (files only, unsorted).
+    fn list(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>>;
+    /// Fsyncs a directory so entry creates/renames inside it are durable.
+    fn sync_dir(&self, dir: &Path) -> std::io::Result<()>;
+}
+
+/// Fsyncs a directory. On POSIX, renaming or creating a file is only
+/// durable once the *directory* holding the entry has been synced; a
+/// power cut before that can forget the entry entirely even though the
+/// file's own bytes were fsynced.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Durably replaces `path` with `contents`: write to a temp file in the
+/// same directory, fsync it, rename over the target, fsync the parent
+/// directory. Readers never observe a torn file, and a power cut at any
+/// instant leaves either the old complete file or the new complete file
+/// — never a missing or empty one.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn atomic_replace(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(contents)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        sync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// The production [`WalIo`]: plain `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdIo;
+
+struct StdFile(File);
+
+impl WalFile for StdFile {
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        self.0.write_all(buf)
+    }
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl WalIo for StdIo {
+    fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+    fn create(&self, path: &Path) -> std::io::Result<Box<dyn WalFile>> {
+        Ok(Box::new(StdFile(File::create(path)?)))
+    }
+    fn open_append(&self, path: &Path) -> std::io::Result<Box<dyn WalFile>> {
+        Ok(Box::new(StdFile(File::options().append(true).open(path)?)))
+    }
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        File::open(path)?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+    fn set_len(&self, path: &Path, len: u64) -> std::io::Result<()> {
+        File::options().write(true).open(path)?.set_len(len)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn list(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        Ok(out)
+    }
+    fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+        sync_dir(dir)
+    }
+}
+
+/// Shared state of a [`FaultIo`]: the remaining write budget in bytes
+/// and whether the injected crash has fired.
+#[derive(Debug)]
+struct FaultState {
+    remaining: AtomicU64,
+    written: AtomicU64,
+    dead: AtomicBool,
+}
+
+/// A crash-injecting [`WalIo`] for tests: writes pass through to the
+/// real filesystem until a byte budget is exhausted, at which point the
+/// in-flight write is cut mid-buffer (the allowed prefix *is* written,
+/// like a torn page) and every subsequent operation fails — exactly the
+/// observable behaviour of a process killed at that byte.
+///
+/// The budget counts bytes handed to [`WalFile::write_all`] across all
+/// files, so a kill point is a single offset into the store's whole
+/// write stream: segment headers, record frames, everything.
+#[derive(Debug, Clone)]
+pub struct FaultIo {
+    state: Arc<FaultState>,
+}
+
+impl FaultIo {
+    /// An injector that crashes the write path after `budget` bytes.
+    #[must_use]
+    pub fn new(budget: u64) -> FaultIo {
+        FaultIo {
+            state: Arc::new(FaultState {
+                remaining: AtomicU64::new(budget),
+                written: AtomicU64::new(0),
+                dead: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Whether the injected crash has fired.
+    #[must_use]
+    pub fn dead(&self) -> bool {
+        self.state.dead.load(Ordering::SeqCst)
+    }
+
+    /// Total bytes actually written before (and including) the crash.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.state.written.load(Ordering::SeqCst)
+    }
+
+    fn crashed() -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::BrokenPipe, "injected crash")
+    }
+
+    fn check(&self) -> std::io::Result<()> {
+        if self.dead() {
+            Err(FaultIo::crashed())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+struct FaultFile {
+    inner: File,
+    state: Arc<FaultState>,
+}
+
+impl WalFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        if self.state.dead.load(Ordering::SeqCst) {
+            return Err(FaultIo::crashed());
+        }
+        let want = buf.len() as u64;
+        let remaining = self.state.remaining.load(Ordering::SeqCst);
+        let allow = remaining.min(want);
+        self.inner.write_all(&buf[..allow as usize])?;
+        self.state.remaining.fetch_sub(allow, Ordering::SeqCst);
+        self.state.written.fetch_add(allow, Ordering::SeqCst);
+        if allow < want {
+            // The crash: part of the buffer reached the file, the rest
+            // never will, and the process is "gone" from here on.
+            self.state.dead.store(true, Ordering::SeqCst);
+            return Err(FaultIo::crashed());
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        if self.state.dead.load(Ordering::SeqCst) {
+            return Err(FaultIo::crashed());
+        }
+        self.inner.sync_all()
+    }
+}
+
+impl WalIo for FaultIo {
+    fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+        self.check()?;
+        StdIo.create_dir_all(dir)
+    }
+    fn create(&self, path: &Path) -> std::io::Result<Box<dyn WalFile>> {
+        self.check()?;
+        Ok(Box::new(FaultFile {
+            inner: File::create(path)?,
+            state: Arc::clone(&self.state),
+        }))
+    }
+    fn open_append(&self, path: &Path) -> std::io::Result<Box<dyn WalFile>> {
+        self.check()?;
+        Ok(Box::new(FaultFile {
+            inner: File::options().append(true).open(path)?,
+            state: Arc::clone(&self.state),
+        }))
+    }
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        self.check()?;
+        StdIo.read(path)
+    }
+    fn set_len(&self, path: &Path, len: u64) -> std::io::Result<()> {
+        self.check()?;
+        StdIo.set_len(path, len)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        self.check()?;
+        StdIo.rename(from, to)
+    }
+    fn remove(&self, path: &Path) -> std::io::Result<()> {
+        self.check()?;
+        StdIo.remove(path)
+    }
+    fn list(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        self.check()?;
+        StdIo.list(dir)
+    }
+    fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+        self.check()?;
+        StdIo.sync_dir(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("miopt-store-io-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_replace_swaps_whole_files() {
+        let dir = tmp("replace");
+        let path = dir.join("report.json");
+        atomic_replace(&path, b"v1").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"v1");
+        atomic_replace(&path, b"version two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"version two");
+        // The temp file never lingers.
+        assert!(!path.with_extension("tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_io_cuts_the_write_stream_at_the_exact_byte() {
+        let dir = tmp("fault");
+        let path = dir.join("f");
+        let io = FaultIo::new(10);
+        let mut f = io.create(&path).unwrap();
+        f.write_all(b"123456").unwrap(); // 6 of 10
+        let err = f.write_all(b"abcdefgh").unwrap_err(); // 4 allowed, then crash
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        assert!(io.dead());
+        assert_eq!(io.written(), 10);
+        assert_eq!(std::fs::read(&path).unwrap(), b"123456abcd");
+        // Every later operation fails too — the process is "gone".
+        assert!(f.sync().is_err());
+        assert!(io.create(&dir.join("g")).is_err());
+        assert!(io.rename(&path, &dir.join("h")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
