@@ -31,9 +31,40 @@
 //! ```
 
 use miopt::runner::{run_one_with, RunOptions};
-use miopt::{ApuSystem, CachePolicy, PolicyConfig, SystemConfig};
+use miopt::{ApuSystem, CachePolicy, EventProfile, PolicyConfig, SystemConfig};
 use miopt_bench::timing::measure;
 use miopt_workloads::{by_name, SuiteConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// System allocator wrapper that reports every allocation into
+/// `miopt_engine::alloc_track`, so the profiled runs below can attribute
+/// heap traffic per event-core actor. One relaxed atomic increment per
+/// allocation — irrelevant to the timed runs now that the steady-state
+/// hot path allocates nothing.
+struct CountingAlloc;
+
+// SAFETY: defers entirely to the system allocator; the wrapper only adds
+// a side-effect-free counter bump.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        miopt_engine::alloc_track::note_alloc();
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        miopt_engine::alloc_track::note_alloc();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        miopt_engine::alloc_track::note_alloc();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 struct Entry {
     config: &'static str,
@@ -44,6 +75,36 @@ struct Entry {
     active_cycles: u64,
     skip_secs: f64,
     no_skip_secs: f64,
+    profile: EventProfile,
+}
+
+/// Pulls `(config, workload, policy) -> event_secs` pairs out of a
+/// previously checked-in `BENCH_eventcore.json`, so the hot-path report
+/// can state its speedup against the recorded trajectory. Hand-rolled
+/// scan (the workspace has no JSON dependency); tolerant of missing
+/// files and unknown schemas — baselines are best-effort.
+fn eventcore_baseline(path: &std::path::Path) -> Vec<(String, String, String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let field = |obj: &str, key: &str| -> Option<String> {
+        let pat = format!("\"{key}\":");
+        let at = obj.find(&pat)? + pat.len();
+        let rest = obj[at..].trim_start();
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"').to_string())
+    };
+    text.split('{')
+        .filter(|obj| obj.contains("\"event_secs\""))
+        .filter_map(|obj| {
+            Some((
+                field(obj, "config")?,
+                field(obj, "workload")?,
+                field(obj, "policy")?,
+                field(obj, "event_secs")?.parse::<f64>().ok()?,
+            ))
+        })
+        .collect()
 }
 
 /// The Table 1 memory system as seen from a GPU clocked 4x higher:
@@ -95,11 +156,14 @@ fn main() {
         let no_skip_secs = measure(&format!("{label} no-skip"), 3, || {
             run_one_with(cfg, &w, p, &per_cycle).expect("run");
         });
-        // One untimed run through `ApuSystem` directly for the event
-        // core's work counters (`run_one_with` reports only metrics).
+        // One untimed, profiled run through `ApuSystem` directly for the
+        // event core's work counters and the per-actor cost breakdown
+        // (`run_one_with` reports only metrics).
         let mut sys = ApuSystem::new((*cfg).clone(), p, &w);
+        sys.enable_profiler();
         sys.run_to_completion(per_cycle.max_cycles).expect("run");
         let (events, active_cycles) = sys.event_stats();
+        let profile = sys.take_profile().expect("profiler enabled");
         println!(
             "{label}: {cycles} cycles; {:.1}M cyc/s event-driven vs {:.1}M cyc/s per-cycle; \
              speedup {:.2}x",
@@ -113,6 +177,22 @@ fn main() {
             100.0 * (1.0 - active_cycles as f64 / cycles.max(1) as f64),
             events as f64 / cycles.max(1) as f64,
         );
+        println!(
+            "{label}: {:.0} ns/event timed; profiled run: {} allocs \
+             ({:.4} allocs/event)",
+            skip_secs * 1e9 / events.max(1) as f64,
+            profile.total_allocs(),
+            profile.total_allocs() as f64 / profile.total_events().max(1) as f64,
+        );
+        for row in profile.actors.iter().filter(|r| r.events > 0) {
+            println!(
+                "    {:12} {:>10} events  {:>6.0} ns/event  {:>8} allocs",
+                row.name,
+                row.events,
+                row.nanos as f64 / row.events as f64,
+                row.allocs,
+            );
+        }
         entries.push(Entry {
             config: cfg_name,
             workload: name,
@@ -122,6 +202,7 @@ fn main() {
             active_cycles,
             skip_secs,
             no_skip_secs,
+            profile,
         });
     }
     let best = entries
@@ -144,6 +225,14 @@ fn main() {
             }
         };
         let path = path.to_string_lossy().into_owned();
+        // Snapshot the checked-in event-core trajectory before this run
+        // overwrites it: the hot-path report states its speedup against
+        // the *previous* recording.
+        let results_dir = std::path::Path::new(&path)
+            .parent()
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .to_path_buf();
+        let baseline = eventcore_baseline(&results_dir.join("BENCH_eventcore.json"));
         let unix_time = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.as_secs());
@@ -211,5 +300,67 @@ fn main() {
         let ev_display = ev_path.display().to_string();
         std::fs::write(&ev_path, json).expect("write eventcore json");
         println!("(wrote {ev_display})");
+
+        // The hot-path report: per-actor ns/event and allocs/event from
+        // the profiled runs, with each case's timed wall clock compared
+        // against the previously checked-in event-core trajectory.
+        let hot_path = results_dir.join("BENCH_hotpath.json");
+        let rows: Vec<String> = entries
+            .iter()
+            .map(|e| {
+                let base = baseline
+                    .iter()
+                    .find(|(c, w, p, _)| c == e.config && w == e.workload && *p == e.policy)
+                    .map(|(_, _, _, secs)| *secs);
+                let actor_rows: Vec<String> = e
+                    .profile
+                    .actors
+                    .iter()
+                    .filter(|r| r.events > 0)
+                    .map(|r| {
+                        format!(
+                            "        {{\"name\": \"{}\", \"events\": {}, \
+                             \"ns_per_event\": {:.1}, \"allocs\": {}}}",
+                            r.name,
+                            r.events,
+                            r.nanos as f64 / r.events as f64,
+                            r.allocs,
+                        )
+                    })
+                    .collect();
+                format!(
+                    "    {{\"config\": \"{}\", \"workload\": \"{}\", \"policy\": \"{}\", \
+                     \"cycles\": {}, \"events\": {}, \"event_secs\": {:.6}, \
+                     \"ns_per_event\": {:.1}, \"allocs\": {}, \"allocs_per_event\": {:.6}, \
+                     \"baseline_event_secs\": {}, \"speedup_vs_eventcore\": {},\n      \
+                     \"actors\": [\n{}\n      ]}}",
+                    e.config,
+                    e.workload,
+                    e.policy,
+                    e.cycles,
+                    e.events,
+                    e.skip_secs,
+                    e.skip_secs * 1e9 / e.events.max(1) as f64,
+                    e.profile.total_allocs(),
+                    e.profile.total_allocs() as f64 / e.profile.total_events().max(1) as f64,
+                    base.map_or_else(|| "null".to_string(), |b| format!("{b:.6}")),
+                    base.map_or_else(
+                        || "null".to_string(),
+                        |b| format!("{:.3}", b / e.skip_secs.max(1e-12)),
+                    ),
+                    actor_rows.join(",\n"),
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"sim_throughput\",\n  \"schema\": \"miopt-hotpath-v1\",\n  \
+             \"unix_time\": {unix_time},\n  \"suite\": \"quick\",\n  \
+             \"counting_allocator\": true,\n  \
+             \"entries\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n"),
+        );
+        let hot_display = hot_path.display().to_string();
+        std::fs::write(&hot_path, json).expect("write hotpath json");
+        println!("(wrote {hot_display})");
     }
 }

@@ -38,6 +38,12 @@ impl RowMap {
         }
     }
 
+    /// Lines per DRAM row — the largest rinse set one row can produce.
+    #[must_use]
+    pub fn lines_per_row(&self) -> usize {
+        1 << self.column_bits
+    }
+
     /// The (channel, bank, row) key of a line.
     #[must_use]
     pub fn key(&self, line: LineAddr) -> u64 {

@@ -30,6 +30,9 @@ use std::collections::{HashMap, VecDeque};
 pub struct DirtyBlockIndex {
     rows: HashMap<u64, Vec<LineAddr>>,
     order: VecDeque<u64>,
+    /// Emptied block vectors reclaimed from evicted/rinsed rows, reused by
+    /// later inserts so steady-state row churn never touches the heap.
+    spare: Vec<Vec<LineAddr>>,
     capacity: usize,
     map: RowMap,
 }
@@ -44,10 +47,34 @@ impl DirtyBlockIndex {
     pub fn new(capacity: usize, map: RowMap) -> DirtyBlockIndex {
         assert!(capacity > 0, "DBI capacity must be nonzero");
         DirtyBlockIndex {
-            rows: HashMap::new(),
-            order: VecDeque::new(),
+            // The row map is bounded at `capacity` entries (eviction runs
+            // before insertion at the limit), so pre-sizing both it and the
+            // block-vector pool makes row turnover allocation-free.
+            rows: HashMap::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            // A row's block vector can grow to the full rinse set; sizing
+            // the pool for that up front means tracking never reallocates,
+            // even in the first rinse cycles.
+            spare: (0..capacity)
+                .map(|_| Vec::with_capacity(map.lines_per_row().min(64)))
+                .collect(),
             capacity,
             map,
+        }
+    }
+
+    /// Takes a reclaimed block vector from the pool, or a fresh one if the
+    /// pool ran dry (rows handed out via [`DirtyBlockIndex::take_row_of`]
+    /// leave with their vector).
+    fn fresh_blocks(&mut self) -> Vec<LineAddr> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// Returns an emptied block vector to the pool.
+    fn reclaim(&mut self, mut blocks: Vec<LineAddr>) {
+        if self.spare.len() < self.capacity {
+            blocks.clear();
+            self.spare.push(blocks);
         }
     }
 
@@ -68,9 +95,25 @@ impl DirtyBlockIndex {
         } else {
             None
         };
-        self.rows.insert(key, vec![line]);
+        let mut blocks = self.fresh_blocks();
+        blocks.push(line);
+        self.rows.insert(key, blocks);
         self.order.push_back(key);
         evicted
+    }
+
+    /// Allocation-free [`DirtyBlockIndex::insert`]: appends any evicted
+    /// row's blocks to `rinse_out` (without clearing it) and reclaims the
+    /// row's vector internally. Returns whether a row was evicted.
+    pub fn insert_into(&mut self, line: LineAddr, rinse_out: &mut Vec<LineAddr>) -> bool {
+        match self.insert(line) {
+            Some(evicted) => {
+                rinse_out.extend_from_slice(&evicted);
+                self.reclaim(evicted);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Records that `line` is no longer dirty (written back or evicted
@@ -88,6 +131,9 @@ impl DirtyBlockIndex {
 
     /// Removes and returns every tracked dirty block in `line`'s row
     /// (including `line` itself if tracked) — the rinse set.
+    ///
+    /// The returned vector leaves the internal pool for good; hot paths
+    /// should prefer [`DirtyBlockIndex::take_row_of_into`].
     pub fn take_row_of(&mut self, line: LineAddr) -> Vec<LineAddr> {
         let key = self.map.key(line);
         match self.rows.remove(&key) {
@@ -96,6 +142,18 @@ impl DirtyBlockIndex {
                 blocks
             }
             None => Vec::new(),
+        }
+    }
+
+    /// Allocation-free [`DirtyBlockIndex::take_row_of`]: appends the rinse
+    /// set to `out` (without clearing it) and reclaims the row's vector
+    /// internally.
+    pub fn take_row_of_into(&mut self, line: LineAddr, out: &mut Vec<LineAddr>) {
+        let key = self.map.key(line);
+        if let Some(blocks) = self.rows.remove(&key) {
+            self.order.retain(|k| *k != key);
+            out.extend_from_slice(&blocks);
+            self.reclaim(blocks);
         }
     }
 

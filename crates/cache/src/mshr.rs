@@ -1,5 +1,9 @@
 use crate::tags::set_index_for;
-use miopt_engine::{LineAddr, MemReq, ReqId};
+use miopt_engine::{Arena, HandleFifo, LineAddr, MemReq, ReqId};
+
+/// Upper bound on preallocated waiter-pool slots; tables whose worst case
+/// (`capacity * merge_cap`) exceeds this grow lazily past it instead.
+const WAIT_POOL_PREALLOC_CAP: usize = 4096;
 
 /// Why a request could not be added to the MSHR table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -11,12 +15,17 @@ pub(crate) enum MshrReject {
 }
 
 /// One outstanding miss: the primary request plus merged secondaries.
-#[derive(Debug, Clone)]
+///
+/// Waiters live in the owning [`MshrTable`]'s arena; the entry only holds
+/// the intrusive queue head, so allocating and merging never touch the
+/// heap once the pool has warmed up.
+#[derive(Debug)]
 pub(crate) struct MshrEntry {
     /// Id of the request actually sent downstream; the fill must match it.
     pub(crate) primary: ReqId,
-    /// All requests (primary first) waiting on the line.
-    pub(crate) waiters: Vec<MemReq>,
+    /// All requests (primary first) waiting on the line, threaded through
+    /// the table's waiter arena.
+    pub(crate) waiters: HandleFifo,
     /// Whether the fill should install the line (`false` for bypass
     /// coalescing, where the data is forwarded without insertion).
     pub(crate) allocates: bool,
@@ -39,6 +48,9 @@ pub(crate) struct MshrTable {
     /// one short bucket (almost always empty or a single entry) with no
     /// hasher on the path.
     buckets: Vec<Vec<(LineAddr, MshrEntry)>>,
+    /// Slab arena holding every waiter of every entry; slots are reused,
+    /// so steady-state allocate/merge/complete traffic is heap-free.
+    wait_pool: Arena<MemReq>,
     sets: usize,
     low_bits: u32,
     skip_bits: u32,
@@ -58,7 +70,14 @@ impl MshrTable {
         skip_bits: u32,
     ) -> MshrTable {
         MshrTable {
-            buckets: (0..sets).map(|_| Vec::new()).collect(),
+            // Give each bucket room for a couple of entries up front so the
+            // first misses landing in a set never grow its vector.
+            buckets: (0..sets).map(|_| Vec::with_capacity(4)).collect(),
+            wait_pool: Arena::with_capacity(
+                capacity
+                    .saturating_mul(merge_cap)
+                    .min(WAIT_POOL_PREALLOC_CAP),
+            ),
             sets,
             low_bits,
             skip_bits,
@@ -85,6 +104,18 @@ impl MshrTable {
             .map(|(_, e)| e)
     }
 
+    /// Iterates `entry`'s waiting requests in arrival order (primary
+    /// first).
+    pub(crate) fn waiters_of<'a>(&'a self, entry: &MshrEntry) -> impl Iterator<Item = &'a MemReq> {
+        entry.waiters.iter(&self.wait_pool)
+    }
+
+    /// Removes and returns `entry`'s oldest waiter, releasing its pool
+    /// slot. Used to drain a completed entry.
+    pub(crate) fn pop_waiter(&mut self, entry: &mut MshrEntry) -> Option<MemReq> {
+        entry.waiters.pop_value(&mut self.wait_pool)
+    }
+
     /// Allocates a new entry with `req` as the primary.
     ///
     /// # Panics
@@ -104,11 +135,16 @@ impl MshrTable {
             req.line
         );
         let b = self.bucket_of(req.line);
+        let primary = req.id;
+        let line = req.line;
+        let mut waiters = HandleFifo::new();
+        let h = self.wait_pool.insert(req);
+        waiters.push_back(&mut self.wait_pool, h);
         self.buckets[b].push((
-            req.line,
+            line,
             MshrEntry {
-                primary: req.id,
-                waiters: vec![req],
+                primary,
+                waiters,
                 allocates,
                 reserved,
             },
@@ -124,17 +160,25 @@ impl MshrTable {
     /// full.
     pub(crate) fn merge(&mut self, req: MemReq) -> Result<(), (MemReq, MshrReject)> {
         let b = self.bucket_of(req.line);
-        match self.buckets[b].iter_mut().find(|(l, _)| *l == req.line) {
-            None => Err((req, MshrReject::Full)),
-            Some((_, e)) if e.waiters.len() >= self.merge_cap => Err((req, MshrReject::MergeFull)),
-            Some((_, e)) => {
-                e.waiters.push(req);
-                Ok(())
-            }
+        let Some(pos) = self.buckets[b].iter().position(|(l, _)| *l == req.line) else {
+            return Err((req, MshrReject::Full));
+        };
+        if self.buckets[b][pos].1.waiters.len() >= self.merge_cap {
+            return Err((req, MshrReject::MergeFull));
         }
+        let h = self.wait_pool.insert(req);
+        self.buckets[b][pos]
+            .1
+            .waiters
+            .push_back(&mut self.wait_pool, h);
+        Ok(())
     }
 
     /// Removes and returns the entry for `line` if its primary id is `id`.
+    ///
+    /// The caller must drain the returned entry's waiters with
+    /// [`MshrTable::pop_waiter`]; handles left in the queue keep their
+    /// pool slots occupied.
     pub(crate) fn complete(&mut self, line: LineAddr, id: ReqId) -> Option<MshrEntry> {
         let b = self.bucket_of(line);
         let pos = self.buckets[b]
@@ -177,16 +221,24 @@ impl MshrTable {
     /// validation only.
     pub(crate) fn inject_phantom(&mut self, req: MemReq, allocating: bool) {
         let b = self.bucket_of(req.line);
+        let line = req.line;
+        let primary = req.id;
+        let mut waiters = HandleFifo::new();
+        let h = self.wait_pool.insert(req);
+        waiters.push_back(&mut self.wait_pool, h);
         let entry = MshrEntry {
-            primary: req.id,
-            waiters: vec![req],
+            primary,
+            waiters,
             allocates: allocating,
             reserved: None,
         };
-        if let Some(slot) = self.buckets[b].iter_mut().find(|(l, _)| *l == req.line) {
-            slot.1 = entry;
+        if let Some(pos) = self.buckets[b].iter().position(|(l, _)| *l == line) {
+            // Release the displaced entry's waiters before overwriting so
+            // the pool does not leak slots.
+            let mut old = std::mem::replace(&mut self.buckets[b][pos].1, entry);
+            while old.waiters.pop_value(&mut self.wait_pool).is_some() {}
         } else {
-            self.buckets[b].push((req.line, entry));
+            self.buckets[b].push((line, entry));
             self.len += 1;
         }
     }
@@ -215,10 +267,15 @@ mod tests {
         m.allocate(req(1, 10), true, Some((0, 1)));
         m.merge(req(2, 10)).unwrap();
         m.merge(req(3, 10)).unwrap();
-        let e = m.complete(LineAddr(10), ReqId(1)).unwrap();
+        let mut e = m.complete(LineAddr(10), ReqId(1)).unwrap();
         assert_eq!(e.waiters.len(), 3);
         assert_eq!(e.reserved, Some((0, 1)));
         assert!(m.is_empty());
+        let mut ids = Vec::new();
+        while let Some(w) = m.pop_waiter(&mut e) {
+            ids.push(w.id.0);
+        }
+        assert_eq!(ids, vec![1, 2, 3], "waiters drain primary-first in order");
     }
 
     #[test]
@@ -247,7 +304,8 @@ mod tests {
         assert!(m.has_free_entry());
         m.allocate(req(1, 10), false, None);
         assert!(!m.has_free_entry());
-        m.complete(LineAddr(10), ReqId(1)).unwrap();
+        let mut e = m.complete(LineAddr(10), ReqId(1)).unwrap();
+        while m.pop_waiter(&mut e).is_some() {}
         assert!(m.has_free_entry());
     }
 
@@ -257,5 +315,30 @@ mod tests {
         let (back, why) = m.merge(req(1, 5)).unwrap_err();
         assert_eq!(back.line, LineAddr(5));
         assert_eq!(why, MshrReject::Full);
+    }
+
+    #[test]
+    fn steady_churn_never_grows_the_pool() {
+        let mut m = MshrTable::new(4, 4, 4, 31, 0);
+        let baseline = {
+            // Warm up one full round first so bucket vectors settle.
+            m.allocate(req(1, 10), false, None);
+            let mut e = m.complete(LineAddr(10), ReqId(1)).unwrap();
+            while m.pop_waiter(&mut e).is_some() {}
+            m.wait_pool.capacity()
+        };
+        for round in 0..100u64 {
+            let id = round * 10;
+            m.allocate(req(id, round % 7), false, None);
+            m.merge(req(id + 1, round % 7)).unwrap();
+            let mut e = m.complete(LineAddr(round % 7), ReqId(id)).unwrap();
+            while m.pop_waiter(&mut e).is_some() {}
+        }
+        assert_eq!(
+            m.wait_pool.capacity(),
+            baseline,
+            "waiter churn must reuse pool slots"
+        );
+        assert!(m.wait_pool.is_empty());
     }
 }

@@ -66,6 +66,8 @@ pub struct CacheUnit {
     port_used: u32,
     pending_flush: Vec<LineAddr>,
     replay: std::collections::VecDeque<MemReq>,
+    /// Reusable buffer for DBI rinse sets (kept empty between calls).
+    row_scratch: Vec<LineAddr>,
 }
 
 /// Capacity of the miss-replay buffer (requests set aside while blocked on
@@ -111,7 +113,8 @@ impl CacheUnit {
             port_cycle: Cycle::ZERO,
             port_used: 0,
             pending_flush: Vec::new(),
-            replay: std::collections::VecDeque::new(),
+            replay: std::collections::VecDeque::with_capacity(REPLAY_CAPACITY),
+            row_scratch: Vec::with_capacity(16),
             cfg,
             policy,
         }
@@ -676,14 +679,25 @@ impl CacheUnit {
         down: &mut TimedQueue<MemReq>,
         reserve: usize,
     ) {
-        let Some(dbi) = self.dbi.as_mut() else { return };
-        let mut blocks = dbi.take_row_of(line);
-        blocks.retain(|b| *b != line);
-        for b in blocks {
+        if self.dbi.is_none() {
+            return;
+        }
+        let mut blocks = std::mem::take(&mut self.row_scratch);
+        self.dbi
+            .as_mut()
+            .expect("checked above")
+            .take_row_of_into(line, &mut blocks);
+        for &b in &blocks {
+            if b == line {
+                continue;
+            }
             if down.free_slots() <= reserve {
-                // No room: the block stays dirty; re-track it.
+                // No room: the block stays dirty; re-track it. An evicted
+                // row's tracking is dropped here exactly as before — the
+                // lines stay dirty in the tags, just untracked.
                 if let Some(dbi) = self.dbi.as_mut() {
-                    let _ = dbi.insert(b);
+                    let mut dropped = Vec::new();
+                    let _ = dbi.insert_into(b, &mut dropped);
                 }
                 continue;
             }
@@ -699,14 +713,24 @@ impl CacheUnit {
                 }
             }
         }
+        blocks.clear();
+        self.row_scratch = blocks;
     }
 
     /// Records a line turning dirty in the DBI, handling capacity
     /// overflow by rinsing the evicted row (best-effort).
     fn note_dirty(&mut self, now: Cycle, line: LineAddr, down: &mut TimedQueue<MemReq>) {
-        let Some(dbi) = self.dbi.as_mut() else { return };
-        if let Some(evicted_row) = dbi.insert(line) {
-            for b in evicted_row {
+        if self.dbi.is_none() {
+            return;
+        }
+        let mut evicted_row = std::mem::take(&mut self.row_scratch);
+        let evicted = self
+            .dbi
+            .as_mut()
+            .expect("checked above")
+            .insert_into(line, &mut evicted_row);
+        if evicted {
+            for &b in &evicted_row {
                 if !down.can_push() {
                     continue;
                 }
@@ -723,6 +747,8 @@ impl CacheUnit {
                 }
             }
         }
+        evicted_row.clear();
+        self.row_scratch = evicted_row;
     }
 
     /// Delivers a response arriving from below.
@@ -742,9 +768,11 @@ impl CacheUnit {
         up: &mut TimedQueue<MemResp>,
     ) -> Result<(), MemResp> {
         let needed = match self.mshr.get(resp.line) {
-            Some(e) if e.primary == resp.id => {
-                e.waiters.iter().filter(|w| w.wants_response()).count()
-            }
+            Some(e) if e.primary == resp.id => self
+                .mshr
+                .waiters_of(e)
+                .filter(|w| w.wants_response())
+                .count(),
             _ => {
                 // Pass-through (untracked bypass).
                 return if up.can_push() {
@@ -758,7 +786,7 @@ impl CacheUnit {
         if up.free_slots() < needed {
             return Err(resp);
         }
-        let entry = self
+        let mut entry = self
             .mshr
             .complete(resp.line, resp.id)
             .expect("checked above");
@@ -768,9 +796,9 @@ impl CacheUnit {
             debug_assert_eq!(self.tags.line(set, way).line, resp.line);
             self.tags.line_mut(set, way).state = LineState::Valid;
         }
-        for w in &entry.waiters {
+        while let Some(w) = self.mshr.pop_waiter(&mut entry) {
             if w.wants_response() {
-                up.push(now, MemResp::for_req(w))
+                up.push(now, MemResp::for_req(&w))
                     .expect("checked free_slots");
             }
         }
@@ -940,8 +968,8 @@ impl Sentinel for CacheUnit {
                     ),
                 });
             }
-            if e.waiters.first().map(|w| w.id) != Some(e.primary)
-                || e.waiters.iter().any(|w| w.line != *line)
+            if self.mshr.waiters_of(e).next().map(|w| w.id) != Some(e.primary)
+                || self.mshr.waiters_of(e).any(|w| w.line != *line)
             {
                 out.push(InvariantViolation {
                     component: component.to_string(),

@@ -274,6 +274,60 @@ const ACTOR_NAMES: [&str; N_ACTORS] = [
     "phase",
 ];
 
+/// One actor's row in an [`EventProfile`]: where the event core's wall
+/// clock and heap traffic went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventProfileRow {
+    /// Event-core stage name (as in [`ApuSystem::event_stats_by_actor`]).
+    pub name: &'static str,
+    /// Dispatches of this actor while the profiler was enabled.
+    pub events: u64,
+    /// Wall-clock nanoseconds spent inside this actor's dispatches.
+    pub nanos: u64,
+    /// Heap allocations observed inside this actor's dispatches. Only
+    /// meaningful when the process installed a counting allocator that
+    /// reports into `miopt_engine::alloc_track` (zero otherwise).
+    pub allocs: u64,
+}
+
+/// Per-actor cost breakdown of an event-core run, collected by
+/// [`ApuSystem::enable_profiler`] and retrieved with
+/// [`ApuSystem::take_profile`].
+#[derive(Debug, Clone, Default)]
+pub struct EventProfile {
+    /// One row per event-core actor, in dispatch-priority order.
+    pub actors: Vec<EventProfileRow>,
+}
+
+impl EventProfile {
+    /// Total dispatches across all actors.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.actors.iter().map(|r| r.events).sum()
+    }
+
+    /// Total profiled nanoseconds across all actors.
+    #[must_use]
+    pub fn total_nanos(&self) -> u64 {
+        self.actors.iter().map(|r| r.nanos).sum()
+    }
+
+    /// Total heap allocations observed across all actors.
+    #[must_use]
+    pub fn total_allocs(&self) -> u64 {
+        self.actors.iter().map(|r| r.allocs).sum()
+    }
+}
+
+/// Accumulators behind [`ApuSystem::enable_profiler`], boxed so the
+/// common unprofiled path carries only a null pointer check.
+#[derive(Debug, Default)]
+struct ProfilerState {
+    events: [u64; N_ACTORS],
+    nanos: [u64; N_ACTORS],
+    allocs: [u64; N_ACTORS],
+}
+
 /// The event-driven scheduler: a calendar-queue wheel of actor wakeups
 /// plus the earliest pending wake per actor.
 ///
@@ -473,6 +527,12 @@ pub struct ApuSystem {
     l1_in: Vec<TimedQueue<MemReq>>,
     l1s: Vec<CacheUnit>,
     l1_down: Vec<TimedQueue<MemReq>>,
+    /// "Possibly nonempty" bit per `l1_down` queue, maintained for
+    /// [`Crossbar::tick_tracked_masked`]: set whenever an L1 services
+    /// (the only producer of `l1_down` traffic), cleared by the crossbar
+    /// on observing the queue empty. Spurious sets are harmless; a
+    /// cleared bit promises the queue is empty.
+    req_pending: u64,
     req_xbar: Crossbar,
     l2_in: Vec<TimedQueue<MemReq>>,
     l2s: Vec<CacheUnit>,
@@ -481,6 +541,9 @@ pub struct ApuSystem {
     dram_resp: Vec<TimedQueue<MemResp>>,
     resp_holdover: VecDeque<MemResp>,
     l2_up: Vec<TimedQueue<MemResp>>,
+    /// As `req_pending`, for the `l2_up` queues: set whenever an L2
+    /// services or fills (the only producers of `l2_up` traffic).
+    resp_pending: u64,
     resp_xbar: Crossbar,
     l1_fill_in: Vec<TimedQueue<MemResp>>,
     l1_up: Vec<TimedQueue<MemResp>>,
@@ -515,6 +578,9 @@ pub struct ApuSystem {
     /// Scratch buffer for steady-state telemetry samples, reused across
     /// frames so sampling allocates only on the first frame of a run.
     frame_values: Vec<u64>,
+    /// Per-actor cost accumulators; `None` (the default) keeps the
+    /// dispatch loop free of timing reads.
+    profile: Option<Box<ProfilerState>>,
 }
 
 impl ApuSystem {
@@ -589,6 +655,7 @@ impl ApuSystem {
                 .map(|i| CacheUnit::new(cfg.l1.clone(), l1_policy.clone(), i as u32))
                 .collect(),
             l1_down: (0..n).map(|_| mk_req(cap, cfg.lat_l1_l2 / 2)).collect(),
+            req_pending: 0,
             req_xbar: Crossbar::new(n, s, cfg.xbar_per_output),
             l2_in: (0..s)
                 .map(|_| mk_req(cap, cfg.lat_l1_l2 - cfg.lat_l1_l2 / 2))
@@ -601,6 +668,7 @@ impl ApuSystem {
             dram_resp: (0..s).map(|_| mk_resp(cap, cfg.lat_dram_resp)).collect(),
             resp_holdover: VecDeque::new(),
             l2_up: (0..s).map(|_| mk_resp(cap, cfg.lat_l2_resp / 2)).collect(),
+            resp_pending: 0,
             resp_xbar: Crossbar::new(s, n, cfg.xbar_per_output),
             l1_fill_in: (0..n)
                 .map(|_| mk_resp(cap, cfg.lat_l2_resp - cfg.lat_l2_resp / 2))
@@ -628,6 +696,7 @@ impl ApuSystem {
             warps: 0,
             warped_cycles: 0,
             frame_values: Vec::new(),
+            profile: None,
         }
     }
 
@@ -686,6 +755,35 @@ impl ApuSystem {
             *slot = (ACTOR_NAMES[i], self.ev.events_by_actor[i]);
         }
         out
+    }
+
+    /// Turns on the per-actor cost profiler: every event-core dispatch is
+    /// timed with a monotonic clock and bracketed with
+    /// `miopt_engine::alloc_track` counter reads, attributing wall-clock
+    /// nanoseconds and heap allocations to the dispatching actor.
+    ///
+    /// Allocation attribution requires the process to install a counting
+    /// `#[global_allocator]` that reports into `alloc_track` (the
+    /// `sim_throughput` bench does); without one the alloc columns read
+    /// zero. Profiling only instruments the event-core run loop — the
+    /// per-cycle `--no-skip` oracle is never profiled.
+    pub fn enable_profiler(&mut self) {
+        self.profile = Some(Box::default());
+    }
+
+    /// Stops profiling and returns the per-actor breakdown, or `None` if
+    /// [`ApuSystem::enable_profiler`] was never called.
+    pub fn take_profile(&mut self) -> Option<EventProfile> {
+        self.profile.take().map(|p| EventProfile {
+            actors: (0..N_ACTORS)
+                .map(|a| EventProfileRow {
+                    name: ACTOR_NAMES[a],
+                    events: p.events[a],
+                    nanos: p.nanos[a],
+                    allocs: p.allocs[a],
+                })
+                .collect(),
+        })
     }
 
     /// Turns on telemetry recording, sampling every counter in the system
@@ -847,13 +945,8 @@ impl ApuSystem {
     /// successive fingerprints match, nothing retired, moved through a
     /// queue, or touched DRAM in between.
     fn progress_fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |v: u64| {
-            for b in v.to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
+        let mut h = miopt_engine::hash::Fnv1a::new();
+        let mut mix = |v: u64| h.write_u64(v);
         mix(self.launches.len() as u64);
         mix(match self.phase {
             Phase::Launching { .. } => 0,
@@ -892,7 +985,7 @@ impl ApuSystem {
         {
             mix(q.pushed());
         }
-        h
+        h.finish()
     }
 
     /// Runs the due sentinel checks after a step; returns why the run
@@ -1225,7 +1318,19 @@ impl ApuSystem {
                 self.ev.current = a;
                 self.ev.events += 1;
                 self.ev.events_by_actor[a] += 1;
-                if let Some(reason) = self.dispatch(a, t) {
+                let halted = if self.profile.is_some() {
+                    let clock = std::time::Instant::now();
+                    let allocs_before = miopt_engine::alloc_track::count();
+                    let r = self.dispatch(a, t);
+                    let p = self.profile.as_deref_mut().expect("checked above");
+                    p.events[a] += 1;
+                    p.nanos[a] += u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    p.allocs[a] += miopt_engine::alloc_track::count().saturating_sub(allocs_before);
+                    r
+                } else {
+                    self.dispatch(a, t)
+                };
+                if let Some(reason) = halted {
                     // Halt with `now` at the check cycle, exactly where
                     // the per-cycle loop's post-step poll would stop.
                     self.sync_xbars_through(t);
@@ -1509,6 +1614,7 @@ impl ApuSystem {
                 &mut self.l2_up[s],
             );
             if acted {
+                self.resp_pending |= 1 << s;
                 // Downstream wakes are needed only when something moved;
                 // earlier pushes already scheduled their consumers.
                 if let Some(at) = self.l2_down[s].next_ready() {
@@ -1573,7 +1679,12 @@ impl ApuSystem {
             self.ev.wake(A_RESP_XBAR, now + 1);
             return;
         }
-        for s in 0..self.l2_up.len() {
+        // After a masked tick the pending bits are exactly the nonempty
+        // inputs, so only those can have a future-ready head.
+        let mut m = self.resp_pending;
+        while m != 0 {
+            let s = m.trailing_zeros() as usize;
+            m &= m - 1;
             if let Some(at) = self.l2_up[s].next_ready() {
                 self.ev.wake(A_RESP_XBAR, at);
             }
@@ -1612,6 +1723,7 @@ impl ApuSystem {
                 &mut self.l1_up[i],
             );
             if acted {
+                self.req_pending |= 1 << i;
                 if let Some(at) = self.l1_down[i].next_ready() {
                     self.ev.wake(A_REQ_XBAR, at);
                 }
@@ -1650,7 +1762,12 @@ impl ApuSystem {
             self.ev.wake(A_REQ_XBAR, now + 1);
             return;
         }
-        for i in 0..self.l1_down.len() {
+        // As in `ev_resp_xbar`: the pending mask bounds the rescan to the
+        // nonempty inputs.
+        let mut m = self.req_pending;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
             if let Some(at) = self.l1_down[i].next_ready() {
                 self.ev.wake(A_REQ_XBAR, at);
             }
@@ -1951,8 +2068,9 @@ impl ApuSystem {
                 break;
             }
         }
+        let mut cursor = 0;
         while self.resp_holdover.len() < 4 {
-            match self.dram.pop_response(now) {
+            match self.dram.pop_response_from(now, &mut cursor) {
                 Some(resp) => {
                     acted = true;
                     let slice = self.cfg.l2_slice_of(resp.line);
@@ -1987,6 +2105,9 @@ impl ApuSystem {
                 Err(_) => break, // response queue full; retry next cycle
             }
         }
+        if acted {
+            self.resp_pending |= 1 << s;
+        }
         acted
     }
 
@@ -2010,7 +2131,10 @@ impl ApuSystem {
                 &mut self.l2_down[s],
                 &mut self.l2_up[s],
             );
-            acted |= slice.service(now, l2_in, l2_down, l2_up);
+            if slice.service(now, l2_in, l2_down, l2_up) {
+                self.resp_pending |= 1 << s;
+                acted = true;
+            }
         }
         acted
     }
@@ -2051,13 +2175,16 @@ impl ApuSystem {
     /// Stage 6, with the mask of L1 fill queues that received a
     /// response.
     fn stage_resp_xbar_tracked(&mut self, now: Cycle) -> (u64, u64) {
-        self.resp_xbar
-            .tick_tracked(now, &mut self.l2_up, &mut self.l1_fill_in, |r| {
-                match r.origin {
-                    miopt_engine::Origin::Wavefront { cu, .. } => cu as usize,
-                    miopt_engine::Origin::Internal => 0,
-                }
-            })
+        self.resp_xbar.tick_tracked_masked(
+            now,
+            &mut self.resp_pending,
+            &mut self.l2_up,
+            &mut self.l1_fill_in,
+            |r| match r.origin {
+                miopt_engine::Origin::Wavefront { cu, .. } => cu as usize,
+                miopt_engine::Origin::Internal => 0,
+            },
+        )
     }
 
     /// Stage 7 for one CU: up to two L1 fills from its response queue.
@@ -2091,12 +2218,15 @@ impl ApuSystem {
     fn stage_l1_service(&mut self, now: Cycle) -> bool {
         let mut acted = false;
         for i in 0..self.l1s.len() {
-            acted |= self.l1s[i].service(
+            if self.l1s[i].service(
                 now,
                 &mut self.l1_in[i],
                 &mut self.l1_down[i],
                 &mut self.l1_up[i],
-            );
+            ) {
+                self.req_pending |= 1 << i;
+                acted = true;
+            }
         }
         acted
     }
@@ -2110,10 +2240,13 @@ impl ApuSystem {
     /// request.
     fn stage_req_xbar_tracked(&mut self, now: Cycle) -> (u64, u64) {
         let cfg = &self.cfg;
-        self.req_xbar
-            .tick_tracked(now, &mut self.l1_down, &mut self.l2_in, |r| {
-                cfg.l2_slice_of(r.line)
-            })
+        self.req_xbar.tick_tracked_masked(
+            now,
+            &mut self.req_pending,
+            &mut self.l1_down,
+            &mut self.l2_in,
+            |r| cfg.l2_slice_of(r.line),
+        )
     }
 
     /// Stage 10 for one CU: deliver its ready L1 responses to the GPU.

@@ -32,13 +32,18 @@ pub(crate) struct Channel {
 impl Channel {
     pub(crate) fn new(cfg: DramConfig) -> Channel {
         let banks = (0..cfg.banks).map(|_| Bank::new()).collect();
+        // Both queues are bounded — requests by `queue_capacity`, responses
+        // by the requests in flight — so pre-sizing them keeps steady-state
+        // traffic off the heap.
+        let queue = VecDeque::with_capacity(cfg.queue_capacity);
+        let responses = VecDeque::with_capacity(cfg.queue_capacity.max(16));
         Channel {
             cfg,
-            queue: VecDeque::new(),
+            queue,
             banks,
             bus_free_at: Cycle::ZERO,
             last_was_write: false,
-            responses: VecDeque::new(),
+            responses,
             in_service: 0,
         }
     }
@@ -62,6 +67,16 @@ impl Channel {
 
     pub(crate) fn busy(&self) -> bool {
         !self.queue.is_empty() || !self.responses.is_empty() || self.in_service > 0
+    }
+
+    /// Whether any request is waiting in the scheduling queue.
+    pub(crate) fn has_queued(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Whether any completed response is waiting to be delivered.
+    pub(crate) fn has_responses(&self) -> bool {
+        !self.responses.is_empty()
     }
 
     /// The FR-FCFS scheduling window, shrunk to the head alone once the

@@ -122,13 +122,27 @@ impl miopt_telemetry::StatSnapshot for DramStats {
 pub struct Dram {
     map: AddressMap,
     channels: Vec<Channel>,
+    /// Bit per channel with a nonempty request queue: set on push,
+    /// cleared when a tick leaves the queue empty. [`Dram::tick`] visits
+    /// only set bits — on a latency-bound workload one or two of the 16
+    /// channels are active at a time.
+    queued: u64,
+    /// Bit per channel holding undelivered responses: set when a serve
+    /// produces one, cleared when the response queue drains.
+    resp_ready: u64,
     stats: DramStats,
 }
 
 impl Dram {
     /// Builds a DRAM from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration asks for more than 64 channels (the
+    /// activity masks are single words).
     #[must_use]
     pub fn new(cfg: DramConfig) -> Dram {
+        assert!(cfg.channels <= 64, "channel activity mask is a u64");
         let map = AddressMap::new(&cfg);
         let channels = (0..cfg.channels)
             .map(|_| Channel::new(cfg.clone()))
@@ -136,6 +150,8 @@ impl Dram {
         Dram {
             map,
             channels,
+            queued: 0,
+            resp_ready: 0,
             stats: DramStats::default(),
         }
     }
@@ -161,25 +177,64 @@ impl Dram {
     /// retry next cycle (and count a stall).
     pub fn push(&mut self, now: Cycle, req: MemReq) -> Result<(), MemReq> {
         let loc = self.map.locate(req.line);
-        self.channels[loc.channel as usize].push(now, req, loc)
+        let c = loc.channel as usize;
+        self.channels[c].push(now, req, loc).inspect(|()| {
+            self.queued |= 1 << c;
+        })
     }
 
     /// Advances every channel scheduler by one cycle. Returns whether any
     /// channel served or prepped a request.
+    ///
+    /// Channels with an empty request queue tick to a no-op (the channel
+    /// scheduler early-outs), so only the channels in the `queued` mask
+    /// are visited; the result is identical to a full scan.
     pub fn tick(&mut self, now: Cycle) -> bool {
         let mut acted = false;
-        for ch in &mut self.channels {
+        let mut m = self.queued;
+        while m != 0 {
+            let c = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let ch = &mut self.channels[c];
             acted |= ch.tick(now, &mut self.stats);
+            if !ch.has_queued() {
+                self.queued &= !(1 << c);
+            }
+            if ch.has_responses() {
+                self.resp_ready |= 1 << c;
+            }
         }
         acted
     }
 
     /// Takes one completed read response, if any is ready at `now`.
     pub fn pop_response(&mut self, now: Cycle) -> Option<MemResp> {
-        for ch in &mut self.channels {
+        let mut cursor = 0;
+        self.pop_response_from(now, &mut cursor)
+    }
+
+    /// [`Dram::pop_response`] with an explicit channel cursor: resumes the
+    /// scan at `*cursor` instead of channel 0, advancing the cursor past
+    /// exhausted channels. Draining a burst of responses within one cycle
+    /// this way pops them in exactly [`Dram::pop_response`]'s order —
+    /// nothing becomes ready mid-drain at a fixed `now` — while probing
+    /// each channel once instead of once per response.
+    pub fn pop_response_from(&mut self, now: Cycle, cursor: &mut usize) -> Option<MemResp> {
+        while *cursor < self.channels.len() {
+            // Channels outside the `resp_ready` mask hold no responses;
+            // skipping them preserves the ascending-channel pop order.
+            if self.resp_ready & (1 << *cursor) == 0 {
+                *cursor += 1;
+                continue;
+            }
+            let ch = &mut self.channels[*cursor];
             if let Some(resp) = ch.pop_response(now) {
+                if !ch.has_responses() {
+                    self.resp_ready &= !(1 << *cursor);
+                }
                 return Some(resp);
             }
+            *cursor += 1;
         }
         None
     }
@@ -215,6 +270,23 @@ impl Sentinel for Dram {
     fn check_invariants(&self, component: &str, out: &mut Vec<InvariantViolation>) {
         for (i, ch) in self.channels.iter().enumerate() {
             ch.check_invariants(&format!("{component}.ch[{i}]"), out);
+            // The activity masks are conservative: a channel with work
+            // must have its bit set (a set bit over an idle channel is
+            // merely un-reaped).
+            if ch.has_queued() && self.queued & (1 << i) == 0 {
+                out.push(InvariantViolation {
+                    component: component.to_string(),
+                    invariant: "queued_mask_covers_work",
+                    detail: format!("channel {i} has queued requests but a clear mask bit"),
+                });
+            }
+            if ch.has_responses() && self.resp_ready & (1 << i) == 0 {
+                out.push(InvariantViolation {
+                    component: component.to_string(),
+                    invariant: "resp_mask_covers_responses",
+                    detail: format!("channel {i} has responses but a clear mask bit"),
+                });
+            }
         }
     }
 }

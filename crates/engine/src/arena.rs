@@ -1,0 +1,452 @@
+//! A generational slab arena and intrusive handle FIFOs — the
+//! zero-allocation backbone of the simulator's hot path.
+//!
+//! An [`Arena`] owns a slab of `T` slots with an embedded free list, so
+//! steady-state `insert`/`remove` traffic reuses slots and never touches
+//! the heap once the slab has grown to the working-set high-water mark
+//! (pre-size it with [`Arena::with_capacity`] to never allocate at all).
+//! Values are addressed by small copyable [`Handle`]s — 4 bytes in
+//! release builds; debug builds add a generation counter so a stale
+//! handle (one whose slot has since been freed and reused) is caught at
+//! the access site instead of silently aliasing the new occupant.
+//!
+//! Each slot also carries an intrusive `next` link, so any number of
+//! [`HandleFifo`]s can queue arena values without owning storage of their
+//! own: a FIFO is just `{head, tail, len}` — pushing and popping moves
+//! 4-byte handles and rewires links, never the values. A slot can sit in
+//! at most one FIFO at a time (the same field threads the free list).
+//!
+//! # Examples
+//!
+//! ```
+//! use miopt_engine::arena::{Arena, HandleFifo};
+//!
+//! let mut arena: Arena<&str> = Arena::with_capacity(4);
+//! let mut fifo = HandleFifo::new();
+//! let a = arena.insert("a");
+//! fifo.push_back(&mut arena, a);
+//! let b = arena.insert("b");
+//! fifo.push_back(&mut arena, b);
+//! assert_eq!(fifo.len(), 2);
+//! assert_eq!(fifo.pop_value(&mut arena), Some("a"));
+//! assert_eq!(fifo.pop_value(&mut arena), Some("b"));
+//! assert_eq!(fifo.pop_value(&mut arena), None);
+//! assert!(arena.is_empty());
+//! ```
+
+use std::fmt;
+
+/// Sentinel index meaning "no slot" (free-list end, FIFO end).
+const NIL: u32 = u32::MAX;
+
+/// A copyable reference to a value in an [`Arena`].
+///
+/// 4 bytes in release builds. Debug builds carry the slot's generation
+/// at allocation time, and every dereference asserts it still matches —
+/// so use-after-free of a handle panics instead of reading whatever
+/// value reused the slot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle {
+    idx: u32,
+    #[cfg(debug_assertions)]
+    gen: u32,
+}
+
+impl fmt::Debug for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Handle({})", self.idx)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    /// Occupied payload, or `None` for a slot on the free list.
+    val: Option<T>,
+    /// Intrusive link: next free slot while on the free list, next queue
+    /// member while threaded into a [`HandleFifo`].
+    next: u32,
+    /// Bumped on every free; detects stale handles (debug builds only).
+    #[cfg(debug_assertions)]
+    gen: u32,
+}
+
+/// A generational slab arena with free-list slot reuse.
+///
+/// See the [module docs](self) for the design.
+#[derive(Debug, Clone)]
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free_head: u32,
+    len: usize,
+}
+
+impl<T> Arena<T> {
+    /// An empty arena. Grows on demand; prefer
+    /// [`Arena::with_capacity`] on hot paths.
+    #[must_use]
+    pub fn new() -> Arena<T> {
+        Arena::with_capacity(0)
+    }
+
+    /// An empty arena with `cap` slots preallocated: the first `cap`
+    /// inserts (net of removes) are allocation-free.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Arena<T> {
+        let mut a = Arena {
+            slots: Vec::with_capacity(cap),
+            free_head: NIL,
+            len: 0,
+        };
+        a.prefill(cap);
+        a
+    }
+
+    /// Links `extra` fresh slots onto the free list.
+    fn prefill(&mut self, extra: usize) {
+        for _ in 0..extra {
+            let idx = u32::try_from(self.slots.len()).expect("arena slot count fits u32");
+            self.slots.push(Slot {
+                val: None,
+                next: self.free_head,
+                #[cfg(debug_assertions)]
+                gen: 0,
+            });
+            self.free_head = idx;
+        }
+    }
+
+    /// Number of live values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena holds no live values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots (live + free): the allocation high-water mark.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Stores `val`, reusing a free slot if one exists.
+    pub fn insert(&mut self, val: T) -> Handle {
+        if self.free_head == NIL {
+            // High-water mark reached: grow the slab by one slot.
+            self.prefill(1);
+        }
+        let idx = self.free_head;
+        let slot = &mut self.slots[idx as usize];
+        debug_assert!(slot.val.is_none(), "free-list slot must be vacant");
+        self.free_head = slot.next;
+        slot.val = Some(val);
+        slot.next = NIL;
+        self.len += 1;
+        Handle {
+            idx,
+            #[cfg(debug_assertions)]
+            gen: slot.gen,
+        }
+    }
+
+    /// Removes and returns the value behind `h`, returning its slot to
+    /// the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already free; debug builds also panic if `h`
+    /// is stale (the slot was freed and reused since `h` was issued).
+    pub fn remove(&mut self, h: Handle) -> T {
+        self.check_gen(h);
+        let slot = &mut self.slots[h.idx as usize];
+        let val = slot.val.take().expect("handle points at a freed slot");
+        #[cfg(debug_assertions)]
+        {
+            slot.gen = slot.gen.wrapping_add(1);
+        }
+        slot.next = self.free_head;
+        self.free_head = h.idx;
+        self.len -= 1;
+        val
+    }
+
+    /// The value behind `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free; debug builds also panic on a stale
+    /// handle.
+    #[must_use]
+    pub fn get(&self, h: Handle) -> &T {
+        self.check_gen(h);
+        self.slots[h.idx as usize]
+            .val
+            .as_ref()
+            .expect("handle points at a freed slot")
+    }
+
+    /// Mutable access to the value behind `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free; debug builds also panic on a stale
+    /// handle.
+    #[must_use]
+    pub fn get_mut(&mut self, h: Handle) -> &mut T {
+        self.check_gen(h);
+        self.slots[h.idx as usize]
+            .val
+            .as_mut()
+            .expect("handle points at a freed slot")
+    }
+
+    #[inline]
+    #[allow(unused_variables)]
+    fn check_gen(&self, h: Handle) {
+        #[cfg(debug_assertions)]
+        {
+            let slot = &self.slots[h.idx as usize];
+            assert!(
+                slot.gen == h.gen,
+                "stale arena handle: slot {} is at generation {}, handle was issued at {}",
+                h.idx,
+                slot.gen,
+                h.gen
+            );
+        }
+    }
+
+    /// Rebuilds a `Handle` for a raw slot index known to be occupied
+    /// (internal: FIFO traversal).
+    fn handle_at(&self, idx: u32) -> Handle {
+        Handle {
+            idx,
+            #[cfg(debug_assertions)]
+            gen: self.slots[idx as usize].gen,
+        }
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Arena<T> {
+        Arena::new()
+    }
+}
+
+/// An intrusive FIFO of arena values.
+///
+/// Owns no storage: members are threaded through their arena slots'
+/// embedded `next` links, so push/pop move 4-byte handles only. All
+/// operations take the backing arena; using a FIFO against an arena
+/// other than the one its members live in is a logic error (caught by
+/// the debug generation checks in practice).
+#[derive(Debug, Clone, Copy)]
+pub struct HandleFifo {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl HandleFifo {
+    /// An empty FIFO.
+    #[must_use]
+    pub fn new() -> HandleFifo {
+        HandleFifo {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of queued values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the FIFO is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends `h` (a live handle of `arena`) at the back.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `h` is stale.
+    pub fn push_back<T>(&mut self, arena: &mut Arena<T>, h: Handle) {
+        arena.check_gen(h);
+        debug_assert!(
+            arena.slots[h.idx as usize].next == NIL,
+            "handle is already threaded into a queue"
+        );
+        if self.tail == NIL {
+            self.head = h.idx;
+        } else {
+            arena.slots[self.tail as usize].next = h.idx;
+        }
+        self.tail = h.idx;
+        self.len += 1;
+    }
+
+    /// The front handle without removing it.
+    #[must_use]
+    pub fn front<T>(&self, arena: &Arena<T>) -> Option<Handle> {
+        (self.head != NIL).then(|| arena.handle_at(self.head))
+    }
+
+    /// Removes and returns the front handle (the value stays in the
+    /// arena).
+    pub fn pop_front<T>(&mut self, arena: &mut Arena<T>) -> Option<Handle> {
+        if self.head == NIL {
+            return None;
+        }
+        let idx = self.head;
+        let h = arena.handle_at(idx);
+        self.head = arena.slots[idx as usize].next;
+        arena.slots[idx as usize].next = NIL;
+        if self.head == NIL {
+            self.tail = NIL;
+        }
+        self.len -= 1;
+        Some(h)
+    }
+
+    /// Removes the front handle and frees its value out of the arena in
+    /// one step.
+    pub fn pop_value<T>(&mut self, arena: &mut Arena<T>) -> Option<T> {
+        let h = self.pop_front(arena)?;
+        Some(arena.remove(h))
+    }
+
+    /// Iterates over the queued values front to back.
+    pub fn iter<'a, T>(&self, arena: &'a Arena<T>) -> impl Iterator<Item = &'a T> {
+        let mut idx = self.head;
+        std::iter::from_fn(move || {
+            if idx == NIL {
+                return None;
+            }
+            let slot = &arena.slots[idx as usize];
+            idx = slot.next;
+            Some(slot.val.as_ref().expect("queued slot is occupied"))
+        })
+    }
+}
+
+impl Default for HandleFifo {
+    fn default() -> HandleFifo {
+        HandleFifo::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut a: Arena<u64> = Arena::new();
+        let h1 = a.insert(10);
+        let h2 = a.insert(20);
+        assert_eq!(*a.get(h1), 10);
+        *a.get_mut(h2) += 1;
+        assert_eq!(a.remove(h2), 21);
+        assert_eq!(a.remove(h1), 10);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn slots_are_reused_without_growth() {
+        let mut a: Arena<u32> = Arena::with_capacity(2);
+        assert_eq!(a.capacity(), 2);
+        for round in 0..100 {
+            let h1 = a.insert(round);
+            let h2 = a.insert(round + 1);
+            assert_eq!(a.remove(h1), round);
+            assert_eq!(a.remove(h2), round + 1);
+        }
+        assert_eq!(a.capacity(), 2, "steady churn must reuse the two slots");
+    }
+
+    #[test]
+    fn grows_past_the_preallocation() {
+        let mut a: Arena<u8> = Arena::with_capacity(1);
+        let h1 = a.insert(1);
+        let h2 = a.insert(2);
+        assert_eq!(a.capacity(), 2);
+        assert_eq!(*a.get(h1), 1);
+        assert_eq!(*a.get(h2), 2);
+    }
+
+    #[test]
+    fn fifo_preserves_order_across_interleaved_ops() {
+        let mut a: Arena<u32> = Arena::with_capacity(8);
+        let mut q = HandleFifo::new();
+        for i in 0..5 {
+            let h = a.insert(i);
+            q.push_back(&mut a, h);
+        }
+        assert_eq!(q.pop_value(&mut a), Some(0));
+        let h5 = a.insert(5);
+        q.push_back(&mut a, h5);
+        let seen: Vec<u32> = q.iter(&a).copied().collect();
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        let mut drained = Vec::new();
+        while let Some(v) = q.pop_value(&mut a) {
+            drained.push(v);
+        }
+        assert_eq!(drained, vec![1, 2, 3, 4, 5]);
+        assert!(q.is_empty());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn pop_front_keeps_the_value_alive() {
+        let mut a: Arena<&str> = Arena::new();
+        let mut q = HandleFifo::new();
+        let hx = a.insert("x");
+        q.push_back(&mut a, hx);
+        let h = q.pop_front(&mut a).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(*a.get(h), "x");
+        assert_eq!(a.remove(h), "x");
+    }
+
+    #[test]
+    fn front_peeks_without_removing() {
+        let mut a: Arena<u32> = Arena::new();
+        let mut q = HandleFifo::new();
+        assert!(q.front(&a).is_none());
+        let h = a.insert(7);
+        q.push_back(&mut a, h);
+        assert_eq!(q.front(&a), Some(h));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "stale arena handle")]
+    fn stale_handle_panics_in_debug() {
+        let mut a: Arena<u32> = Arena::with_capacity(1);
+        let h = a.insert(1);
+        a.remove(h);
+        let _reused = a.insert(2); // same slot, new generation
+        let _ = a.get(h); // stale: must panic
+    }
+
+    #[test]
+    #[should_panic] // "stale arena handle" in debug builds (the generation
+                    // bump fires first), "freed slot" in release builds.
+    fn freed_slot_access_panics() {
+        let mut a: Arena<u32> = Arena::with_capacity(2);
+        let h = a.insert(1);
+        a.remove(h);
+        // No reuse in between: the slot is simply vacant.
+        let _ = a.get(h);
+    }
+}

@@ -13,6 +13,12 @@
 //! * [`EventWheel`] — the calendar queue that drives the discrete-event
 //!   execution core (components schedule their own wakeups instead of
 //!   being polled every cycle).
+//! * [`Arena`] / [`HandleFifo`] — the generational slab arena and
+//!   intrusive handle queues that keep the steady-state hot path
+//!   allocation-free, with [`alloc_track`] as the shared counter that
+//!   opt-in counting allocators report into.
+//! * [`hash::Fnv1a`] — the single stable FNV-1a 64 implementation behind
+//!   every persisted digest in the workspace.
 //! * Deterministic pseudo-random number generation ([`rng::SplitMix64`]).
 //! * Small statistics helpers ([`stats`]).
 //! * The [`Sentinel`] trait and [`InvariantViolation`] type used by every
@@ -33,8 +39,11 @@
 #![warn(missing_docs)]
 
 mod addr;
+pub mod alloc_track;
+pub mod arena;
 mod cycle;
 mod event;
+pub mod hash;
 mod queue;
 mod req;
 pub mod rng;
@@ -43,6 +52,7 @@ pub mod stats;
 pub mod util;
 
 pub use addr::{Addr, LineAddr, LINE_BYTES};
+pub use arena::{Arena, Handle, HandleFifo};
 pub use cycle::Cycle;
 pub use event::EventWheel;
 pub use queue::{PushFullError, TimedQueue};

@@ -90,85 +90,3 @@ mod tests {
         let _ = log2(5);
     }
 }
-
-/// The FNV-1a 64-bit offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// The FNV-1a 64-bit prime.
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// An incremental FNV-1a 64-bit hasher.
-///
-/// Used for stable, platform-independent identity hashes (workload ids,
-/// experiment cache keys, config fingerprints). Unlike
-/// `std::collections::hash_map::DefaultHasher`, the digest is specified
-/// and stable across Rust releases, so it is safe to persist.
-///
-/// # Examples
-///
-/// ```
-/// use miopt_engine::util::Fnv1a;
-///
-/// let mut h = Fnv1a::new();
-/// h.write(b"FwSoft");
-/// h.write_u64(1 << 16);
-/// let a = h.finish();
-/// assert_ne!(a, Fnv1a::new().finish());
-/// assert_eq!(a, {
-///     let mut h = Fnv1a::new();
-///     h.write(b"FwSoft");
-///     h.write_u64(1 << 16);
-///     h.finish()
-/// });
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Fnv1a(u64);
-
-impl Fnv1a {
-    /// A hasher in its initial state.
-    #[must_use]
-    pub fn new() -> Fnv1a {
-        Fnv1a(FNV_OFFSET)
-    }
-
-    /// Absorbs a byte slice.
-    pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    /// Absorbs a `u64` (little-endian bytes).
-    pub fn write_u64(&mut self, x: u64) {
-        self.write(&x.to_le_bytes());
-    }
-
-    /// The current digest.
-    #[must_use]
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-impl Default for Fnv1a {
-    fn default() -> Fnv1a {
-        Fnv1a::new()
-    }
-}
-
-/// One-shot FNV-1a 64-bit hash of a byte slice.
-///
-/// # Examples
-///
-/// ```
-/// use miopt_engine::util::fnv1a_64;
-///
-/// // Specified test vector for FNV-1a 64.
-/// assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
-/// ```
-#[must_use]
-pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut h = Fnv1a::new();
-    h.write(bytes);
-    h.finish()
-}

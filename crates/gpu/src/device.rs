@@ -61,6 +61,9 @@ impl miopt_telemetry::StatSnapshot for GpuStats {
     }
 }
 
+/// "No pending action" sentinel for [`Gpu::tick_tracked`]'s wake hints.
+const NEVER: Cycle = Cycle(u64::MAX);
+
 /// State of the kernel currently being dispatched/executed.
 #[derive(Debug)]
 struct ActiveKernel {
@@ -115,6 +118,26 @@ pub struct Gpu {
     cus: Vec<Cu>,
     active: Option<ActiveKernel>,
     kernels_run: u64,
+    /// Per-CU cache of [`Cu::next_event`], valid while the CU's
+    /// [`Gpu::stale`] bit is clear: the earliest cycle the CU might act
+    /// ([`NEVER`] = blocked until a response arrives). Lets
+    /// [`Gpu::tick_tracked`] skip provably stalled CUs — a no-op
+    /// `Cu::tick` mutates nothing, so skipping it is behaviorally
+    /// invisible — and [`Gpu::next_event`] answer without rescanning
+    /// every wavefront.
+    wake_hint: Vec<Cycle>,
+    /// CUs (bit per index, first 64 only) whose hint is stale because an
+    /// external event — a delivered response, an assigned work-group —
+    /// changed their state since it was computed. Stale CUs are always
+    /// ticked and rescanned.
+    stale: u64,
+    /// Per-CU retired-wavefront count at the last reconciliation, and
+    /// the running device total. Retires happen only inside [`Cu::tick`]
+    /// (an acted CU) and [`Cu::on_response`], so reconciling at those
+    /// two sites keeps the total exact while [`Gpu::kernel_done`] stays
+    /// O(1) instead of summing 64 CUs every cycle.
+    retired_seen: Vec<u64>,
+    retired_total: u64,
 }
 
 impl Gpu {
@@ -132,7 +155,29 @@ impl Gpu {
                 .collect(),
             active: None,
             kernels_run: 0,
+            wake_hint: vec![NEVER; n_cus],
+            stale: u64::MAX,
+            retired_seen: vec![0; n_cus],
+            retired_total: 0,
         }
+    }
+
+    /// Folds CU `i`'s retirements since the last reconciliation into the
+    /// running total. Must be called after any operation that can retire
+    /// a wavefront on that CU.
+    #[inline]
+    fn note_retired(&mut self, i: usize) {
+        let r = self.cus[i].retired_wavefronts();
+        self.retired_total += r - self.retired_seen[i];
+        self.retired_seen[i] = r;
+    }
+
+    /// Whether CU `i` must be ticked/rescanned at `now` (its hint is
+    /// stale or due). CUs past index 63 have no stale bit and are always
+    /// hot.
+    #[inline]
+    fn cu_hot(&self, i: usize, now: Cycle) -> bool {
+        i >= 64 || self.stale & (1 << i) != 0 || self.wake_hint[i] <= now
     }
 
     /// Number of compute units.
@@ -175,7 +220,12 @@ impl Gpu {
     }
 
     fn total_retired(&self) -> u64 {
-        self.cus.iter().map(Cu::retired_wavefronts).sum()
+        debug_assert_eq!(
+            self.retired_total,
+            self.cus.iter().map(Cu::retired_wavefronts).sum::<u64>(),
+            "incremental retired count drifted from the per-CU truth"
+        );
+        self.retired_total
     }
 
     /// Advances the device one cycle. `l1_ins[i]` is CU `i`'s request
@@ -202,12 +252,28 @@ impl Gpu {
         assert_eq!(l1_ins.len(), self.cus.len(), "one L1 queue per CU");
         let mut acted = self.dispatch();
         let mut mask = 0u64;
+        let stale = self.stale;
         for (i, (cu, q)) in self.cus.iter_mut().zip(l1_ins.iter_mut()).enumerate() {
+            if i < 64 && stale & (1 << i) == 0 && self.wake_hint[i] > now {
+                // The hint proves this CU cannot act before `wake_hint[i]`
+                // and nothing external touched it since the hint was
+                // computed: its tick would be a no-op, so skip the scan.
+                continue;
+            }
             if cu.tick(now, q) {
                 acted = true;
+                let r = cu.retired_wavefronts();
+                self.retired_total += r - self.retired_seen[i];
+                self.retired_seen[i] = r;
                 if i < 64 {
                     mask |= 1 << i;
+                    // Issuing/retiring changed the CU's schedule; rescan
+                    // next tick.
+                    self.stale |= 1 << i;
                 }
+            } else if i < 64 {
+                self.stale &= !(1 << i);
+                self.wake_hint[i] = cu.next_event(now).unwrap_or(NEVER);
             }
         }
         (acted, mask)
@@ -224,15 +290,21 @@ impl Gpu {
         }
         let per_wg = k.desc.wfs_per_wg as usize;
         let first = k.next_wg;
-        for cu in &mut self.cus {
+        let mut newly = 0u64;
+        for (i, cu) in self.cus.iter_mut().enumerate() {
+            let before = k.next_wg;
             while k.next_wg < k.desc.wgs && cu.free_slots() >= per_wg {
                 cu.assign_wg(&k.desc, k.seq, k.next_wg);
                 k.next_wg += 1;
+            }
+            if k.next_wg != before && i < 64 {
+                newly |= 1 << i;
             }
             if k.next_wg == k.desc.wgs {
                 break;
             }
         }
+        self.stale |= newly;
         k.next_wg != first
     }
 
@@ -249,7 +321,24 @@ impl Gpu {
                 }
             }
         }
-        self.cus.iter().filter_map(|cu| cu.next_event(now)).min()
+        self.cus
+            .iter()
+            .enumerate()
+            .filter_map(|(i, cu)| {
+                if self.cu_hot(i, now) {
+                    cu.next_event(now)
+                } else {
+                    // A clean hint strictly after `now` is exact: the
+                    // `max(.., now)` clamps inside `Cu::next_event` only
+                    // pull times *up to* `now`, so a future hint cannot
+                    // have been clamped.
+                    match self.wake_hint[i] {
+                        NEVER => None,
+                        t => Some(t),
+                    }
+                }
+            })
+            .min()
     }
 
     /// Routes a load response to its wavefront.
@@ -260,7 +349,16 @@ impl Gpu {
     /// origin.
     pub fn on_response(&mut self, resp: MemResp) {
         match resp.origin {
-            Origin::Wavefront { cu, slot } => self.cus[cu as usize].on_response(slot),
+            Origin::Wavefront { cu, slot } => {
+                self.cus[cu as usize].on_response(slot);
+                // A response can retire the wavefront it unblocks.
+                self.note_retired(cu as usize);
+                if (cu as usize) < 64 {
+                    // The response may unblock a waitcnt; invalidate the
+                    // CU's wake hint.
+                    self.stale |= 1 << cu;
+                }
+            }
             Origin::Internal => debug_assert!(false, "internal response routed to GPU"),
         }
     }

@@ -52,9 +52,12 @@ impl Wavefront {
             iter: 0,
             busy_until: Cycle::ZERO,
             outstanding_loads: 0,
-            pending: VecDeque::new(),
+            // One instruction's coalesced group is at most one line per
+            // lane; sizing both buffers for that worst case up front means
+            // a wavefront never allocates again after construction.
+            pending: VecDeque::with_capacity(64),
             done: false,
-            coalesce_scratch: Vec::with_capacity(4),
+            coalesce_scratch: Vec::with_capacity(64),
         }
     }
 

@@ -27,7 +27,7 @@ use crate::json::Json;
 use crate::provenance::{config_hash, GLOBAL_SEED};
 use crate::results::{metrics_from_json, metrics_to_json, SCHEMA_VERSION};
 use miopt::runner::{Job, RunResult, SweepSpec};
-use miopt_engine::util::Fnv1a;
+use miopt_engine::hash::Fnv1a;
 use std::path::PathBuf;
 
 /// The identity of one cached experiment.

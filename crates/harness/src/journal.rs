@@ -50,7 +50,7 @@ use crate::json::Json;
 use crate::provenance::config_hash;
 use crate::results::{JobRecord, SCHEMA_VERSION};
 use miopt::runner::SweepSpec;
-use miopt_engine::util::Fnv1a;
+use miopt_engine::hash::Fnv1a;
 use miopt_store::{Durability, RecoveryKind, StoreOptions, Wal};
 use std::path::{Path, PathBuf};
 

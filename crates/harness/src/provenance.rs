@@ -9,7 +9,7 @@
 
 use crate::json::Json;
 use miopt::SystemConfig;
-use miopt_engine::util::fnv1a_64;
+use miopt_engine::hash::fnv1a_64;
 use std::process::Command;
 use std::time::{SystemTime, UNIX_EPOCH};
 

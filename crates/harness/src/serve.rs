@@ -33,7 +33,7 @@ use crate::pool::{panic_message, RetryPolicy};
 use crate::provenance::{config_hash, Provenance, GLOBAL_SEED};
 use crate::results::SCHEMA_VERSION;
 use miopt::{CachePolicy, PolicyConfig, SystemConfig, WayRange};
-use miopt_engine::util::{fnv1a_64, Fnv1a};
+use miopt_engine::hash::{fnv1a_64, Fnv1a};
 use miopt_serve::{ArrivalSchedule, ServeConfig, TenantSpec};
 use miopt_store::{RecoveryKind, Wal};
 use miopt_workloads::{by_name, SuiteConfig};

@@ -136,19 +136,26 @@ impl Crossbar {
             *b = self.per_output;
         }
         let n = self.inputs;
-        let start = self.rr_start;
-        self.rr_start = (self.rr_start + 1) % n;
+        let mut idx = self.rr_start;
+        self.rr_start += 1;
+        if self.rr_start == n {
+            self.rr_start = 0;
+        }
         let mut moved = 0;
         let mut pushed = 0u64;
-        for i in 0..n {
-            let idx = (start + i) % n;
-            let Some(head) = inputs[idx].ready_front(now) else {
+        for _ in 0..n {
+            let cur = idx;
+            idx += 1;
+            if idx == n {
+                idx = 0;
+            }
+            let Some(head) = inputs[cur].ready_front(now) else {
                 continue;
             };
             let o = route(head);
             assert!(o < self.outputs, "route returned invalid port {o}");
             if self.budget[o] > 0 && outputs[o].can_push() {
-                let msg = inputs[idx].pop_ready(now).expect("head was ready");
+                let msg = inputs[cur].pop_ready(now).expect("head was ready");
                 if outputs[o].push(now, msg).is_err() {
                     unreachable!("checked can_push");
                 }
@@ -159,6 +166,88 @@ impl Crossbar {
                 }
             } else {
                 self.stats.blocked.inc();
+            }
+        }
+        self.stats.moved.add(moved);
+        (moved, pushed)
+    }
+
+    /// [`Crossbar::tick_tracked`], scanning only the input ports whose
+    /// bit is set in `pending` — the caller's conservative "possibly
+    /// nonempty" mask. The contract:
+    ///
+    /// - the caller sets bit `i` whenever something may have pushed into
+    ///   input `i` (spurious sets are harmless);
+    /// - this method clears bit `i` when it observes input `i` empty, so
+    ///   after a call the set bits are exactly the nonempty inputs;
+    /// - a cleared bit promises the input is empty, so the scan skips it.
+    ///
+    /// Under that contract the result — moves, statistics, round-robin
+    /// rotation — is bit-identical to [`Crossbar::tick_tracked`]: empty
+    /// inputs contribute nothing to a full scan, and the set bits are
+    /// visited in the same rotated order the full scan would use. The
+    /// point is cost: a 64-input crossbar with two active CUs touches two
+    /// queues instead of sixty-four.
+    ///
+    /// # Panics
+    ///
+    /// As [`Crossbar::tick_tracked`]; additionally if the crossbar has
+    /// more than 64 inputs (the mask is a `u64`).
+    pub fn tick_tracked_masked<T>(
+        &mut self,
+        now: Cycle,
+        pending: &mut u64,
+        inputs: &mut [TimedQueue<T>],
+        outputs: &mut [TimedQueue<T>],
+        route: impl Fn(&T) -> usize,
+    ) -> (u64, u64) {
+        assert_eq!(inputs.len(), self.inputs, "input port count mismatch");
+        assert_eq!(outputs.len(), self.outputs, "output port count mismatch");
+        assert!(self.inputs <= 64, "pending mask covers at most 64 inputs");
+        for b in &mut self.budget {
+            *b = self.per_output;
+        }
+        let n = self.inputs;
+        let start = self.rr_start;
+        self.rr_start += 1;
+        if self.rr_start == n {
+            self.rr_start = 0;
+        }
+        let live = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut moved = 0;
+        let mut pushed = 0u64;
+        // Round-robin order from `start`: the candidates in [start, n)
+        // first, then the wrapped tail [0, start).
+        let wrap = (1u64 << start) - 1;
+        for mut seg in [*pending & live & !wrap, *pending & live & wrap] {
+            while seg != 0 {
+                let cur = seg.trailing_zeros() as usize;
+                seg &= seg - 1;
+                if inputs[cur].is_empty() {
+                    *pending &= !(1 << cur);
+                    continue;
+                }
+                let Some(head) = inputs[cur].ready_front(now) else {
+                    continue;
+                };
+                let o = route(head);
+                assert!(o < self.outputs, "route returned invalid port {o}");
+                if self.budget[o] > 0 && outputs[o].can_push() {
+                    let msg = inputs[cur].pop_ready(now).expect("head was ready");
+                    if outputs[o].push(now, msg).is_err() {
+                        unreachable!("checked can_push");
+                    }
+                    if inputs[cur].is_empty() {
+                        *pending &= !(1 << cur);
+                    }
+                    self.budget[o] -= 1;
+                    moved += 1;
+                    if o < 64 {
+                        pushed |= 1 << o;
+                    }
+                } else {
+                    self.stats.blocked.inc();
+                }
             }
         }
         self.stats.moved.add(moved);
@@ -352,6 +441,67 @@ mod tests {
         }
         warped.tick(Cycle(7), &mut ins, &mut outs, |_| 0);
         assert_eq!(after_ticked, lens(&ins));
+    }
+
+    #[test]
+    fn masked_tick_matches_full_scan() {
+        // Same traffic through a masked and an unmasked crossbar must
+        // produce identical queue states, stats, and rotation — including
+        // unready heads, blocked outputs, and stale-set pending bits on
+        // empty inputs.
+        let mut full = Crossbar::new(5, 2, 1);
+        let mut masked = Crossbar::new(5, 2, 1);
+        let mk = || -> Vec<TimedQueue<u64>> {
+            (0..5).map(|i| TimedQueue::new(4, (i as u64) % 3)).collect()
+        };
+        let (mut ins_f, mut ins_m) = (mk(), mk());
+        let mut outs_f: Vec<TimedQueue<u64>> = vec![TimedQueue::new(2, 0), TimedQueue::new(1, 0)];
+        let mut outs_m: Vec<TimedQueue<u64>> = vec![TimedQueue::new(2, 0), TimedQueue::new(1, 0)];
+        // Stale-set bits everywhere; the masked tick must clear them.
+        let mut pending = u64::MAX;
+        for cycle in 0..24u64 {
+            // A deterministic trickle: input (cycle % 5) gets a message
+            // on most cycles, routed by value parity.
+            if cycle % 4 != 3 {
+                let v = cycle * 7;
+                let i = (cycle % 5) as usize;
+                let _ = ins_f[i].push(Cycle(cycle), v);
+                if ins_m[i].push(Cycle(cycle), v).is_ok() {
+                    pending |= 1 << i;
+                }
+            }
+            let got_f =
+                full.tick_tracked(Cycle(cycle), &mut ins_f, &mut outs_f, |v| (*v % 2) as usize);
+            let got_m = masked.tick_tracked_masked(
+                Cycle(cycle),
+                &mut pending,
+                &mut ins_m,
+                &mut outs_m,
+                |v| (*v % 2) as usize,
+            );
+            assert_eq!(got_f, got_m, "cycle {cycle}");
+            // Drain one output slot every few cycles so blocking both
+            // happens and clears.
+            if cycle % 3 == 0 {
+                assert_eq!(
+                    outs_f[1].pop_ready(Cycle(cycle)),
+                    outs_m[1].pop_ready(Cycle(cycle))
+                );
+            }
+            for (f, m) in ins_f.iter().zip(&ins_m) {
+                assert_eq!(f.len(), m.len(), "cycle {cycle}");
+            }
+            // Post-tick contract: set bits are exactly the nonempty
+            // inputs.
+            for (i, q) in ins_m.iter().enumerate() {
+                assert_eq!(
+                    pending & (1 << i) != 0,
+                    !q.is_empty(),
+                    "cycle {cycle} input {i}"
+                );
+            }
+        }
+        assert_eq!(full.stats(), masked.stats());
     }
 
     #[test]

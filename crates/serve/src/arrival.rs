@@ -8,8 +8,8 @@
 //! provenance and journal fingerprints, and a resumed sweep replays
 //! byte-identical traffic.
 
+use miopt_engine::hash::fnv1a_64;
 use miopt_engine::rng::SplitMix64;
-use miopt_engine::util::fnv1a_64;
 
 /// A fixed, sorted list of request arrival cycles for one tenant.
 #[derive(Debug, Clone, PartialEq, Eq)]

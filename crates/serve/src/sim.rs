@@ -12,7 +12,7 @@
 
 use crate::ArrivalSchedule;
 use miopt::{ApuSystem, Metrics, PolicyConfig, SimTimeoutError, SystemConfig, WayRange};
-use miopt_engine::util::fnv1a_64;
+use miopt_engine::hash::fnv1a_64;
 use miopt_engine::Cycle;
 use miopt_telemetry::{LatencyHistogram, StatSnapshot, TelemetryRun};
 use miopt_workloads::Workload;

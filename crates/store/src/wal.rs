@@ -49,7 +49,7 @@
 
 use crate::error::StoreError;
 use crate::io::{StdIo, WalFile, WalIo};
-use miopt_engine::util::Fnv1a;
+use miopt_engine::hash::Fnv1a;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 

@@ -160,7 +160,7 @@ impl Workload {
     /// ```
     #[must_use]
     pub fn stable_id(&self) -> String {
-        let mut h = miopt_engine::util::Fnv1a::new();
+        let mut h = miopt_engine::hash::Fnv1a::new();
         h.write(self.name.as_bytes());
         h.write_u64(self.footprint);
         h.write_u64(self.launches.len() as u64);

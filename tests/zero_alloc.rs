@@ -1,0 +1,132 @@
+//! Counting-allocator proof that the steady-state simulation loop is
+//! allocation-free: once a kernel's wavefronts are dispatched and the
+//! memory hierarchy has reached its high-water occupancy, simulating
+//! further cycles must perform zero heap allocations.
+//!
+//! Setup (system construction, work-group dispatch, first-touch pool
+//! growth) is explicitly excluded: the window opens only after a warmup
+//! long enough for every arena, queue, and pool to reach capacity.
+
+// Compiled only with `--features count-allocs`: the test installs a
+// global counting allocator, which default test binaries should not
+// carry.
+#![cfg(feature = "count-allocs")]
+
+use miopt::{ApuSystem, CachePolicy, PolicyConfig, SystemConfig};
+use miopt_engine::Addr;
+use miopt_gpu::{AccessCtx, AddrGen, KernelDesc, KernelProgram, Op};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::Arc;
+
+/// System allocator wrapper reporting every allocation into
+/// `miopt_engine::alloc_track` (same idiom as the `sim_throughput`
+/// bench).
+struct CountingAlloc;
+
+// SAFETY: defers entirely to the system allocator; the wrapper only adds
+// a side-effect-free counter bump.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        miopt_engine::alloc_track::note_alloc();
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        miopt_engine::alloc_track::note_alloc();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        miopt_engine::alloc_track::note_alloc();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+/// A long-running streaming kernel sized so every work-group dispatches
+/// at launch (work-group dispatch allocates `Wavefront` state and is a
+/// kernel-*boundary* cost, excluded from the steady-state claim).
+fn streaming_kernel(wgs: u32, wfs_per_wg: u32, iters: u32) -> Arc<KernelDesc> {
+    let gen: Arc<dyn AddrGen> = Arc::new(|ctx: &AccessCtx| {
+        // Each wavefront streams its own region, with the region stride
+        // placed so wavefronts spread across DRAM banks (line-address
+        // layout `| channel | column | bank | row |`): stride 2^15 bytes
+        // = 2^9 lines puts consecutive wavefronts in distinct banks.
+        // Loads and stores live in disjoint row halves; iterations wrap
+        // so the footprint stays bounded while dwarfing the L2.
+        let wf_global = u64::from(ctx.wg) * 16 + u64::from(ctx.wf);
+        let base = wf_global << 15;
+        let half = u64::from(ctx.pattern) << 29;
+        let off = u64::from(ctx.iter % 32) * 256 + u64::from(ctx.lane) * 4;
+        Some(Addr(base + half + off))
+    });
+    Arc::new(KernelDesc {
+        name: "zero-alloc-stream".to_string(),
+        template_id: 0,
+        wgs,
+        wfs_per_wg,
+        program: KernelProgram::new(
+            vec![
+                Op::Valu { count: 4 },
+                Op::Load { pattern: 0 },
+                Op::WaitCnt { max: 0 },
+                Op::Store { pattern: 1 },
+            ],
+            iters,
+        ),
+        gen,
+    })
+}
+
+#[test]
+fn steady_state_cycles_allocate_nothing() {
+    miopt_engine::alloc_track::set_installed();
+    // Prove the wiring before relying on a zero: an intentional heap
+    // allocation must be observed, or the assertion below is vacuous.
+    let before = miopt_engine::alloc_track::count();
+    let probe = Box::new([0u8; 64]);
+    assert!(
+        miopt_engine::alloc_track::count() > before,
+        "counting allocator not wired up"
+    );
+    drop(probe);
+
+    let cfg = SystemConfig::paper_table1();
+    let mut sys = ApuSystem::new_idle(cfg, PolicyConfig::of(CachePolicy::CacheRW));
+    // 64 work-groups x 4 wavefronts give every CU a work-group in the
+    // launch cycle at moderate occupancy (an all-miss streaming kernel
+    // at full occupancy thrashes the write-allocate L1 into a crawl);
+    // the iteration count keeps the kernel running far past the window.
+    sys.enqueue_kernel(streaming_kernel(64, 4, 50_000), 0);
+
+    // Warmup: launch overhead, dispatch, and every first-touch growth
+    // (MSHR pools, DBI row vectors, replay queues) reaching high water.
+    const WARMUP: u64 = 60_000;
+    const WINDOW: u64 = 4_000;
+    for _ in 0..WARMUP {
+        sys.step();
+    }
+    assert!(!sys.is_done(), "kernel must outlast the measurement window");
+    let requests_before = sys.metrics().gpu.memory_requests();
+
+    let allocs_before = miopt_engine::alloc_track::count();
+    for _ in 0..WINDOW {
+        sys.step();
+    }
+    let allocs = miopt_engine::alloc_track::count() - allocs_before;
+
+    assert!(!sys.is_done(), "window must end mid-kernel");
+    let requests = sys.metrics().gpu.memory_requests() - requests_before;
+    assert!(
+        requests > 1_000,
+        "window must carry real traffic (saw {requests} requests)"
+    );
+    assert_eq!(
+        allocs, 0,
+        "steady-state cycles must not allocate: {allocs} allocations \
+         over {WINDOW} cycles ({requests} memory requests)"
+    );
+}
